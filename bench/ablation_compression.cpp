@@ -1,0 +1,64 @@
+// Ablation: delta–varint compression of the global-phase neighborhood
+// records. Compression and CETRIC's contraction exploit the same structure
+// (ID locality), so the sweep crosses {DITRIC, CETRIC} × {plain, compressed}
+// × {spatial IDs, shuffled IDs}.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gen/rgg2d.hpp"
+#include "graph/permutation.hpp"
+
+int main(int argc, char** argv) {
+    using namespace katric;
+    CliParser cli("bench_ablation_compression",
+                  "neighborhood compression vs volume and time");
+    cli.option("log-n", "13", "log2 of vertex count (RGG2D, avg degree 16)");
+    cli.option("p", "16", "simulated PEs");
+    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    if (!cli.parse(argc, argv)) { return 0; }
+
+    const auto network = bench::parse_network(cli.get_string("network"));
+    bench::print_header("Ablation: delta-varint record compression", network);
+    const graph::VertexId n = graph::VertexId{1} << cli.get_uint("log-n");
+    const auto spatial =
+        gen::generate_rgg2d_local(n, gen::rgg2d_radius_for_degree(n, 16.0), 3);
+    const auto shuffled =
+        graph::apply_permutation(spatial, graph::random_permutation(n, 99));
+
+    Table table({"order", "algo", "compressed", "time (s)", "total volume",
+                 "volume saved (%)"});
+    for (const auto* entry : {&spatial, &shuffled}) {
+        const std::string order = entry == &spatial ? "spatial" : "shuffled";
+        for (const auto algorithm : {core::Algorithm::kDitric, core::Algorithm::kCetric}) {
+            std::uint64_t plain_volume = 0;
+            for (const bool compressed : {false, true}) {
+                core::RunSpec spec;
+                spec.algorithm = algorithm;
+                spec.num_ranks = static_cast<graph::Rank>(cli.get_uint("p"));
+                spec.network = network;
+                spec.options.compress_neighborhoods = compressed;
+                const auto result = core::count_triangles(*entry, spec);
+                if (!compressed) { plain_volume = result.total_words_sent; }
+                table.row()
+                    .cell(order)
+                    .cell(core::algorithm_name(algorithm))
+                    .cell(compressed ? "yes" : "no")
+                    .cell(result.total_time, 5)
+                    .cell(result.total_words_sent)
+                    .cell(compressed && plain_volume > 0
+                              ? 100.0
+                                    * (1.0
+                                       - static_cast<double>(result.total_words_sent)
+                                             / static_cast<double>(plain_volume))
+                              : 0.0,
+                          1);
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: large savings where IDs have locality (small "
+                 "deltas), modest savings on shuffled IDs; compression composes with "
+                 "contraction.\n";
+    return 0;
+}

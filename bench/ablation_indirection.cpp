@@ -1,0 +1,109 @@
+// Ablation (Section IV-B): direct vs grid-based indirect delivery on
+// synthetic traffic patterns, independent of any graph. Reproduces the
+// paper's motivating analysis: p unit messages to one PE cost p(α+β)
+// directly but O(√p(α+β)) + pβ via the grid.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "net/collectives.hpp"
+#include "net/message_queue.hpp"
+
+namespace {
+
+using namespace katric;
+using net::MessageQueue;
+using net::Rank;
+using net::RankHandle;
+using net::Simulator;
+
+struct PatternResult {
+    double time = 0.0;
+    std::uint64_t max_msgs_recv = 0;
+    std::uint64_t total_words = 0;
+};
+
+/// Runs a traffic pattern through per-PE queues with the given router.
+/// pattern(r) returns the list of final destinations PE r posts one
+/// 8-word record to.
+PatternResult run_pattern(Rank p, const net::Router& router,
+                          const std::function<std::vector<Rank>(Rank)>& pattern,
+                          const net::NetworkConfig& config) {
+    Simulator sim(p, config);
+    std::vector<MessageQueue> queues;
+    queues.reserve(p);
+    for (Rank r = 0; r < p; ++r) { queues.emplace_back(1 << 16, router, 1); }
+    sim.run_phase(
+        "pattern",
+        [&](RankHandle& self) {
+            const std::uint64_t record[8] = {self.rank(), 1, 2, 3, 4, 5, 6, 7};
+            for (const Rank dest : pattern(self.rank())) {
+                queues[self.rank()].post(self, dest, record);
+            }
+        },
+        [&](RankHandle& self, Rank, int, std::span<const std::uint64_t> payload) {
+            queues[self.rank()].handle(self, payload,
+                                       [](RankHandle&, std::span<const std::uint64_t>) {});
+        },
+        [&](RankHandle& self) { queues[self.rank()].flush(self); });
+    PatternResult result;
+    result.time = sim.time();
+    for (const auto& m : sim.rank_metrics()) {
+        result.max_msgs_recv = std::max(result.max_msgs_recv, m.messages_received);
+        result.total_words += m.words_sent;
+    }
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliParser cli("bench_ablation_indirection",
+                  "direct vs grid routing on synthetic traffic");
+    cli.option("ps", "16,64,256,1024", "PE counts");
+    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    if (!cli.parse(argc, argv)) { return 0; }
+    const auto config = bench::parse_network(cli.get_string("network"));
+    bench::print_header("Ablation: grid indirection on traffic patterns", config);
+
+    for (const std::string pattern_name : {"all-to-one", "uniform"}) {
+        std::cout << "--- pattern: " << pattern_name << " ---\n";
+        Table table({"p", "router", "time (s)", "max msgs recv/PE", "total words"});
+        for (const auto p64 : cli.get_uint_list("ps")) {
+            const auto p = static_cast<Rank>(p64);
+            auto pattern = [&](Rank r) {
+                std::vector<Rank> dests;
+                if (pattern_name == "all-to-one") {
+                    if (r != 0) { dests.push_back(0); }
+                } else {
+                    for (Rank d = 0; d < p; ++d) {
+                        if (d != r) { dests.push_back(d); }
+                    }
+                }
+                return dests;
+            };
+            const net::DirectRouter direct;
+            const net::GridRouter grid(p);
+            const auto direct_result = run_pattern(p, direct, pattern, config);
+            const auto grid_result = run_pattern(p, grid, pattern, config);
+            table.row()
+                .cell(p64)
+                .cell("direct")
+                .cell(direct_result.time, 6)
+                .cell(direct_result.max_msgs_recv)
+                .cell(direct_result.total_words);
+            table.row()
+                .cell(p64)
+                .cell("grid")
+                .cell(grid_result.time, 6)
+                .cell(grid_result.max_msgs_recv)
+                .cell(grid_result.total_words);
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "Expected shape: on all-to-one, grid routing turns the hotspot's "
+                 "p(α+β) into O(√p(α+β))+pβ at ~2x the volume; on uniform traffic it "
+                 "caps every PE's partner count at ~2√p.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "net/network_config.hpp"
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace katric::bench {
+
+/// Algorithm list parsing for `--algos DITRIC,CETRIC2,...`.
+inline std::vector<core::Algorithm> parse_algorithms(const std::string& csv) {
+    std::vector<core::Algorithm> result;
+    std::string token;
+    std::stringstream stream(csv);
+    while (std::getline(stream, token, ',')) {
+        bool found = false;
+        for (const auto algorithm : core::all_algorithms()) {
+            if (core::algorithm_name(algorithm) == token) {
+                result.push_back(algorithm);
+                found = true;
+            }
+        }
+        if (!found) { KATRIC_THROW("unknown algorithm '" << token << "'"); }
+    }
+    KATRIC_ASSERT_MSG(!result.empty(), "empty algorithm list");
+    return result;
+}
+
+inline std::string default_algorithms_csv() {
+    return "DITRIC,DITRIC2,CETRIC,CETRIC2,HavoqGT-style,TriC-style";
+}
+
+/// Network preset parsing for `--network supermuc|cloud`.
+inline net::NetworkConfig parse_network(const std::string& name) {
+    if (name == "supermuc") { return net::NetworkConfig::supermuc_like(); }
+    if (name == "cloud") { return net::NetworkConfig::cloud_like(); }
+    KATRIC_THROW("unknown network preset '" << name << "' (supermuc|cloud)");
+}
+
+/// Every bench prints its machine-model constants so results are
+/// self-describing (DESIGN.md §1).
+inline void print_header(const std::string& what, const net::NetworkConfig& config) {
+    std::cout << "=== " << what << " ===\n"
+              << "machine model: " << config.describe() << '\n'
+              << "time = simulated seconds on the modeled machine; msgs/volume are exact"
+              << "\n\n";
+}
+
+/// "OOM" or a fixed-precision number — the paper marks failed runs instead
+/// of plotting them.
+inline std::string time_or_oom(const core::CountResult& result) {
+    if (result.oom) { return "OOM"; }
+    std::ostringstream out;
+    out << std::scientific << std::setprecision(3) << result.total_time;
+    return out.str();
+}
+
+}  // namespace katric::bench

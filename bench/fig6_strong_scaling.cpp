@@ -1,0 +1,74 @@
+// Regenerates Fig. 6: strong scaling on the eight real-world instances
+// (synthetic proxies, DESIGN.md §1) for all algorithm variants and both
+// baselines. OOM entries mirror the paper's TriC crash reports.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gen/proxies.hpp"
+
+int main(int argc, char** argv) {
+    using namespace katric;
+    CliParser cli("bench_fig6_strong_scaling",
+                  "Fig. 6 — strong scaling on the eight real-world proxies");
+    cli.option("ps", "4,8,16,32,64", "core counts");
+    cli.option("algos", bench::default_algorithms_csv(), "algorithms to run");
+    cli.option("instances", "", "comma list of proxies (default: all eight)");
+    cli.option("scale", "1", "proxy size multiplier");
+    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    cli.option("mem-factor", "52",
+               "per-PE memory budget as a multiple of the per-PE input share at "
+               "the largest p of the sweep (fixed memory per core: small-p runs "
+               "hold more data per PE and may OOM, as TriC does in the paper)");
+    if (!cli.parse(argc, argv)) { return 0; }
+
+    const auto network = bench::parse_network(cli.get_string("network"));
+    const auto algorithms = bench::parse_algorithms(cli.get_string("algos"));
+    std::vector<std::string> instances;
+    if (cli.get_string("instances").empty()) {
+        for (const auto& spec : gen::proxy_registry()) { instances.push_back(spec.name); }
+    } else {
+        std::stringstream stream(cli.get_string("instances"));
+        std::string token;
+        while (std::getline(stream, token, ',')) { instances.push_back(token); }
+    }
+    bench::print_header("Fig. 6: strong scaling on real-world proxies", network);
+
+    for (const auto& name : instances) {
+        const auto g = gen::build_proxy(name, cli.get_uint("scale"));
+        std::cout << "--- " << name << " (n=" << g.num_vertices()
+                  << ", m=" << g.num_edges() << ") ---\n";
+        Table table({"algo", "cores", "time (s)", "max msgs", "bottleneck vol",
+                     "triangles"});
+        const auto ps = cli.get_uint_list("ps");
+        const auto max_p = *std::max_element(ps.begin(), ps.end());
+        const auto memory_limit =
+            cli.get_uint("mem-factor") * (2 * g.num_edges() + g.num_vertices()) / max_p;
+        for (const auto p : ps) {
+            for (const auto algorithm : algorithms) {
+                core::RunSpec spec;
+                spec.algorithm = algorithm;
+                spec.num_ranks = static_cast<graph::Rank>(p);
+                spec.network = network;
+                spec.network.memory_limit_words = memory_limit;
+                const auto result = core::count_triangles(g, spec);
+                table.row()
+                    .cell(core::algorithm_name(algorithm))
+                    .cell(p)
+                    .cell(bench::time_or_oom(result))
+                    .cell(result.oom ? std::uint64_t{0} : result.max_messages_sent)
+                    .cell(result.oom ? std::uint64_t{0} : result.max_words_sent)
+                    .cell(result.triangles);
+            }
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "Expected shape (paper): DITRIC fastest on social proxies with the "
+                 "indirect variants overtaking at large p; CETRIC ahead on "
+                 "webbase-2001 until the cut grows; TriC-style OOMs on friendster "
+                 "except at the largest p and wins only on small road instances at "
+                 "low p.\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+// google-benchmark microbenches for the hot kernels: set intersection
+// (merge / binary / hybrid), Bloom filter insert/query, message-queue
+// post/flush, and the sequential counting kernels on one proxy instance.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "amq/bloom.hpp"
+#include "gen/proxies.hpp"
+#include "gen/rgg2d.hpp"
+#include "graph/orientation.hpp"
+#include "net/message_queue.hpp"
+#include "seq/edge_iterator.hpp"
+#include "seq/intersection.hpp"
+#include "seq/parallel_local.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using katric::graph::VertexId;
+
+std::vector<VertexId> sorted_random(std::size_t size, std::uint64_t seed) {
+    katric::Xoshiro256 rng(seed);
+    std::vector<VertexId> values(size);
+    VertexId current = 0;
+    for (auto& v : values) {
+        current += 1 + rng.next_bounded(8);
+        v = current;
+    }
+    return values;
+}
+
+void BM_IntersectMerge(benchmark::State& state) {
+    const auto a = sorted_random(static_cast<std::size_t>(state.range(0)), 1);
+    const auto b = sorted_random(static_cast<std::size_t>(state.range(0)), 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(katric::seq::intersect_merge(a, b).count);
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_IntersectMerge)->Range(16, 4096);
+
+void BM_IntersectBinarySkewed(benchmark::State& state) {
+    const auto small = sorted_random(16, 1);
+    const auto big = sorted_random(static_cast<std::size_t>(state.range(0)), 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(katric::seq::intersect_binary(small, big).count);
+    }
+}
+BENCHMARK(BM_IntersectBinarySkewed)->Range(256, 65536);
+
+void BM_IntersectHybridSkewed(benchmark::State& state) {
+    const auto small = sorted_random(16, 1);
+    const auto big = sorted_random(static_cast<std::size_t>(state.range(0)), 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(katric::seq::intersect_hybrid(small, big).count);
+    }
+}
+BENCHMARK(BM_IntersectHybridSkewed)->Range(256, 65536);
+
+void BM_BloomInsert(benchmark::State& state) {
+    katric::amq::BloomFilter filter(1 << 16, 5, 1);
+    std::uint64_t key = 0;
+    for (auto _ : state) { filter.insert(++key); }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomQuery(benchmark::State& state) {
+    katric::amq::BloomFilter filter(1 << 16, 5, 1);
+    for (std::uint64_t k = 0; k < 4096; ++k) { filter.insert(k); }
+    std::uint64_t key = 0;
+    for (auto _ : state) { benchmark::DoNotOptimize(filter.contains(++key)); }
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_MessageQueuePost(benchmark::State& state) {
+    katric::net::Simulator sim(4, katric::net::NetworkConfig{});
+    const katric::net::DirectRouter router;
+    katric::net::MessageQueue queue(1 << 20, router, 1);
+    const std::uint64_t record[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    sim.run_phase(
+        "bench",
+        [&](katric::net::RankHandle& self) {
+            if (self.rank() != 0) { return; }
+            for (auto _ : state) {
+                queue.post(self, 1 + (state.iterations() % 3), record);
+            }
+            queue.flush(self);
+        },
+        [](katric::net::RankHandle&, katric::net::Rank, int,
+           std::span<const std::uint64_t>) {});
+}
+BENCHMARK(BM_MessageQueuePost);
+
+void BM_SeqCountProxy(benchmark::State& state) {
+    const auto g = katric::gen::build_proxy("live-journal");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(katric::seq::count_edge_iterator(g).triangles);
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SeqCountProxy)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelLocalCount(benchmark::State& state) {
+    const katric::graph::VertexId n = 1 << 14;
+    const auto g = katric::gen::generate_rgg2d(
+        n, katric::gen::rgg2d_radius_for_degree(n, 16.0), 5);
+    const auto oriented = katric::graph::orient_by_degree(g);
+    const int threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            katric::seq::count_oriented_parallel(oriented, threads).triangles);
+    }
+}
+BENCHMARK(BM_ParallelLocalCount)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace

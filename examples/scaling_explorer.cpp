@@ -1,0 +1,98 @@
+// Interactive experiment driver: pick any generator or proxy instance, any
+// algorithm, any PE count and machine preset, and get the full metric set.
+// Useful for exploring regimes the canned benches do not cover.
+
+#include <iostream>
+
+#include "core/runner.hpp"
+#include "gen/gnm.hpp"
+#include "gen/grid.hpp"
+#include "gen/proxies.hpp"
+#include "gen/rgg2d.hpp"
+#include "gen/rhg.hpp"
+#include "gen/rmat.hpp"
+#include "seq/edge_iterator.hpp"
+#include "util/bits.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+katric::graph::CsrGraph build_instance(const std::string& name,
+                                       katric::graph::VertexId n, std::uint64_t seed) {
+    using namespace katric;
+    if (name == "rgg2d") {
+        return gen::generate_rgg2d(n, gen::rgg2d_radius_for_degree(n, 16.0), seed);
+    }
+    if (name == "rhg") { return gen::generate_rhg(n, 16.0, 2.8, seed); }
+    if (name == "gnm") { return gen::generate_gnm(n, 16 * n, seed); }
+    if (name == "rmat") {
+        return gen::generate_rmat(static_cast<std::uint32_t>(katric::ceil_log2(n)),
+                                  16 * n, seed);
+    }
+    if (name == "grid") {
+        const auto side = katric::isqrt(n);
+        return gen::generate_grid_road(side, side, 0.95, 0.05, seed);
+    }
+    return gen::build_proxy(name);  // one of the Table I proxies
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace katric;
+    CliParser cli("scaling_explorer",
+                  "run any algorithm on any instance at any scale and print all "
+                  "metrics");
+    cli.option("instance", "rgg2d",
+               "rgg2d|rhg|gnm|rmat|grid or a Table I proxy name (e.g. orkut)");
+    cli.option("log-n", "13", "log2 vertex count for generated instances");
+    cli.option("ps", "1,4,16,64", "PE counts to sweep");
+    cli.option("algo", "CETRIC", "algorithm name (see DESIGN.md)");
+    cli.option("network", "supermuc", "supermuc|cloud");
+    cli.option("threads", "1", "threads per rank (hybrid local phase)");
+    cli.option("seed", "42", "generator seed");
+    if (!cli.parse(argc, argv)) { return 0; }
+
+    const auto g = build_instance(cli.get_string("instance"),
+                                  graph::VertexId{1} << cli.get_uint("log-n"),
+                                  cli.get_uint("seed"));
+    std::cout << "instance " << cli.get_string("instance") << ": n=" << g.num_vertices()
+              << " m=" << g.num_edges()
+              << "  (sequential count: " << seq::count_edge_iterator(g).triangles
+              << ")\n\n";
+
+    core::Algorithm algorithm = core::Algorithm::kCetric;
+    for (const auto candidate : core::all_algorithms()) {
+        if (core::algorithm_name(candidate) == cli.get_string("algo")) {
+            algorithm = candidate;
+        }
+    }
+
+    Table table({"p", "time (s)", "preproc", "local", "contract", "global", "reduce",
+                 "max msgs", "bottleneck vol", "peak buf", "triangles"});
+    for (const auto p : cli.get_uint_list("ps")) {
+        core::RunSpec spec;
+        spec.algorithm = algorithm;
+        spec.num_ranks = static_cast<graph::Rank>(p);
+        spec.network =
+            cli.get_string("network") == "cloud" ? net::NetworkConfig::cloud_like()
+                                                 : net::NetworkConfig::supermuc_like();
+        spec.options.threads = static_cast<int>(cli.get_uint("threads"));
+        const auto result = core::count_triangles(g, spec);
+        table.row()
+            .cell(p)
+            .cell(result.oom ? std::string("OOM") : std::to_string(result.total_time))
+            .cell(result.preprocessing_time, 5)
+            .cell(result.local_time, 5)
+            .cell(result.contraction_time, 5)
+            .cell(result.global_time, 5)
+            .cell(result.reduce_time, 5)
+            .cell(result.max_messages_sent)
+            .cell(result.max_words_sent)
+            .cell(result.max_peak_buffer_words)
+            .cell(result.triangles);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Spam-page detection via local clustering coefficients — the application
+// from the paper's introduction (Becchetti et al.): spam pages form dense
+// link farms whose neighborhoods are abnormally triangle-rich, while their
+// hub pages link broadly with few closed wedges. Flag vertices whose LCC is
+// an outlier for their degree class.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/dist_lcc.hpp"
+#include "gen/proxies.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace katric;
+
+    // A web-crawl stand-in (RHG, natural crawl-order locality).
+    const auto web = gen::build_proxy("webbase-2001");
+    std::cout << "web graph: n=" << web.num_vertices() << ", m=" << web.num_edges()
+              << "\n";
+
+    // Distributed LCC with CETRIC on 32 simulated PEs.
+    core::RunSpec spec;
+    spec.algorithm = core::Algorithm::kCetric;
+    spec.num_ranks = 32;
+    const auto result = core::compute_distributed_lcc(web, spec);
+    std::cout << "triangles=" << result.count.triangles << ", simulated time "
+              << result.count.total_time << " s (incl. " << result.postprocess_time
+              << " s Δ-aggregation)\n\n";
+
+    // Per-degree-bucket LCC statistics: spam candidates sit far from their
+    // bucket's typical value.
+    struct Bucket {
+        double sum = 0.0;
+        std::uint64_t count = 0;
+    };
+    std::map<int, Bucket> buckets;
+    auto bucket_of = [](graph::Degree d) {
+        return static_cast<int>(std::floor(std::log2(static_cast<double>(d))));
+    };
+    for (graph::VertexId v = 0; v < web.num_vertices(); ++v) {
+        if (web.degree(v) < 4) { continue; }
+        auto& bucket = buckets[bucket_of(web.degree(v))];
+        bucket.sum += result.lcc[v];
+        ++bucket.count;
+    }
+
+    struct Suspect {
+        graph::VertexId vertex;
+        graph::Degree degree;
+        double lcc;
+        double bucket_mean;
+    };
+    std::vector<Suspect> suspects;
+    for (graph::VertexId v = 0; v < web.num_vertices(); ++v) {
+        const auto d = web.degree(v);
+        if (d < 16) { continue; }  // only hubs are interesting
+        const auto& bucket = buckets[bucket_of(d)];
+        const double mean = bucket.sum / static_cast<double>(bucket.count);
+        // Link-farm signature: clustering far above the degree-class norm.
+        if (result.lcc[v] > 4.0 * mean && result.lcc[v] > 0.2) {
+            suspects.push_back({v, d, result.lcc[v], mean});
+        }
+    }
+    std::sort(suspects.begin(), suspects.end(),
+              [](const Suspect& a, const Suspect& b) { return a.lcc > b.lcc; });
+
+    std::cout << "degree-class LCC profile:\n";
+    Table profile({"degree class", "vertices", "mean LCC"});
+    for (const auto& [log_degree, bucket] : buckets) {
+        profile.row()
+            .cell(std::string("2^") + std::to_string(log_degree))
+            .cell(bucket.count)
+            .cell(bucket.sum / static_cast<double>(bucket.count), 4);
+    }
+    profile.print(std::cout);
+
+    std::cout << "\nlink-farm suspects (LCC > 4x degree-class mean, degree >= 16): "
+              << suspects.size() << "\n";
+    Table table({"vertex", "degree", "LCC", "class mean"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(suspects.size(), 10); ++i) {
+        table.row()
+            .cell(suspects[i].vertex)
+            .cell(suspects[i].degree)
+            .cell(suspects[i].lcc, 4)
+            .cell(suspects[i].bucket_mean, 4);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "amq/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+#include "util/hash.hpp"
+
+namespace katric::amq {
+
+BloomFilter::BloomFilter(std::uint64_t num_bits, std::uint32_t num_hashes, std::uint64_t seed)
+    : num_bits_(std::max<std::uint64_t>(num_bits, 1)),
+      num_hashes_(std::max<std::uint32_t>(num_hashes, 1)),
+      seed_(seed),
+      bits_(katric::div_ceil(num_bits_, 64), 0) {}
+
+BloomFilter BloomFilter::with_fpr(std::uint64_t expected_items, double target_fpr,
+                                  std::uint64_t seed) {
+    KATRIC_ASSERT(target_fpr > 0.0 && target_fpr < 1.0);
+    const double n = static_cast<double>(std::max<std::uint64_t>(expected_items, 1));
+    const double ln2 = std::log(2.0);
+    const double bits = -n * std::log(target_fpr) / (ln2 * ln2);
+    const auto m = static_cast<std::uint64_t>(std::ceil(bits));
+    const auto k = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(ln2 * static_cast<double>(m) / n)));
+    return BloomFilter(m, k, seed);
+}
+
+std::uint64_t BloomFilter::position(std::uint64_t key, std::uint32_t i) const noexcept {
+    const std::uint64_t h1 = katric::hash64_seeded(key, seed_);
+    const std::uint64_t h2 = katric::hash64_seeded(key, seed_ + 0x517cc1b727220a95ULL) | 1;
+    return (h1 + static_cast<std::uint64_t>(i) * h2) % num_bits_;
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+    for (std::uint32_t i = 0; i < num_hashes_; ++i) {
+        const std::uint64_t pos = position(key, i);
+        bits_[pos >> 6] |= (std::uint64_t{1} << (pos & 63));
+    }
+    ++inserted_;
+}
+
+bool BloomFilter::contains(std::uint64_t key) const {
+    for (std::uint32_t i = 0; i < num_hashes_; ++i) {
+        const std::uint64_t pos = position(key, i);
+        if ((bits_[pos >> 6] & (std::uint64_t{1} << (pos & 63))) == 0) { return false; }
+    }
+    return true;
+}
+
+double BloomFilter::expected_fpr(std::uint64_t items) const noexcept {
+    const double exponent = -static_cast<double>(num_hashes_) * static_cast<double>(items)
+                            / static_cast<double>(num_bits_);
+    return std::pow(1.0 - std::exp(exponent), static_cast<double>(num_hashes_));
+}
+
+BloomFilter BloomFilter::from_words(std::span<const std::uint64_t> words,
+                                    std::uint64_t num_bits, std::uint32_t num_hashes,
+                                    std::uint64_t seed, std::uint64_t inserted) {
+    BloomFilter filter(num_bits, num_hashes, seed);
+    KATRIC_ASSERT_MSG(words.size() == filter.bits_.size(),
+                      "bloom deserialization size mismatch: " << words.size() << " vs "
+                                                              << filter.bits_.size());
+    std::copy(words.begin(), words.end(), filter.bits_.begin());
+    filter.inserted_ = inserted;
+    return filter;
+}
+
+}  // namespace katric::amq

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace katric::amq {
+
+/// Bloom filter over 64-bit keys — the approximate-membership-query (AMQ)
+/// structure of Section IV-E. In the approximate global phase, a PE sends
+/// A'(v) = Bloom(A(v)) instead of the neighborhood list; the receiver
+/// queries the members of A(u) against it and corrects for false positives
+/// with the truthful estimator (see core::approx).
+///
+/// Double hashing (Kirsch–Mitzenmatcher): position_i = h1 + i·h2 mod m,
+/// which preserves the asymptotic false-positive rate with two base hashes.
+class BloomFilter {
+public:
+    BloomFilter(std::uint64_t num_bits, std::uint32_t num_hashes, std::uint64_t seed = 0);
+
+    /// Sizes the filter for a target false-positive rate at the expected
+    /// load: m = −n·ln(f)/ln(2)², k = ln(2)·m/n (clamped to ≥ 1).
+    [[nodiscard]] static BloomFilter with_fpr(std::uint64_t expected_items, double target_fpr,
+                                              std::uint64_t seed = 0);
+
+    void insert(std::uint64_t key);
+    [[nodiscard]] bool contains(std::uint64_t key) const;
+
+    [[nodiscard]] std::uint64_t num_bits() const noexcept { return num_bits_; }
+    [[nodiscard]] std::uint32_t num_hashes() const noexcept { return num_hashes_; }
+    [[nodiscard]] std::uint64_t inserted() const noexcept { return inserted_; }
+
+    /// Analytic false-positive probability after n insertions:
+    /// (1 − e^{−k·n/m})^k.
+    [[nodiscard]] double expected_fpr(std::uint64_t items) const noexcept;
+    [[nodiscard]] double expected_fpr() const noexcept { return expected_fpr(inserted_); }
+
+    /// Raw bit array for shipping over the network (payload words).
+    [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return bits_; }
+    [[nodiscard]] static BloomFilter from_words(std::span<const std::uint64_t> words,
+                                                std::uint64_t num_bits,
+                                                std::uint32_t num_hashes, std::uint64_t seed,
+                                                std::uint64_t inserted);
+
+private:
+    [[nodiscard]] std::uint64_t position(std::uint64_t key, std::uint32_t i) const noexcept;
+
+    std::uint64_t num_bits_;
+    std::uint32_t num_hashes_;
+    std::uint64_t seed_;
+    std::uint64_t inserted_ = 0;
+    std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace katric::amq

@@ -1,0 +1,112 @@
+#include "core/algorithm.hpp"
+
+#include <algorithm>
+
+#include "net/collectives.hpp"
+#include "net/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace katric::core {
+
+std::string algorithm_name(Algorithm algorithm) {
+    switch (algorithm) {
+        case Algorithm::kEdgeIteratorUnbuffered: return "EdgeIterator-unbuffered";
+        case Algorithm::kDitric: return "DITRIC";
+        case Algorithm::kDitric2: return "DITRIC2";
+        case Algorithm::kCetric: return "CETRIC";
+        case Algorithm::kCetric2: return "CETRIC2";
+        case Algorithm::kTricStyle: return "TriC-style";
+        case Algorithm::kHavoqgtStyle: return "HavoqGT-style";
+    }
+    return "unknown";
+}
+
+const std::vector<Algorithm>& all_algorithms() {
+    static const std::vector<Algorithm> algorithms = {
+        Algorithm::kDitric,    Algorithm::kDitric2,   Algorithm::kCetric,
+        Algorithm::kCetric2,   Algorithm::kTricStyle, Algorithm::kHavoqgtStyle,
+        Algorithm::kEdgeIteratorUnbuffered,
+    };
+    return algorithms;
+}
+
+void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views) {
+    const Rank p = sim.num_ranks();
+    KATRIC_ASSERT(views.size() == p);
+
+    // Assemble the ghost-degree push: for every local interface vertex v,
+    // every rank owning a ghost neighbor of v receives the pair (v, deg v).
+    // Neighborhoods are ID-sorted, so owner ranks appear nondecreasing and
+    // a last-rank check deduplicates (the surrogate trick).
+    std::vector<std::vector<net::WordVec>> sends(p, std::vector<net::WordVec>(p));
+    sim.run_phase("preprocessing", [&](net::RankHandle& self) {
+        const Rank r = self.rank();
+        DistGraph& view = views[r];
+        std::uint64_t assembly_ops = 0;
+        for (VertexId v = view.first_local(); v < view.first_local() + view.num_local();
+             ++v) {
+            Rank last = r;
+            for (VertexId u : view.neighbors(v)) {
+                ++assembly_ops;
+                if (view.is_local(u)) { continue; }
+                const Rank owner = view.partition().rank_of(u);
+                if (owner == last) { continue; }
+                last = owner;
+                sends[r][owner].push_back(v);
+                sends[r][owner].push_back(view.degree(v));
+            }
+        }
+        self.charge_ops(assembly_ops);
+    }, {});
+
+    // The paper uses a simple dense all-to-all for the degree exchange
+    // (sparse exchanges can lose under skewed degree distributions).
+    auto received = net::all_to_all(sim, std::move(sends), /*sparse=*/false,
+                                    "preprocessing");
+
+    sim.run_phase("preprocessing", [&](net::RankHandle& self) {
+        const Rank r = self.rank();
+        DistGraph& view = views[r];
+        std::uint64_t ops = 0;
+        for (Rank src = 0; src < p; ++src) {
+            const auto& payload = received[r][src];
+            KATRIC_ASSERT(payload.size() % 2 == 0);
+            for (std::size_t i = 0; i < payload.size(); i += 2) {
+                const auto gi = view.ghost_index(payload[i]);
+                KATRIC_ASSERT_MSG(gi.has_value(),
+                                  "degree message for unknown ghost " << payload[i]);
+                view.set_ghost_degree(*gi, payload[i + 1]);
+                ++ops;
+            }
+        }
+        view.mark_ghost_degrees_ready();
+        // Orientation + ghost rewiring + contraction are three linear scans
+        // over the local adjacency (Section IV-D: "requires no additional
+        // memory, simply rewiring incoming cut edges").
+        view.build_oriented();
+        ops += 3 * view.num_local_half_edges();
+        self.charge_ops(ops);
+    }, {});
+}
+
+std::uint64_t auto_threshold(const DistGraph& view, const AlgorithmOptions& options) {
+    if (options.buffer_threshold_words != 0) { return options.buffer_threshold_words; }
+    return std::max<std::uint64_t>(1024, view.num_local_half_edges());
+}
+
+void fill_metrics(const net::Simulator& sim, CountResult& result) {
+    const auto ranks = sim.rank_metrics();
+    result.max_messages_sent = net::max_messages_sent(ranks);
+    result.max_words_sent = net::max_words_sent(ranks);
+    result.total_messages_sent = net::total_messages_sent(ranks);
+    result.total_words_sent = net::total_words_sent(ranks);
+    result.max_peak_buffer_words = net::max_peak_buffered(ranks);
+    result.total_time = sim.time();
+    result.preprocessing_time = net::phase_time(sim.phases(), "preprocessing");
+    result.local_time = net::phase_time(sim.phases(), "local");
+    result.contraction_time = net::phase_time(sim.phases(), "contraction");
+    result.global_time = net::phase_time(sim.phases(), "global");
+    result.reduce_time = net::phase_time(sim.phases(), "reduce");
+}
+
+}  // namespace katric::core

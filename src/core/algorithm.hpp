@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/distributed_graph.hpp"
+#include "net/indirection.hpp"
+#include "net/message_queue.hpp"
+#include "net/simulator.hpp"
+#include "seq/intersection.hpp"
+
+namespace katric::core {
+
+using graph::DistGraph;
+using graph::Rank;
+using graph::VertexId;
+
+/// The algorithm zoo of the paper's evaluation (Section V-B).
+enum class Algorithm {
+    kEdgeIteratorUnbuffered,  ///< Alg. 2 with direct per-edge sends (Fig. 2 "no buffering")
+    kDitric,                  ///< dynamic aggregation + surrogate dedup (Section IV-A)
+    kDitric2,                 ///< DITRIC + grid-based indirect delivery (Section IV-B)
+    kCetric,                  ///< two-phase contraction algorithm (Section IV-C, Alg. 3)
+    kCetric2,                 ///< CETRIC + indirect delivery
+    kTricStyle,               ///< TriC-like baseline: no orientation, static single-shot buffers
+    kHavoqgtStyle,            ///< HavoqGT-like baseline: vertex-centric wedge queries
+};
+
+[[nodiscard]] std::string algorithm_name(Algorithm algorithm);
+[[nodiscard]] const std::vector<Algorithm>& all_algorithms();
+
+struct AlgorithmOptions {
+    /// δ for the dynamically buffered queue, in words. 0 = automatic:
+    /// max(1024, |E_i|) per PE, the paper's O(|E_i|) linear-memory setting.
+    std::uint64_t buffer_threshold_words = 0;
+    seq::IntersectKind intersect = seq::IntersectKind::kMerge;
+    /// Hybrid mode: threads per MPI rank for the local phase (Section IV-D);
+    /// 1 = plain MPI variant.
+    int threads = 1;
+    /// PEs per compute node, used by the HavoqGT-style baseline's two-level
+    /// (node-aggregating) router. 1 disables node aggregation.
+    Rank pes_per_node = 8;
+    /// Delta–varint compression of the neighborhood lists shipped in the
+    /// global phase (edge-iterator family and CETRIC). Cuts volume whenever
+    /// the IDs have locality; costs ~1 op/element to encode and decode.
+    bool compress_neighborhoods = false;
+    /// Run the global phase with real distributed termination detection
+    /// (Mattern four-counter over control messages) instead of the
+    /// simulator's omniscient quiescence check. Costs extra α per report —
+    /// the honesty tax a native MPI implementation pays. Supported by the
+    /// edge-iterator family (DITRIC/DITRIC2/unbuffered).
+    bool detect_termination = false;
+};
+
+/// Optional triangle observer: called once per found triangle with the
+/// finding rank and the triangle's vertices. Basis of the LCC extension.
+using TriangleSink = std::function<void(Rank finder, VertexId v, VertexId u, VertexId w)>;
+
+/// Everything the paper reports per run: the count, simulated phase times,
+/// and the exact communication metrics.
+struct CountResult {
+    std::uint64_t triangles = 0;
+    bool oom = false;  ///< ran out of per-PE memory (TriC-style behaviour)
+
+    // Simulated seconds (graph loading/building excluded, preprocessing
+    // included — the paper's timing convention).
+    double total_time = 0.0;
+    double preprocessing_time = 0.0;
+    double local_time = 0.0;
+    double contraction_time = 0.0;
+    double global_time = 0.0;
+    double reduce_time = 0.0;
+
+    // Exact communication metrics (Fig. 5 rows 2–3).
+    std::uint64_t max_messages_sent = 0;    ///< max over PEs
+    std::uint64_t max_words_sent = 0;       ///< bottleneck communication volume
+    std::uint64_t total_messages_sent = 0;
+    std::uint64_t total_words_sent = 0;
+    std::uint64_t max_peak_buffer_words = 0;
+
+    // Phase-attributed counts (test observability: type 1+2 vs type 3).
+    std::uint64_t local_phase_triangles = 0;
+    std::uint64_t global_phase_triangles = 0;
+};
+
+// --- shared building blocks -------------------------------------------
+
+/// Message tag used by the counting queues.
+inline constexpr int kTagCount = 1;
+inline constexpr int kTagWedge = 2;
+inline constexpr int kTagDelta = 3;
+
+/// Intersection that charges its comparison cost to the PE's clock.
+inline std::uint64_t charged_intersect(net::RankHandle& self,
+                                       std::span<const VertexId> a,
+                                       std::span<const VertexId> b,
+                                       seq::IntersectKind kind) {
+    const auto r = seq::intersect(kind, a, b);
+    self.charge_ops(r.ops);
+    return r.count;
+}
+
+/// Runs the preprocessing of Section IV-D on the simulator: the dense
+/// all-to-all ghost-degree exchange followed by building the degree-oriented
+/// (and, for CETRIC, expanded/contracted) adjacency structures, charging
+/// the corresponding linear work. Phase name: "preprocessing".
+void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views);
+
+/// Per-PE automatic buffer threshold δ (Section IV-A): O(|E_i|).
+[[nodiscard]] std::uint64_t auto_threshold(const DistGraph& view,
+                                           const AlgorithmOptions& options);
+
+/// Copies simulator metrics/phase times into a result.
+void fill_metrics(const net::Simulator& sim, CountResult& result);
+
+}  // namespace katric::core

@@ -1,0 +1,212 @@
+#include "core/approx.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "amq/bloom.hpp"
+#include "core/cetric.hpp"
+#include "graph/builder.hpp"
+#include "net/collectives.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "util/random.hpp"
+
+namespace katric::core {
+
+namespace {
+
+/// Wire format: [v, kind, …] with kind 0 = raw ID list (exact) and
+/// kind 1 = Bloom filter [v, 1, inserted, num_bits, num_hashes, bits…].
+constexpr std::uint64_t kKindRawList = 0;
+constexpr std::uint64_t kKindBloom = 1;
+constexpr std::size_t kBloomHeaderWords = 5;
+
+}  // namespace
+
+AmqResult count_triangles_cetric_amq(const graph::CsrGraph& global, const RunSpec& spec,
+                                     const AmqOptions& amq) {
+    const Rank p = spec.num_ranks;
+    const auto partition = make_partition(global, spec);
+    auto views = graph::distribute(global, partition);
+    net::Simulator sim(p, spec.network);
+
+    AmqResult result;
+
+    run_preprocessing(sim, views);
+
+    // --- exact local phase (identical to CETRIC's) -----------------------
+    std::vector<std::uint64_t> local_counts(p, 0);
+    sim.run_phase("local", [&](net::RankHandle& self) {
+        const Rank r = self.rank();
+        const DistGraph& view = views[r];
+        auto process = [&](std::span<const VertexId> a_v) {
+            for (VertexId u : a_v) {
+                local_counts[r] +=
+                    charged_intersect(self, a_v, view.a_set(u), spec.options.intersect);
+            }
+        };
+        for (VertexId v = view.first_local(); v < view.first_local() + view.num_local();
+             ++v) {
+            process(view.out_neighbors(v));
+        }
+        for (std::size_t g = 0; g < view.num_ghosts(); ++g) {
+            process(view.ghost_out_neighbors(g));
+        }
+    }, {});
+
+    sim.run_phase("contraction", [&](net::RankHandle& self) {
+        self.charge_ops(views[self.rank()].num_local_half_edges());
+    }, {});
+
+    // --- approximate global phase ----------------------------------------
+    const net::DirectRouter router;
+    std::vector<net::MessageQueue> queues;
+    queues.reserve(p);
+    for (Rank r = 0; r < p; ++r) {
+        queues.emplace_back(auto_threshold(views[r], spec.options), router, kTagCount);
+    }
+    std::vector<double> estimates(p, 0.0);
+
+    auto deliver = [&](net::RankHandle& self, std::span<const std::uint64_t> record) {
+        const Rank r = self.rank();
+        const DistGraph& view = views[r];
+        KATRIC_ASSERT(record.size() >= 2);
+        const VertexId v = record[0];
+        const std::uint64_t kind = record[1];
+        const auto gi = view.ghost_index(v);
+        KATRIC_ASSERT_MSG(gi.has_value(), "AMQ record from non-adjacent vertex " << v);
+        // The local receivers of v's neighborhood are exactly the local
+        // vertices u with v ≺ u adjacent to v — the rewired ghost list.
+        if (kind == kKindRawList) {
+            const auto a_v = record.subspan(2);
+            for (const VertexId u : view.ghost_out_neighbors(*gi)) {
+                estimates[r] += static_cast<double>(charged_intersect(
+                    self, a_v, view.contracted_out_neighbors(u), spec.options.intersect));
+            }
+            return;
+        }
+        KATRIC_ASSERT(kind == kKindBloom);
+        KATRIC_ASSERT(record.size() >= kBloomHeaderWords);
+        const std::uint64_t inserted = record[2];
+        const std::uint64_t num_bits = record[3];
+        const auto num_hashes = static_cast<std::uint32_t>(record[4]);
+        const auto filter = amq::BloomFilter::from_words(
+            record.subspan(kBloomHeaderWords), num_bits, num_hashes,
+            amq.seed ^ katric::hash64(v), inserted);
+        const double f = filter.expected_fpr();
+        for (const VertexId u : view.ghost_out_neighbors(*gi)) {
+            const auto a_u = view.contracted_out_neighbors(u);
+            std::uint64_t positives = 0;
+            for (const VertexId w : a_u) {
+                self.charge_ops(num_hashes);
+                if (filter.contains(w)) { ++positives; }
+            }
+            const auto q = static_cast<double>(a_u.size());
+            if (amq.truthful && f < 1.0) {
+                estimates[r] += (static_cast<double>(positives) - q * f) / (1.0 - f);
+            } else {
+                estimates[r] += static_cast<double>(positives);
+            }
+        }
+    };
+
+    sim.run_phase(
+        "global",
+        [&](net::RankHandle& self) {
+            const Rank r = self.rank();
+            const DistGraph& view = views[r];
+            net::WordVec record;
+            for (VertexId v = view.first_local();
+                 v < view.first_local() + view.num_local(); ++v) {
+                const auto a_v = view.contracted_out_neighbors(v);
+                if (a_v.empty()) { continue; }
+                record.clear();
+                Rank last = r;
+                for (VertexId u : a_v) {
+                    self.charge_ops(1);
+                    const Rank owner = view.partition().rank_of(u);
+                    if (owner == last) { continue; }
+                    last = owner;
+                    if (record.empty()) {
+                        auto filter = amq::BloomFilter::with_fpr(
+                            a_v.size(), amq.target_fpr, amq.seed ^ katric::hash64(v));
+                        // Adaptive encoding: the exact ID list wins whenever
+                        // it is no longer than the filter + its header.
+                        const bool raw_cheaper =
+                            amq.adaptive
+                            && a_v.size() + 2 <= filter.words().size() + kBloomHeaderWords;
+                        if (raw_cheaper) {
+                            record.push_back(v);
+                            record.push_back(kKindRawList);
+                            record.insert(record.end(), a_v.begin(), a_v.end());
+                        } else {
+                            for (const VertexId w : a_v) { filter.insert(w); }
+                            self.charge_ops(a_v.size() * filter.num_hashes());
+                            record.push_back(v);
+                            record.push_back(kKindBloom);
+                            record.push_back(filter.inserted());
+                            record.push_back(filter.num_bits());
+                            record.push_back(filter.num_hashes());
+                            record.insert(record.end(), filter.words().begin(),
+                                          filter.words().end());
+                        }
+                    }
+                    queues[r].post(self, owner, record);
+                }
+            }
+        },
+        [&](net::RankHandle& self, Rank /*src*/, int tag,
+            std::span<const std::uint64_t> payload) {
+            KATRIC_ASSERT(tag == kTagCount);
+            queues[self.rank()].handle(self, payload, deliver);
+        },
+        [&](net::RankHandle& self) { queues[self.rank()].flush(self); });
+
+    // --- reduce -------------------------------------------------------------
+    // Fixed-point micro-triangles keep the network reduce integral.
+    std::vector<std::uint64_t> per_rank(p, 0);
+    for (Rank r = 0; r < p; ++r) {
+        result.exact_type12 += local_counts[r];
+        result.estimated_type3 += estimates[r];
+        per_rank[r] = local_counts[r]
+                      + static_cast<std::uint64_t>(
+                            std::llround(std::max(0.0, estimates[r]) * 1e3))
+                            / 1000;
+    }
+    (void)net::allreduce_sum(sim, per_rank, "reduce");
+    result.estimated_triangles =
+        static_cast<double>(result.exact_type12) + result.estimated_type3;
+    fill_metrics(sim, result.metrics);
+    result.metrics.triangles = static_cast<std::uint64_t>(
+        std::llround(std::max(0.0, result.estimated_triangles)));
+    result.metrics.local_phase_triangles = result.exact_type12;
+    return result;
+}
+
+graph::CsrGraph sparsify_doulion(const graph::CsrGraph& global, double keep_prob,
+                                 std::uint64_t seed) {
+    KATRIC_ASSERT(keep_prob > 0.0 && keep_prob <= 1.0);
+    katric::Xoshiro256 rng(seed);
+    graph::EdgeList kept;
+    for (graph::VertexId v = 0; v < global.num_vertices(); ++v) {
+        for (graph::VertexId u : global.neighbors(v)) {
+            if (v < u && rng.next_bool(keep_prob)) { kept.add(v, u); }
+        }
+    }
+    return graph::build_undirected(std::move(kept), global.num_vertices());
+}
+
+graph::CsrGraph sparsify_colorful(const graph::CsrGraph& global, std::uint64_t num_colors,
+                                  std::uint64_t seed) {
+    KATRIC_ASSERT(num_colors >= 1);
+    auto color = [&](graph::VertexId v) { return katric::hash64_seeded(v, seed) % num_colors; };
+    graph::EdgeList kept;
+    for (graph::VertexId v = 0; v < global.num_vertices(); ++v) {
+        for (graph::VertexId u : global.neighbors(v)) {
+            if (v < u && color(v) == color(u)) { kept.add(v, u); }
+        }
+    }
+    return graph::build_undirected(std::move(kept), global.num_vertices());
+}
+
+}  // namespace katric::core

@@ -1,0 +1,86 @@
+#include "core/dist_lcc.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/collectives.hpp"
+#include "net/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace katric::core {
+
+LccResult compute_distributed_lcc(const graph::CsrGraph& global, const RunSpec& spec) {
+    const Rank p = spec.num_ranks;
+    const auto partition = make_partition(global, spec);
+    auto views = graph::distribute(global, partition);
+    net::Simulator sim(p, spec.network);
+
+    // Per-PE Δ state: an array for local vertices, a hash map for ghosts
+    // (ghost triangles are sparse relative to the local range).
+    std::vector<std::vector<std::uint64_t>> delta_local(p);
+    std::vector<std::unordered_map<VertexId, std::uint64_t>> delta_ghost(p);
+    for (Rank r = 0; r < p; ++r) { delta_local[r].assign(partition.size(r), 0); }
+
+    const TriangleSink sink = [&](Rank finder, VertexId v, VertexId u, VertexId w) {
+        for (const VertexId x : {v, u, w}) {
+            if (partition.is_local(x, finder)) {
+                ++delta_local[finder][x - partition.begin(finder)];
+            } else {
+                ++delta_ghost[finder][x];
+            }
+        }
+    };
+
+    LccResult result;
+    result.count = dispatch_algorithm(sim, views, spec, &sink);
+
+    // Postprocessing: push ghost Δ values to their owners (pairs (g, Δ)),
+    // sorted for deterministic payloads.
+    std::vector<std::vector<net::WordVec>> sends(p, std::vector<net::WordVec>(p));
+    sim.run_phase("postprocess", [&](net::RankHandle& self) {
+        const Rank r = self.rank();
+        std::vector<std::pair<VertexId, std::uint64_t>> pairs(delta_ghost[r].begin(),
+                                                              delta_ghost[r].end());
+        std::sort(pairs.begin(), pairs.end());
+        self.charge_ops(pairs.size());
+        for (const auto& [ghost, count] : pairs) {
+            auto& buffer = sends[r][partition.rank_of(ghost)];
+            buffer.push_back(ghost);
+            buffer.push_back(count);
+        }
+    }, {});
+    auto received = net::all_to_all(sim, std::move(sends), /*sparse=*/true, "postprocess");
+    sim.run_phase("postprocess", [&](net::RankHandle& self) {
+        const Rank r = self.rank();
+        for (Rank src = 0; src < p; ++src) {
+            const auto& payload = received[r][src];
+            KATRIC_ASSERT(payload.size() % 2 == 0);
+            for (std::size_t i = 0; i < payload.size(); i += 2) {
+                KATRIC_ASSERT(partition.is_local(payload[i], r));
+                delta_local[r][payload[i] - partition.begin(r)] += payload[i + 1];
+                self.charge_ops(1);
+            }
+        }
+    }, {});
+    result.postprocess_time = net::phase_time(sim.phases(), "postprocess");
+    result.count.total_time = sim.time();
+
+    // Host-side assembly of the global result (I/O, not simulated work).
+    result.delta.assign(global.num_vertices(), 0);
+    for (Rank r = 0; r < p; ++r) {
+        for (VertexId i = 0; i < partition.size(r); ++i) {
+            result.delta[partition.begin(r) + i] = delta_local[r][i];
+        }
+    }
+    result.lcc.assign(global.num_vertices(), 0.0);
+    for (VertexId v = 0; v < global.num_vertices(); ++v) {
+        const auto d = global.degree(v);
+        if (d >= 2) {
+            result.lcc[v] = 2.0 * static_cast<double>(result.delta[v])
+                            / (static_cast<double>(d) * static_cast<double>(d - 1));
+        }
+    }
+    return result;
+}
+
+}  // namespace katric::core

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace katric::core {
+
+/// Distributed local-clustering-coefficient computation (Section IV-E).
+/// The counting algorithm reports every triangle from exactly one incident
+/// vertex; Δ(v), Δ(u), Δ(w) are incremented at the finding PE — directly
+/// for local vertices, in a ghost counter otherwise (every vertex of a
+/// discovered triangle is provably local-or-ghost at the finder). A
+/// postprocessing all-to-all pushes ghost Δ contributions to the owners,
+/// analogous to the initial degree exchange.
+struct LccResult {
+    CountResult count;                 ///< triangle count + metrics of the base run
+    std::vector<std::uint64_t> delta;  ///< Δ(v) for every global vertex
+    std::vector<double> lcc;           ///< LCC(v) = 2Δ(v)/(d_v(d_v−1))
+    double postprocess_time = 0.0;     ///< simulated time of the Δ aggregation
+};
+
+/// spec.algorithm must support a triangle sink (the edge-iterator family or
+/// CETRIC/CETRIC2).
+[[nodiscard]] LccResult compute_distributed_lcc(const graph::CsrGraph& global,
+                                                const RunSpec& spec);
+
+}  // namespace katric::core

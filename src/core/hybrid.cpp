@@ -1,0 +1,49 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace katric::core {
+
+ThreadBinner::ThreadBinner(int threads, std::uint64_t chunk_tasks)
+    : bins_(static_cast<std::size_t>(std::max(threads, 1)), 0), chunk_tasks_(chunk_tasks) {
+    KATRIC_ASSERT(chunk_tasks >= 1);
+}
+
+void ThreadBinner::flush_chunk() {
+    if (chunk_fill_ == 0) { return; }
+    // "Next chunk goes to the first free thread": greedy to the least
+    // loaded bin, the classic online makespan heuristic.
+    auto least = std::min_element(bins_.begin(), bins_.end());
+    *least += chunk_ops_;
+    chunk_ops_ = 0;
+    chunk_fill_ = 0;
+}
+
+void ThreadBinner::add_task(std::uint64_t ops) {
+    chunk_ops_ += ops;
+    total_ops_ += ops;
+    if (++chunk_fill_ >= chunk_tasks_) { flush_chunk(); }
+}
+
+std::uint64_t ThreadBinner::makespan_ops() const {
+    std::uint64_t makespan = *std::max_element(bins_.begin(), bins_.end());
+    // Account for a pending partial chunk as if assigned to the least bin.
+    if (chunk_fill_ > 0) {
+        makespan = std::max(makespan,
+                            *std::min_element(bins_.begin(), bins_.end()) + chunk_ops_);
+    }
+    return makespan;
+}
+
+void charge_parallel_ops(net::RankHandle& self, std::uint64_t ops, int threads) {
+    if (threads <= 1) {
+        self.charge_ops(ops);
+    } else {
+        self.charge_seconds(static_cast<double>(ops) * self.config().compute_op
+                            / static_cast<double>(threads));
+    }
+}
+
+}  // namespace katric::core

@@ -1,0 +1,67 @@
+#include "core/runner.hpp"
+
+#include "core/cetric.hpp"
+#include "core/dist_edge_iterator.hpp"
+#include "core/havoqgt_baseline.hpp"
+#include "core/tric_baseline.hpp"
+#include "util/assert.hpp"
+
+namespace katric::core {
+
+graph::Partition1D make_partition(const graph::CsrGraph& global, const RunSpec& spec) {
+    switch (spec.partition) {
+        case PartitionStrategy::kUniformVertices:
+            return graph::Partition1D::uniform(global.num_vertices(), spec.num_ranks);
+        case PartitionStrategy::kBalancedEdges:
+            return graph::Partition1D::balanced_by_edges(global, spec.num_ranks);
+    }
+    KATRIC_THROW("unknown partition strategy");
+}
+
+CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& views,
+                               const RunSpec& spec, const TriangleSink* sink) {
+    switch (spec.algorithm) {
+        case Algorithm::kEdgeIteratorUnbuffered:
+            return run_edge_iterator(sim, views, spec.options,
+                                     EdgeIteratorMode{.buffered = false, .indirect = false},
+                                     sink);
+        case Algorithm::kDitric:
+            return run_edge_iterator(sim, views, spec.options,
+                                     EdgeIteratorMode{.buffered = true, .indirect = false},
+                                     sink);
+        case Algorithm::kDitric2:
+            return run_edge_iterator(sim, views, spec.options,
+                                     EdgeIteratorMode{.buffered = true, .indirect = true},
+                                     sink);
+        case Algorithm::kCetric:
+            return run_cetric(sim, views, spec.options, /*indirect=*/false, sink);
+        case Algorithm::kCetric2:
+            return run_cetric(sim, views, spec.options, /*indirect=*/true, sink);
+        case Algorithm::kTricStyle:
+            KATRIC_ASSERT_MSG(sink == nullptr, "TriC-style baseline has no triangle sink");
+            return run_tric_style(sim, views, spec.options);
+        case Algorithm::kHavoqgtStyle:
+            KATRIC_ASSERT_MSG(sink == nullptr,
+                              "HavoqGT-style baseline has no triangle sink");
+            return run_havoqgt_style(sim, views, spec.options);
+    }
+    KATRIC_THROW("unknown algorithm");
+}
+
+CountResult count_triangles(const graph::CsrGraph& global, const RunSpec& spec,
+                            const TriangleSink* sink) {
+    KATRIC_ASSERT(spec.num_ranks >= 1);
+    const auto partition = make_partition(global, spec);
+    auto views = graph::distribute(global, partition);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    try {
+        return dispatch_algorithm(sim, views, spec, sink);
+    } catch (const net::OomError&) {
+        CountResult result;
+        result.oom = true;
+        fill_metrics(sim, result);
+        return result;
+    }
+}
+
+}  // namespace katric::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "core/algorithm.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+#include "net/network_config.hpp"
+
+namespace katric::core {
+
+enum class PartitionStrategy {
+    kUniformVertices,  ///< ⌈n/p⌉ vertices per PE
+    kBalancedEdges,    ///< contiguous ranges with ≈ m/p incident half-edges
+};
+
+/// One experiment configuration: which algorithm, how many simulated PEs,
+/// what machine, what knobs.
+struct RunSpec {
+    Algorithm algorithm = Algorithm::kDitric;
+    Rank num_ranks = 4;
+    net::NetworkConfig network = net::NetworkConfig::supermuc_like();
+    AlgorithmOptions options = {};
+    PartitionStrategy partition = PartitionStrategy::kBalancedEdges;
+};
+
+[[nodiscard]] graph::Partition1D make_partition(const graph::CsrGraph& global,
+                                                const RunSpec& spec);
+
+/// Dispatches on spec.algorithm over pre-built per-rank views. The sink is
+/// supported by the paper's algorithms (edge-iterator family and CETRIC);
+/// passing one with a baseline algorithm is a precondition violation.
+CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& views,
+                               const RunSpec& spec, const TriangleSink* sink = nullptr);
+
+/// The library's main entry point: partitions the graph, builds every PE's
+/// local view, runs the selected algorithm on a fresh simulated machine, and
+/// returns the count plus all paper metrics. Out-of-memory aborts (the
+/// TriC-style failure mode) are reported via result.oom rather than thrown.
+[[nodiscard]] CountResult count_triangles(const graph::CsrGraph& global,
+                                          const RunSpec& spec,
+                                          const TriangleSink* sink = nullptr);
+
+}  // namespace katric::core

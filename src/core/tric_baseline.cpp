@@ -1,0 +1,114 @@
+#include "core/tric_baseline.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "net/collectives.hpp"
+#include "util/assert.hpp"
+
+namespace katric::core {
+
+namespace {
+
+/// ID-oriented out-neighborhood: the suffix of the (ID-sorted) undirected
+/// neighborhood past v itself. No ghost degrees required.
+std::span<const VertexId> id_out(const DistGraph& view, VertexId v) {
+    const auto nbrs = view.neighbors(v);
+    const auto it = std::upper_bound(nbrs.begin(), nbrs.end(), v);
+    return nbrs.subspan(static_cast<std::size_t>(it - nbrs.begin()));
+}
+
+}  // namespace
+
+CountResult run_tric_style(net::Simulator& sim, std::vector<DistGraph>& views,
+                           const AlgorithmOptions& options) {
+    const Rank p = sim.num_ranks();
+    KATRIC_ASSERT(views.size() == p);
+    CountResult result;
+
+    std::vector<std::uint64_t> local_counts(p, 0);
+    std::vector<std::uint64_t> global_counts(p, 0);
+
+    // --- local pairs ------------------------------------------------------
+    sim.run_phase("local", [&](net::RankHandle& self) {
+        const Rank r = self.rank();
+        const DistGraph& view = views[r];
+        for (VertexId v = view.first_local(); v < view.first_local() + view.num_local();
+             ++v) {
+            const auto out_v = id_out(view, v);
+            for (VertexId u : out_v) {
+                if (!view.is_local(u)) { continue; }
+                local_counts[r] +=
+                    charged_intersect(self, out_v, id_out(view, u), options.intersect);
+            }
+        }
+    }, {});
+
+    // --- static buffer assembly (the all-up-front aggregation) -----------
+    // Record format within a destination buffer: [v, len, elems...].
+    std::vector<std::vector<net::WordVec>> sends(p, std::vector<net::WordVec>(p));
+    sim.run_phase("global", [&](net::RankHandle& self) {
+        const Rank r = self.rank();
+        const DistGraph& view = views[r];
+        std::uint64_t buffered = 0;
+        for (VertexId v = view.first_local(); v < view.first_local() + view.num_local();
+             ++v) {
+            const auto out_v = id_out(view, v);
+            Rank last = r;
+            for (VertexId u : out_v) {
+                self.charge_ops(1);
+                if (view.is_local(u)) { continue; }
+                const Rank owner = view.partition().rank_of(u);
+                if (owner == last) { continue; }
+                last = owner;
+                auto& buffer = sends[r][owner];
+                buffer.push_back(v);
+                buffer.push_back(out_v.size());
+                buffer.insert(buffer.end(), out_v.begin(), out_v.end());
+                buffered += 2 + out_v.size();
+                // Never emptied before the exchange: the memory high-water
+                // mark grows with the whole communication volume. May throw
+                // OomError — the paper's observed TriC failure mode.
+                self.note_buffered_words(buffered);
+            }
+        }
+    }, {});
+
+    // --- one irregular all-to-all ------------------------------------------
+    auto received = net::all_to_all(sim, std::move(sends), /*sparse=*/true, "global");
+
+    // --- process received neighborhoods -------------------------------------
+    sim.run_phase("global", [&](net::RankHandle& self) {
+        const Rank r = self.rank();
+        const DistGraph& view = views[r];
+        for (Rank src = 0; src < p; ++src) {
+            const auto& payload = received[r][src];
+            std::size_t index = 0;
+            while (index < payload.size()) {
+                KATRIC_ASSERT(index + 2 <= payload.size());
+                const auto length = static_cast<std::size_t>(payload[index + 1]);
+                KATRIC_ASSERT(index + 2 + length <= payload.size());
+                const auto a_v =
+                    std::span<const std::uint64_t>(payload).subspan(index + 2, length);
+                for (const VertexId u : a_v) {
+                    if (!view.is_local(u)) { continue; }
+                    global_counts[r] +=
+                        charged_intersect(self, a_v, id_out(view, u), options.intersect);
+                }
+                index += 2 + length;
+            }
+        }
+    }, {});
+
+    std::vector<std::uint64_t> per_rank(p, 0);
+    for (Rank r = 0; r < p; ++r) { per_rank[r] = local_counts[r] + global_counts[r]; }
+    result.triangles = net::allreduce_sum(sim, per_rank, "reduce");
+    for (Rank r = 0; r < p; ++r) {
+        result.local_phase_triangles += local_counts[r];
+        result.global_phase_triangles += global_counts[r];
+    }
+    fill_metrics(sim, result);
+    return result;
+}
+
+}  // namespace katric::core

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/algorithm.hpp"
+
+namespace katric::core {
+
+/// TriC-style baseline (Ghosh & Halappanavar, HPEC'20, as characterized in
+/// Sections III-A2 and V of the paper): message aggregation into *static*
+/// per-destination buffers that are never emptied, exchanged in one single
+/// irregular all-to-all; the input graph is not degree-oriented (ID order
+/// only, so no ghost-degree exchange is needed — but high-degree vertices
+/// keep their full out-neighborhoods).
+///
+/// Because the buffered volume is superlinear in the input size, the
+/// assembly step can exceed the per-PE memory budget: the run then aborts
+/// with net::OomError, which the runner reports as result.oom — reproducing
+/// the crashes the paper observed for TriC on friendster and others.
+CountResult run_tric_style(net::Simulator& sim, std::vector<DistGraph>& views,
+                           const AlgorithmOptions& options);
+
+}  // namespace katric::core

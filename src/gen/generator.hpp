@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace katric::gen {
+
+/// KaGen-style deterministic graph generators (Funke et al.): every
+/// generator is a pure function of (parameters, seed), and where the model
+/// permits (GNM, R-MAT) edges can be produced in independent chunks from
+/// derived stream seeds — the communication-free pattern that lets each
+/// simulated PE create its share of a weak-scaling instance without I/O.
+/// Generated multi-edges and self-loops are removed during CSR construction,
+/// so edge counts are "m on expectation", as in the paper's setup.
+
+/// Number of chunks used when a generator is asked for chunked output; the
+/// union of chunks is identical to the unchunked graph (tested).
+inline constexpr std::uint64_t kDefaultChunks = 16;
+
+}  // namespace katric::gen

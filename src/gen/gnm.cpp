@@ -1,0 +1,40 @@
+#include "gen/gnm.hpp"
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace katric::gen {
+
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+
+EdgeList generate_gnm_chunk(VertexId n, EdgeId m, std::uint64_t seed, std::uint64_t chunk,
+                            std::uint64_t num_chunks) {
+    KATRIC_ASSERT(n >= 2);
+    KATRIC_ASSERT(chunk < num_chunks);
+    const EdgeId begin = m / num_chunks * chunk + std::min<EdgeId>(chunk, m % num_chunks);
+    const EdgeId end =
+        m / num_chunks * (chunk + 1) + std::min<EdgeId>(chunk + 1, m % num_chunks);
+    katric::Xoshiro256 rng(katric::derive_seed(seed, chunk));
+    EdgeList edges;
+    edges.reserve(end - begin);
+    for (EdgeId i = begin; i < end; ++i) {
+        const VertexId u = rng.next_bounded(n);
+        const VertexId v = rng.next_bounded(n);
+        if (u != v) { edges.add(u, v); }
+    }
+    return edges;
+}
+
+graph::CsrGraph generate_gnm(VertexId n, EdgeId m, std::uint64_t seed) {
+    EdgeList all;
+    all.reserve(m);
+    for (std::uint64_t chunk = 0; chunk < kDefaultChunks; ++chunk) {
+        all.append(generate_gnm_chunk(n, m, seed, chunk, kDefaultChunks));
+    }
+    return graph::build_undirected(std::move(all), n);
+}
+
+}  // namespace katric::gen

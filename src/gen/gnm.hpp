@@ -1,0 +1,22 @@
+#pragma once
+
+#include "gen/generator.hpp"
+
+namespace katric::gen {
+
+/// Erdős–Rényi G(n,m): m edge slots sampled uniformly from V×V; duplicates
+/// and self-loops are dropped during normalization, so the realized edge
+/// count is marginally below m for sparse graphs (KaGen's behaviour). No
+/// locality, no clustering — the family where CETRIC's contraction cannot
+/// pay off (Fig. 5, third column).
+[[nodiscard]] graph::CsrGraph generate_gnm(graph::VertexId n, graph::EdgeId m,
+                                           std::uint64_t seed);
+
+/// Chunk `chunk` of `num_chunks`: the edge-slot range [chunk·m/k, (chunk+1)·m/k)
+/// generated from a derived stream seed. Concatenating all chunks and
+/// normalizing yields exactly generate_gnm(n, m, seed).
+[[nodiscard]] graph::EdgeList generate_gnm_chunk(graph::VertexId n, graph::EdgeId m,
+                                                 std::uint64_t seed, std::uint64_t chunk,
+                                                 std::uint64_t num_chunks);
+
+}  // namespace katric::gen

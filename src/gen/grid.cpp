@@ -1,0 +1,41 @@
+#include "gen/grid.hpp"
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace katric::gen {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+graph::CsrGraph generate_grid_road(VertexId rows, VertexId cols, double keep_prob,
+                                   double diag_prob, std::uint64_t seed) {
+    KATRIC_ASSERT(rows >= 1 && cols >= 1);
+    KATRIC_ASSERT(keep_prob >= 0.0 && keep_prob <= 1.0);
+    KATRIC_ASSERT(diag_prob >= 0.0 && diag_prob <= 1.0);
+    const VertexId n = rows * cols;
+    katric::Xoshiro256 rng(seed);
+    EdgeList edges;
+    edges.reserve(static_cast<std::size_t>(2.2 * static_cast<double>(n)));
+    auto id = [&](VertexId r, VertexId c) { return r * cols + c; };
+    for (VertexId r = 0; r < rows; ++r) {
+        for (VertexId c = 0; c < cols; ++c) {
+            if (c + 1 < cols && rng.next_bool(keep_prob)) {
+                edges.add(id(r, c), id(r, c + 1));
+            }
+            if (r + 1 < rows && rng.next_bool(keep_prob)) {
+                edges.add(id(r, c), id(r + 1, c));
+            }
+            // A diagonal closes a triangle only if the two lattice edges it
+            // spans survived; with small diag_prob triangles stay rare, as
+            // in real road networks.
+            if (r + 1 < rows && c + 1 < cols && rng.next_bool(diag_prob)) {
+                edges.add(id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    return graph::build_undirected(std::move(edges), n);
+}
+
+}  // namespace katric::gen

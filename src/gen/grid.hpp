@@ -1,0 +1,16 @@
+#pragma once
+
+#include "gen/generator.hpp"
+
+namespace katric::gen {
+
+/// Road-network proxy: a rows×cols lattice where each horizontal/vertical
+/// link exists with probability keep_prob and each down-right diagonal with
+/// probability diag_prob. Low uniform degree, tiny cut, and a triangle
+/// count proportional to the (rare) diagonals — matching the europe/usa
+/// instances of the paper's Table I (m ≈ 1.2·n, triangles ≈ n/25).
+[[nodiscard]] graph::CsrGraph generate_grid_road(graph::VertexId rows, graph::VertexId cols,
+                                                 double keep_prob, double diag_prob,
+                                                 std::uint64_t seed);
+
+}  // namespace katric::gen

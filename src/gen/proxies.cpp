@@ -1,0 +1,98 @@
+#include "gen/proxies.hpp"
+
+#include "gen/grid.hpp"
+#include "gen/rhg.hpp"
+#include "gen/rmat.hpp"
+#include "graph/permutation.hpp"
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace katric::gen {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+namespace {
+
+constexpr std::uint64_t kProxySeedBase = 0xca7a10c5;
+
+CsrGraph shuffled(CsrGraph g, std::uint64_t seed) {
+    const auto perm = graph::random_permutation(g.num_vertices(), seed);
+    return graph::apply_permutation(g, perm);
+}
+
+std::uint32_t scaled_log2(std::uint32_t base_log2, std::uint64_t scale) {
+    return base_log2 + static_cast<std::uint32_t>(katric::floor_log2(scale));
+}
+
+}  // namespace
+
+const std::vector<ProxySpec>& proxy_registry() {
+    static const std::vector<ProxySpec> registry = {
+        // name, family, generator recipe, paper n, m, wedges, triangles
+        {"live-journal", "social", "RMAT scale 13, m=8n, shuffled",
+         5'000'000, 43'000'000, 681'000'000, 286'000'000},
+        {"orkut", "social", "RMAT scale 12, m=38n, shuffled",
+         3'000'000, 117'000'000, 4'040'000'000, 628'000'000},
+        {"twitter", "social", "RHG gamma=2.2 deg=28, shuffled",
+         42'000'000, 1'203'000'000, 150'508'000'000, 34'825'000'000},
+        {"friendster", "social", "RMAT scale 14, m=26n, shuffled",
+         68'000'000, 1'812'000'000, 82'286'000'000, 4'177'000'000},
+        {"uk-2007-05", "web", "RHG gamma=2.4 deg=32, angular order",
+         106'000'000, 3'302'000'000, 389'061'000'000, 286'701'000'000},
+        {"webbase-2001", "web", "RHG gamma=2.6 deg=14, angular order",
+         118'000'000, 855'000'000, 15'393'000'000, 12'262'000'000},
+        {"europe", "road", "grid 114x114 keep=0.95 diag=0.05",
+         18'000'000, 22'000'000, 8'000'000, 697'519},
+        {"usa", "road", "grid 128x128 keep=0.97 diag=0.03",
+         24'000'000, 29'000'000, 11'000'000, 438'804},
+    };
+    return registry;
+}
+
+const ProxySpec& proxy_spec(const std::string& name) {
+    for (const auto& spec : proxy_registry()) {
+        if (spec.name == name) { return spec; }
+    }
+    KATRIC_THROW("unknown proxy instance '" << name << "'");
+}
+
+CsrGraph build_proxy(const std::string& name, std::uint64_t scale) {
+    KATRIC_ASSERT(scale >= 1);
+    const std::uint64_t seed = kProxySeedBase;
+    if (name == "live-journal") {
+        const auto s = scaled_log2(13, scale);
+        return shuffled(generate_rmat(s, (VertexId{1} << s) * 8, seed + 1), seed + 101);
+    }
+    if (name == "orkut") {
+        const auto s = scaled_log2(12, scale);
+        return shuffled(generate_rmat(s, (VertexId{1} << s) * 38, seed + 2), seed + 102);
+    }
+    if (name == "twitter") {
+        const auto n = (VertexId{1} << 14) * scale;
+        return shuffled(generate_rhg(n, 28.0, 2.2, seed + 3), seed + 103);
+    }
+    if (name == "friendster") {
+        const auto s = scaled_log2(14, scale);
+        return shuffled(generate_rmat(s, (VertexId{1} << s) * 26, seed + 4), seed + 104);
+    }
+    if (name == "uk-2007-05") {
+        const auto n = (VertexId{1} << 14) * scale;
+        return generate_rhg_local(n, 32.0, 2.4, seed + 5);
+    }
+    if (name == "webbase-2001") {
+        const auto n = (VertexId{1} << 15) * scale;
+        return generate_rhg_local(n, 14.0, 2.6, seed + 6);
+    }
+    if (name == "europe") {
+        const auto side = static_cast<VertexId>(114 * katric::isqrt(scale * 100) / 10);
+        return generate_grid_road(side, side, 0.95, 0.05, seed + 7);
+    }
+    if (name == "usa") {
+        const auto side = static_cast<VertexId>(128 * katric::isqrt(scale * 100) / 10);
+        return generate_grid_road(side, side, 0.97, 0.03, seed + 8);
+    }
+    KATRIC_THROW("unknown proxy instance '" << name << "'");
+}
+
+}  // namespace katric::gen

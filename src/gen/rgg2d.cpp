@@ -1,0 +1,107 @@
+#include "gen/rgg2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/permutation.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace katric::gen {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+namespace {
+
+double unit_double(std::uint64_t hash) noexcept {
+    return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double rgg2d_radius_for_degree(VertexId n, double avg_degree) {
+    KATRIC_ASSERT(n >= 1);
+    return std::sqrt(avg_degree / (std::numbers::pi * static_cast<double>(n)));
+}
+
+graph::CsrGraph generate_rgg2d(VertexId n, double radius, std::uint64_t seed) {
+    KATRIC_ASSERT(radius > 0.0 && radius < 1.0);
+    std::vector<double> xs(n);
+    std::vector<double> ys(n);
+    for (VertexId i = 0; i < n; ++i) {
+        xs[i] = unit_double(katric::hash64_seeded(2 * i, seed));
+        ys[i] = unit_double(katric::hash64_seeded(2 * i + 1, seed));
+    }
+
+    // Cell grid with side ≥ radius: all neighbors of a point lie in its
+    // 3×3 cell neighborhood.
+    const auto grid_dim =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::floor(1.0 / radius)));
+    auto cell_of = [&](double coord) {
+        const auto c = static_cast<std::uint64_t>(coord * static_cast<double>(grid_dim));
+        return std::min(c, grid_dim - 1);
+    };
+    std::vector<std::vector<VertexId>> cells(grid_dim * grid_dim);
+    for (VertexId i = 0; i < n; ++i) {
+        cells[cell_of(ys[i]) * grid_dim + cell_of(xs[i])].push_back(i);
+    }
+
+    const double r2 = radius * radius;
+    EdgeList edges;
+    for (VertexId i = 0; i < n; ++i) {
+        const auto cx = cell_of(xs[i]);
+        const auto cy = cell_of(ys[i]);
+        for (std::int64_t dy = -1; dy <= 1; ++dy) {
+            for (std::int64_t dx = -1; dx <= 1; ++dx) {
+                const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+                const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+                if (nx < 0 || ny < 0 || nx >= static_cast<std::int64_t>(grid_dim)
+                    || ny >= static_cast<std::int64_t>(grid_dim)) {
+                    continue;
+                }
+                for (VertexId j :
+                     cells[static_cast<std::uint64_t>(ny) * grid_dim
+                           + static_cast<std::uint64_t>(nx)]) {
+                    if (j <= i) { continue; }  // each pair once
+                    const double ddx = xs[i] - xs[j];
+                    const double ddy = ys[i] - ys[j];
+                    if (ddx * ddx + ddy * ddy <= r2) { edges.add(i, j); }
+                }
+            }
+        }
+    }
+    return graph::build_undirected(std::move(edges), n);
+}
+
+graph::CsrGraph generate_rgg2d_local(VertexId n, double radius, std::uint64_t seed) {
+    const graph::CsrGraph unordered = generate_rgg2d(n, radius, seed);
+    // Relabel in cell-major order over the same cell grid the construction
+    // used; ties within a cell keep point-index order.
+    const auto grid_dim =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::floor(1.0 / radius)));
+    auto cell_of = [&](double coord) {
+        const auto c = static_cast<std::uint64_t>(coord * static_cast<double>(grid_dim));
+        return std::min(c, grid_dim - 1);
+    };
+    std::vector<VertexId> by_cell(n);
+    for (VertexId i = 0; i < n; ++i) { by_cell[i] = i; }
+    auto cell_key = [&](VertexId i) {
+        const double x = unit_double(katric::hash64_seeded(2 * i, seed));
+        const double y = unit_double(katric::hash64_seeded(2 * i + 1, seed));
+        return cell_of(y) * grid_dim + cell_of(x);
+    };
+    std::sort(by_cell.begin(), by_cell.end(), [&](VertexId a, VertexId b) {
+        const auto ka = cell_key(a);
+        const auto kb = cell_key(b);
+        return ka != kb ? ka < kb : a < b;
+    });
+    std::vector<VertexId> perm(n);
+    for (VertexId new_id = 0; new_id < n; ++new_id) { perm[by_cell[new_id]] = new_id; }
+    return graph::apply_permutation(unordered, perm);
+}
+
+}  // namespace katric::gen

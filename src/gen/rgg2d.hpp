@@ -1,0 +1,27 @@
+#pragma once
+
+#include "gen/generator.hpp"
+
+namespace katric::gen {
+
+/// 2-D random geometric graph: n points uniform in the unit square; u,v are
+/// adjacent iff their Euclidean distance is below `radius`. Cell-grid
+/// construction gives O(n + m) expected work. Point coordinates are pure
+/// hashes of (seed, point index), so the instance is independent of any
+/// chunking or iteration order. High locality and clustering — the family
+/// where contraction shines (Fig. 5, first column).
+[[nodiscard]] graph::CsrGraph generate_rgg2d(graph::VertexId n, double radius,
+                                             std::uint64_t seed);
+
+/// Same instance relabeled in cell-major (spatial) order, reproducing the
+/// vertex-ID locality of KaGen's communication-free RGG output: a contiguous
+/// 1-D partition then owns a spatial strip and the cut stays small — the
+/// property CETRIC's contraction exploits (Fig. 5, RGG2D column).
+[[nodiscard]] graph::CsrGraph generate_rgg2d_local(graph::VertexId n, double radius,
+                                                   std::uint64_t seed);
+
+/// Radius for an expected average degree: E[deg] = n·π·r² (ignoring border
+/// effects) ⇒ r = √(avg_degree / (π·n)).
+[[nodiscard]] double rgg2d_radius_for_degree(graph::VertexId n, double avg_degree);
+
+}  // namespace katric::gen

@@ -1,0 +1,164 @@
+#include "gen/rhg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/permutation.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace katric::gen {
+
+using graph::EdgeList;
+using graph::VertexId;
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double unit_double(std::uint64_t hash) noexcept {
+    return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+/// Inverse CDF of the radial density: F(r) = (cosh(αr)−1)/(cosh(αR)−1).
+double sample_radius(double u, double alpha, double R) {
+    const double cosh_ar = 1.0 + u * (std::cosh(alpha * R) - 1.0);
+    return std::acosh(cosh_ar) / alpha;
+}
+
+/// Largest angular difference at which a point with radius r1 can still be
+/// within hyperbolic distance R of a point with radius ≥ r2_min:
+/// cosh d = cosh r1·cosh r2 − sinh r1·sinh r2·cos Δθ ≤ cosh R.
+double max_angle(double r1, double r2_min, double R) {
+    if (r1 + r2_min <= R) { return std::numbers::pi; }  // connected regardless of angle
+    const double numerator = std::cosh(r1) * std::cosh(r2_min) - std::cosh(R);
+    const double denominator = std::sinh(r1) * std::sinh(r2_min);
+    if (denominator <= 0.0) { return std::numbers::pi; }
+    const double cos_theta = numerator / denominator;
+    if (cos_theta >= 1.0) { return 0.0; }
+    if (cos_theta <= -1.0) { return std::numbers::pi; }
+    return std::acos(cos_theta);
+}
+
+struct BandPoint {
+    double theta;
+    double radius;
+    VertexId id;
+};
+
+}  // namespace
+
+graph::CsrGraph generate_rhg(VertexId n, double avg_degree, double gamma,
+                             std::uint64_t seed) {
+    KATRIC_ASSERT(n >= 2);
+    KATRIC_ASSERT_MSG(gamma > 2.0, "power-law exponent must exceed 2, got " << gamma);
+    const double alpha = (gamma - 1.0) / 2.0;
+
+    // Krioukov estimate: E[deg] ≈ n·(2/π)·e^{−R/2}·(α/(α−½))².
+    const double xi = alpha / (alpha - 0.5);
+    const double R =
+        2.0 * std::log(static_cast<double>(n) * (2.0 / std::numbers::pi) * xi * xi
+                       / avg_degree);
+    KATRIC_ASSERT_MSG(R > 0.0, "degenerate disk radius; increase n or lower avg_degree");
+
+    std::vector<double> radius(n);
+    std::vector<double> theta(n);
+    for (VertexId i = 0; i < n; ++i) {
+        radius[i] = sample_radius(unit_double(katric::hash64_seeded(2 * i, seed)), alpha, R);
+        theta[i] = kTwoPi * unit_double(katric::hash64_seeded(2 * i + 1, seed));
+    }
+
+    // Radial bands: band k covers [R·k/B, R·(k+1)/B). Within each band,
+    // points sorted by angle enable window scans.
+    const auto num_bands = std::max<std::size_t>(
+        4, static_cast<std::size_t>(std::ceil(std::log2(static_cast<double>(n)))));
+    auto band_of = [&](double r) {
+        const auto b = static_cast<std::size_t>(r / R * static_cast<double>(num_bands));
+        return std::min(b, num_bands - 1);
+    };
+    std::vector<std::vector<BandPoint>> bands(num_bands);
+    for (VertexId i = 0; i < n; ++i) {
+        bands[band_of(radius[i])].push_back(BandPoint{theta[i], radius[i], i});
+    }
+    for (auto& band : bands) {
+        std::sort(band.begin(), band.end(),
+                  [](const BandPoint& a, const BandPoint& b) { return a.theta < b.theta; });
+    }
+
+    const double cosh_R = std::cosh(R);
+    EdgeList edges;
+    auto scan_band = [&](VertexId i, std::size_t band_index, bool same_band) {
+        const auto& band = bands[band_index];
+        if (band.empty()) { return; }
+        const double band_min_r = R * static_cast<double>(band_index)
+                                  / static_cast<double>(num_bands);
+        const double window = max_angle(radius[i], std::max(band_min_r, 1e-12), R);
+        auto check = [&](const BandPoint& candidate) {
+            if (same_band && candidate.id <= i) { return; }  // count each pair once
+            const double d_theta_raw = std::abs(theta[i] - candidate.theta);
+            const double d_theta = std::min(d_theta_raw, kTwoPi - d_theta_raw);
+            const double cosh_d = std::cosh(radius[i]) * std::cosh(candidate.radius)
+                                  - std::sinh(radius[i]) * std::sinh(candidate.radius)
+                                        * std::cos(d_theta);
+            if (cosh_d <= cosh_R) { edges.add(i, candidate.id); }
+        };
+        if (window >= std::numbers::pi - 1e-12) {
+            for (const auto& candidate : band) { check(candidate); }
+            return;
+        }
+        // Window [θ−w, θ+w] with wraparound over the angle-sorted band.
+        auto lower = std::lower_bound(
+            band.begin(), band.end(), theta[i] - window,
+            [](const BandPoint& p, double value) { return p.theta < value; });
+        auto upper = std::upper_bound(
+            band.begin(), band.end(), theta[i] + window,
+            [](double value, const BandPoint& p) { return value < p.theta; });
+        for (auto it = lower; it != upper; ++it) { check(*it); }
+        if (theta[i] - window < 0.0) {
+            const double wrapped = theta[i] - window + kTwoPi;
+            auto from = std::lower_bound(
+                band.begin(), band.end(), wrapped,
+                [](const BandPoint& p, double value) { return p.theta < value; });
+            for (auto it = from; it != band.end(); ++it) { check(*it); }
+        }
+        if (theta[i] + window > kTwoPi) {
+            const double wrapped = theta[i] + window - kTwoPi;
+            auto to = std::upper_bound(
+                band.begin(), band.end(), wrapped,
+                [](double value, const BandPoint& p) { return value < p.theta; });
+            for (auto it = band.begin(); it != to; ++it) { check(*it); }
+        }
+    };
+
+    for (VertexId i = 0; i < n; ++i) {
+        const std::size_t my_band = band_of(radius[i]);
+        // Scanning only bands ≥ own band covers every pair once: the inner
+        // endpoint of a pair scans outward to the other.
+        for (std::size_t b = my_band; b < num_bands; ++b) { scan_band(i, b, b == my_band); }
+    }
+    return graph::build_undirected(std::move(edges), n);
+}
+
+graph::CsrGraph generate_rhg_local(VertexId n, double avg_degree, double gamma,
+                                   std::uint64_t seed) {
+    const graph::CsrGraph unordered = generate_rhg(n, avg_degree, gamma, seed);
+    // Relabel by angle (same hash-derived coordinates as the construction).
+    std::vector<VertexId> by_angle(n);
+    for (VertexId i = 0; i < n; ++i) { by_angle[i] = i; }
+    auto angle_of = [&](VertexId i) {
+        return unit_double(katric::hash64_seeded(2 * i + 1, seed));
+    };
+    std::sort(by_angle.begin(), by_angle.end(), [&](VertexId a, VertexId b) {
+        const double ta = angle_of(a);
+        const double tb = angle_of(b);
+        return ta != tb ? ta < tb : a < b;
+    });
+    std::vector<VertexId> perm(n);
+    for (VertexId new_id = 0; new_id < n; ++new_id) { perm[by_angle[new_id]] = new_id; }
+    return graph::apply_permutation(unordered, perm);
+}
+
+}  // namespace katric::gen

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "gen/generator.hpp"
+
+namespace katric::gen {
+
+/// Random hyperbolic graph (Krioukov et al.): n points on a hyperbolic disk
+/// of radius R, radial density α·sinh(αr)/(cosh(αR)−1) with α = (γ−1)/2;
+/// two points connect iff their hyperbolic distance is at most R. Produces
+/// power-law degree distributions with exponent γ and high clustering —
+/// the paper's model for scale-free social-network-like inputs
+/// (RHG(2^18, 2^22, 2.8) in Fig. 5).
+///
+/// R is chosen from the Krioukov estimate so the expected average degree
+/// approximates `avg_degree`; generated instances land within a few tens of
+/// percent, which preserves the family's structure (tested).
+///
+/// Construction uses radial bands with angular windows: candidate pairs are
+/// limited to Δθ below the band-wise maximum angle, giving near-linear work
+/// for γ > 2.
+[[nodiscard]] graph::CsrGraph generate_rhg(graph::VertexId n, double avg_degree,
+                                           double gamma, std::uint64_t seed);
+
+/// Same instance relabeled by angular coordinate — KaGen-style vertex-ID
+/// locality on the hyperbolic disk (neighbors concentrate at small Δθ, so a
+/// contiguous 1-D partition owns an angular sector). Used for the web-graph
+/// proxies, whose crawl order exhibits exactly this kind of locality.
+[[nodiscard]] graph::CsrGraph generate_rhg_local(graph::VertexId n, double avg_degree,
+                                                 double gamma, std::uint64_t seed);
+
+}  // namespace katric::gen

@@ -1,0 +1,60 @@
+#include "gen/rmat.hpp"
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace katric::gen {
+
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+
+EdgeList generate_rmat_chunk(std::uint32_t scale, EdgeId m, std::uint64_t seed,
+                             std::uint64_t chunk, std::uint64_t num_chunks,
+                             RmatParams params) {
+    KATRIC_ASSERT(scale >= 1 && scale < 63);
+    KATRIC_ASSERT(chunk < num_chunks);
+    const double sum = params.a + params.b + params.c + params.d;
+    KATRIC_ASSERT_MSG(sum > 0.999 && sum < 1.001, "R-MAT probabilities must sum to 1");
+
+    const EdgeId begin = m / num_chunks * chunk + std::min<EdgeId>(chunk, m % num_chunks);
+    const EdgeId end =
+        m / num_chunks * (chunk + 1) + std::min<EdgeId>(chunk + 1, m % num_chunks);
+    katric::Xoshiro256 rng(katric::derive_seed(seed, chunk));
+    EdgeList edges;
+    edges.reserve(end - begin);
+    for (EdgeId i = begin; i < end; ++i) {
+        VertexId u = 0;
+        VertexId v = 0;
+        for (std::uint32_t level = 0; level < scale; ++level) {
+            const double pick = rng.next_double();
+            u <<= 1;
+            v <<= 1;
+            if (pick < params.a) {
+                // top-left: no bits set
+            } else if (pick < params.a + params.b) {
+                v |= 1;
+            } else if (pick < params.a + params.b + params.c) {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if (u != v) { edges.add(u, v); }
+    }
+    return edges;
+}
+
+graph::CsrGraph generate_rmat(std::uint32_t scale, EdgeId m, std::uint64_t seed,
+                              RmatParams params) {
+    EdgeList all;
+    all.reserve(m);
+    for (std::uint64_t chunk = 0; chunk < kDefaultChunks; ++chunk) {
+        all.append(generate_rmat_chunk(scale, m, seed, chunk, kDefaultChunks, params));
+    }
+    return graph::build_undirected(std::move(all), VertexId{1} << scale);
+}
+
+}  // namespace katric::gen

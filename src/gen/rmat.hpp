@@ -1,0 +1,28 @@
+#pragma once
+
+#include "gen/generator.hpp"
+
+namespace katric::gen {
+
+/// R-MAT recursive-matrix generator (Graph500's model): each edge descends
+/// `scale` levels of the adjacency matrix, picking a quadrant with
+/// probabilities (a, b, c, d). Skewed degree distribution, low locality.
+struct RmatParams {
+    double a = 0.57;  // Graph500 defaults
+    double b = 0.19;
+    double c = 0.19;
+    double d = 0.05;
+};
+
+/// n = 2^scale vertices, m edge slots (duplicates/self-loops removed).
+[[nodiscard]] graph::CsrGraph generate_rmat(std::uint32_t scale, graph::EdgeId m,
+                                            std::uint64_t seed,
+                                            RmatParams params = RmatParams{});
+
+/// Chunked edge-slot generation with derived stream seeds (see gnm.hpp).
+[[nodiscard]] graph::EdgeList generate_rmat_chunk(std::uint32_t scale, graph::EdgeId m,
+                                                  std::uint64_t seed, std::uint64_t chunk,
+                                                  std::uint64_t num_chunks,
+                                                  RmatParams params = RmatParams{});
+
+}  // namespace katric::gen

@@ -1,0 +1,51 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "util/assert.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace katric::graph {
+
+CsrGraph build_undirected(EdgeList edges, VertexId num_vertices) {
+    edges.normalize();
+    const VertexId inferred = edges.max_vertex_plus_one();
+    const VertexId n = num_vertices == 0 ? inferred : num_vertices;
+    KATRIC_ASSERT_MSG(inferred <= n, "edge endpoint " << inferred - 1
+                                                      << " exceeds num_vertices " << n);
+
+    std::vector<EdgeId> degree(n, 0);
+    for (const auto& e : edges.edges()) {
+        ++degree[e.u];
+        ++degree[e.v];
+    }
+    auto offsets = katric::exclusive_prefix_sum(std::span<const EdgeId>(degree));
+    std::vector<VertexId> targets(offsets.back());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& e : edges.edges()) {
+        targets[cursor[e.u]++] = e.v;
+        targets[cursor[e.v]++] = e.u;
+    }
+    // Normalized input is sorted by (u, v), so each vertex's out-entries are
+    // appended in increasing order — but entries coming from the reverse
+    // direction interleave, so sort per neighborhood.
+    for (VertexId v = 0; v < n; ++v) {
+        std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                  targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+    }
+    return CsrGraph(std::move(offsets), std::move(targets), /*oriented=*/false);
+}
+
+EdgeList to_edge_list(const CsrGraph& graph) {
+    EdgeList out;
+    out.reserve(graph.num_edges());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+        for (VertexId u : graph.neighbors(v)) {
+            if (v < u || graph.is_oriented()) { out.add(v, u); }
+        }
+    }
+    return out;
+}
+
+}  // namespace katric::graph

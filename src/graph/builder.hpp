@@ -1,0 +1,16 @@
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace katric::graph {
+
+/// Builds an undirected CSR graph from an edge list. The list is normalized
+/// (canonicalized, deduplicated, self-loops dropped) and symmetrized; if
+/// num_vertices is 0 the vertex count is inferred from the largest endpoint.
+[[nodiscard]] CsrGraph build_undirected(EdgeList edges, VertexId num_vertices = 0);
+
+/// Extracts the undirected edge list (each edge once, canonical u < v).
+[[nodiscard]] EdgeList to_edge_list(const CsrGraph& graph);
+
+}  // namespace katric::graph

@@ -1,0 +1,41 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace katric::graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> targets, bool oriented)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)), oriented_(oriented) {
+    KATRIC_ASSERT_MSG(!offsets_.empty(), "offsets must contain at least the terminating 0");
+    KATRIC_ASSERT(offsets_.front() == 0);
+    KATRIC_ASSERT(offsets_.back() == targets_.size());
+}
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const noexcept {
+    const auto nbrs = neighbors(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void CsrGraph::validate() const {
+    const VertexId n = num_vertices();
+    for (VertexId v = 0; v < n; ++v) {
+        KATRIC_ASSERT_MSG(offsets_[v] <= offsets_[v + 1], "offsets not monotone at " << v);
+        const auto nbrs = neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            KATRIC_ASSERT_MSG(nbrs[i] < n, "target out of range at vertex " << v);
+            KATRIC_ASSERT_MSG(nbrs[i] != v, "self loop at vertex " << v);
+            if (i > 0) {
+                KATRIC_ASSERT_MSG(nbrs[i - 1] < nbrs[i],
+                                  "neighborhood of " << v << " not strictly sorted");
+            }
+            if (!oriented_) {
+                KATRIC_ASSERT_MSG(has_edge(nbrs[i], v),
+                                  "missing reverse edge " << nbrs[i] << "->" << v);
+            }
+        }
+    }
+}
+
+}  // namespace katric::graph

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace katric::graph {
+
+/// Undirected graph in adjacency-array (CSR) form — the input format the
+/// paper assumes (Section II-B). Neighborhoods are stored sorted by vertex
+/// ID; every undirected edge {u,v} appears both as u→v and v→u.
+///
+/// The same container also represents *oriented* graphs (N⁺ adjacency after
+/// degree orientation), in which case each edge appears exactly once and
+/// `is_oriented()` is true. Neighborhoods stay ID-sorted in both cases so
+/// merge intersections and the surrogate send rule (ranks nondecreasing
+/// along a neighborhood) work unchanged.
+class CsrGraph {
+public:
+    CsrGraph() = default;
+    CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> targets, bool oriented);
+
+    [[nodiscard]] VertexId num_vertices() const noexcept {
+        return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+    }
+    /// For undirected graphs: number of undirected edges m (targets/2).
+    /// For oriented graphs: number of directed edges (= m).
+    [[nodiscard]] EdgeId num_edges() const noexcept {
+        const auto stored = static_cast<EdgeId>(targets_.size());
+        return oriented_ ? stored : stored / 2;
+    }
+    [[nodiscard]] bool is_oriented() const noexcept { return oriented_; }
+
+    [[nodiscard]] Degree degree(VertexId v) const noexcept {
+        return offsets_[v + 1] - offsets_[v];
+    }
+    [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+        return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+    }
+
+    /// Binary search in the (sorted) neighborhood.
+    [[nodiscard]] bool has_edge(VertexId u, VertexId v) const noexcept;
+
+    [[nodiscard]] const std::vector<EdgeId>& offsets() const noexcept { return offsets_; }
+    [[nodiscard]] const std::vector<VertexId>& targets() const noexcept { return targets_; }
+
+    /// Checks structural invariants (sorted neighborhoods, no self-loops,
+    /// no duplicates, symmetry if undirected). Throws assertion_error.
+    void validate() const;
+
+private:
+    std::vector<EdgeId> offsets_;
+    std::vector<VertexId> targets_;
+    bool oriented_ = false;
+};
+
+}  // namespace katric::graph

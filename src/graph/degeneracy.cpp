@@ -1,0 +1,118 @@
+#include "graph/degeneracy.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace katric::graph {
+
+namespace {
+
+/// Matula–Beck peeling with bucket queues; returns (order, core numbers).
+struct Peeling {
+    std::vector<VertexId> order;
+    std::vector<Degree> cores;
+};
+
+Peeling peel(const CsrGraph& g) {
+    const VertexId n = g.num_vertices();
+    std::vector<Degree> degree(n);
+    Degree max_degree = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        degree[v] = g.degree(v);
+        max_degree = std::max(max_degree, degree[v]);
+    }
+    // Bucket layout: vertices sorted by current degree, with per-vertex
+    // positions for O(1) decrement moves (classic core-decomposition).
+    std::vector<VertexId> bucket_start(max_degree + 2, 0);
+    for (VertexId v = 0; v < n; ++v) { ++bucket_start[degree[v] + 1]; }
+    for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+        bucket_start[d] += bucket_start[d - 1];
+    }
+    std::vector<VertexId> sorted(n);
+    std::vector<VertexId> position(n);
+    {
+        std::vector<VertexId> cursor(bucket_start.begin(), bucket_start.end() - 1);
+        for (VertexId v = 0; v < n; ++v) {
+            position[v] = cursor[degree[v]];
+            sorted[position[v]] = v;
+            ++cursor[degree[v]];
+        }
+    }
+
+    Peeling result;
+    result.order.reserve(n);
+    result.cores.assign(n, 0);
+    std::vector<bool> removed(n, false);
+    Degree current_core = 0;
+    for (VertexId i = 0; i < n; ++i) {
+        const VertexId v = sorted[i];
+        current_core = std::max(current_core, degree[v]);
+        result.cores[v] = current_core;
+        result.order.push_back(v);
+        removed[v] = true;
+        for (VertexId u : g.neighbors(v)) {
+            if (removed[u] || degree[u] <= degree[v]) { continue; }
+            // Swap u to the front of its bucket, then shrink its degree.
+            const Degree du = degree[u];
+            const VertexId front_pos = bucket_start[du];
+            const VertexId front_vertex = sorted[front_pos];
+            std::swap(sorted[position[u]], sorted[front_pos]);
+            std::swap(position[u], position[front_vertex]);
+            ++bucket_start[du];
+            --degree[u];
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+std::vector<VertexId> degeneracy_order(const CsrGraph& undirected) {
+    KATRIC_ASSERT(!undirected.is_oriented());
+    return peel(undirected).order;
+}
+
+Degree degeneracy(const CsrGraph& undirected) {
+    if (undirected.num_vertices() == 0) { return 0; }
+    const auto cores = peel(undirected).cores;
+    return *std::max_element(cores.begin(), cores.end());
+}
+
+std::vector<Degree> core_numbers(const CsrGraph& undirected) {
+    return peel(undirected).cores;
+}
+
+CsrGraph orient_by_position(const CsrGraph& undirected,
+                            const std::vector<VertexId>& position) {
+    KATRIC_ASSERT(position.size() == undirected.num_vertices());
+    const VertexId n = undirected.num_vertices();
+    std::vector<EdgeId> out_degree(n, 0);
+    auto precedes = [&](VertexId a, VertexId b) {
+        return position[a] != position[b] ? position[a] < position[b] : a < b;
+    };
+    for (VertexId v = 0; v < n; ++v) {
+        for (VertexId u : undirected.neighbors(v)) {
+            if (precedes(v, u)) { ++out_degree[v]; }
+        }
+    }
+    auto offsets = katric::exclusive_prefix_sum(std::span<const EdgeId>(out_degree));
+    std::vector<VertexId> targets;
+    targets.reserve(offsets.back());
+    for (VertexId v = 0; v < n; ++v) {
+        for (VertexId u : undirected.neighbors(v)) {
+            if (precedes(v, u)) { targets.push_back(u); }
+        }
+    }
+    return CsrGraph(std::move(offsets), std::move(targets), /*oriented=*/true);
+}
+
+CsrGraph orient_by_degeneracy(const CsrGraph& undirected) {
+    const auto order = degeneracy_order(undirected);
+    std::vector<VertexId> position(order.size());
+    for (VertexId i = 0; i < order.size(); ++i) { position[order[i]] = i; }
+    return orient_by_position(undirected, position);
+}
+
+}  // namespace katric::graph

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace katric::graph {
+
+/// Degeneracy (k-core) machinery: the smallest d such that every subgraph
+/// has a vertex of degree ≤ d. Orienting edges along a degeneracy order
+/// bounds every out-degree by d — the strongest static guarantee available
+/// for triangle counting work bounds, and an alternative to the paper's
+/// degree order (which is cheaper to compute distributedly but only a
+/// heuristic).
+
+/// Peeling order: repeatedly remove a minimum-degree vertex (bucket queue,
+/// O(n + m)). result[i] = i-th removed vertex.
+[[nodiscard]] std::vector<VertexId> degeneracy_order(const CsrGraph& undirected);
+
+/// The degeneracy d of the graph (max removal degree over the peeling).
+[[nodiscard]] Degree degeneracy(const CsrGraph& undirected);
+
+/// Core number per vertex: the largest k such that v is in the k-core.
+[[nodiscard]] std::vector<Degree> core_numbers(const CsrGraph& undirected);
+
+/// Orients each edge from earlier to later position in the given total
+/// order (position[v] = rank of v). Out-neighborhoods stay ID-sorted.
+[[nodiscard]] CsrGraph orient_by_position(const CsrGraph& undirected,
+                                          const std::vector<VertexId>& position);
+
+/// Convenience: degeneracy orientation (out-degree ≤ degeneracy, tested).
+[[nodiscard]] CsrGraph orient_by_degeneracy(const CsrGraph& undirected);
+
+}  // namespace katric::graph

@@ -1,0 +1,35 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+
+#include "graph/orientation.hpp"
+
+namespace katric::graph {
+
+GraphStats compute_stats(const CsrGraph& undirected) {
+    GraphStats stats;
+    stats.n = undirected.num_vertices();
+    stats.m = undirected.num_edges();
+    for (VertexId v = 0; v < stats.n; ++v) {
+        const Degree d = undirected.degree(v);
+        stats.max_degree = std::max(stats.max_degree, d);
+        stats.wedges += d * (d - 1) / 2;
+    }
+    stats.avg_degree = stats.n > 0
+                           ? 2.0 * static_cast<double>(stats.m) / static_cast<double>(stats.n)
+                           : 0.0;
+    const CsrGraph oriented = orient_by_degree(undirected);
+    for (VertexId v = 0; v < stats.n; ++v) {
+        const Degree d = oriented.degree(v);
+        stats.oriented_wedges += d * (d - 1) / 2;
+    }
+    return stats;
+}
+
+katric::Log2Histogram degree_histogram(const CsrGraph& graph) {
+    katric::Log2Histogram histogram;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) { histogram.add(graph.degree(v)); }
+    return histogram;
+}
+
+}  // namespace katric::graph

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "util/statistics.hpp"
+
+namespace katric::graph {
+
+/// Instance statistics as reported in the paper's Table I.
+struct GraphStats {
+    VertexId n = 0;
+    EdgeId m = 0;
+    Degree max_degree = 0;
+    double avg_degree = 0.0;
+    /// Wedge count Σ_v C(d⁺_v, 2) on the degree-oriented graph — the number
+    /// of candidate open wedges a wedge-checking algorithm must close.
+    std::uint64_t oriented_wedges = 0;
+    /// Undirected wedges Σ_v C(d_v, 2).
+    std::uint64_t wedges = 0;
+};
+
+[[nodiscard]] GraphStats compute_stats(const CsrGraph& undirected);
+
+/// Degree histogram (log₂ buckets) — for checking power-law tails of
+/// generated proxy instances.
+[[nodiscard]] katric::Log2Histogram degree_histogram(const CsrGraph& graph);
+
+}  // namespace katric::graph

@@ -1,0 +1,131 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace katric::graph {
+
+namespace {
+constexpr std::array<char, 4> kMagic{'K', 'T', 'R', 'B'};
+}
+
+EdgeList read_edge_list_text(const std::string& path) {
+    std::ifstream in(path);
+    KATRIC_ASSERT_MSG(in.good(), "cannot open " << path);
+    EdgeList edges;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%') { continue; }
+        std::istringstream row(line);
+        VertexId u = 0;
+        VertexId v = 0;
+        if (row >> u >> v) { edges.add(u, v); }
+    }
+    return edges;
+}
+
+void write_edge_list_text(const EdgeList& edges, const std::string& path) {
+    std::ofstream out(path);
+    KATRIC_ASSERT_MSG(out.good(), "cannot open " << path << " for writing");
+    out << "# katric edge list, " << edges.size() << " edges\n";
+    for (const auto& e : edges.edges()) { out << e.u << ' ' << e.v << '\n'; }
+}
+
+CsrGraph read_binary(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    KATRIC_ASSERT_MSG(in.good(), "cannot open " << path);
+    std::array<char, 4> magic{};
+    in.read(magic.data(), magic.size());
+    KATRIC_ASSERT_MSG(magic == kMagic, path << " is not a katric binary graph");
+    std::uint64_t n = 0;
+    std::uint64_t m = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    in.read(reinterpret_cast<char*>(&m), sizeof(m));
+    EdgeList edges;
+    edges.reserve(m);
+    for (std::uint64_t i = 0; i < m; ++i) {
+        std::uint64_t u = 0;
+        std::uint64_t v = 0;
+        in.read(reinterpret_cast<char*>(&u), sizeof(u));
+        in.read(reinterpret_cast<char*>(&v), sizeof(v));
+        edges.add(u, v);
+    }
+    KATRIC_ASSERT_MSG(in.good(), "truncated binary graph " << path);
+    return build_undirected(std::move(edges), n);
+}
+
+CsrGraph read_metis(const std::string& path) {
+    std::ifstream in(path);
+    KATRIC_ASSERT_MSG(in.good(), "cannot open " << path);
+    std::string line;
+    // Only '%' lines are comments; an *empty* line is a vertex with no
+    // neighbors and must count as data.
+    auto next_data_line = [&]() {
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] != '%') { return true; }
+        }
+        return false;
+    };
+    KATRIC_ASSERT_MSG(next_data_line() && !line.empty(), "empty METIS file " << path);
+    std::istringstream header(line);
+    std::uint64_t n = 0;
+    std::uint64_t m = 0;
+    KATRIC_ASSERT_MSG(static_cast<bool>(header >> n >> m),
+                      "malformed METIS header in " << path);
+    EdgeList edges;
+    edges.reserve(m);
+    for (VertexId v = 0; v < n; ++v) {
+        KATRIC_ASSERT_MSG(next_data_line(), "METIS file " << path << " truncated at vertex "
+                                                          << v);
+        std::istringstream row(line);
+        std::uint64_t neighbor_1indexed = 0;
+        while (row >> neighbor_1indexed) {
+            KATRIC_ASSERT_MSG(neighbor_1indexed >= 1 && neighbor_1indexed <= n,
+                              "METIS neighbor " << neighbor_1indexed << " out of range");
+            const VertexId u = neighbor_1indexed - 1;
+            if (v < u) { edges.add(v, u); }  // each undirected edge listed twice
+        }
+    }
+    const CsrGraph graph = build_undirected(std::move(edges), n);
+    KATRIC_ASSERT_MSG(graph.num_edges() == m, "METIS header claims " << m << " edges, found "
+                                                                     << graph.num_edges());
+    return graph;
+}
+
+void write_metis(const CsrGraph& graph, const std::string& path) {
+    KATRIC_ASSERT(!graph.is_oriented());
+    std::ofstream out(path);
+    KATRIC_ASSERT_MSG(out.good(), "cannot open " << path << " for writing");
+    out << "% katric METIS export\n";
+    out << graph.num_vertices() << ' ' << graph.num_edges() << '\n';
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+        bool first = true;
+        for (VertexId u : graph.neighbors(v)) {
+            out << (first ? "" : " ") << (u + 1);
+            first = false;
+        }
+        out << '\n';
+    }
+}
+
+void write_binary(const CsrGraph& graph, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    KATRIC_ASSERT_MSG(out.good(), "cannot open " << path << " for writing");
+    out.write(kMagic.data(), kMagic.size());
+    const std::uint64_t n = graph.num_vertices();
+    const EdgeList edges = to_edge_list(graph);
+    const std::uint64_t m = edges.size();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+    for (const auto& e : edges.edges()) {
+        out.write(reinterpret_cast<const char*>(&e.u), sizeof(e.u));
+        out.write(reinterpret_cast<const char*>(&e.v), sizeof(e.v));
+    }
+}
+
+}  // namespace katric::graph

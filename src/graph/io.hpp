@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace katric::graph {
+
+/// Text edge-list I/O: one "u v" pair per line; '#' and '%' start comments
+/// (SNAP / KONECT conventions). Directed inputs are interpreted as
+/// undirected, as in the paper's preprocessing.
+[[nodiscard]] EdgeList read_edge_list_text(const std::string& path);
+void write_edge_list_text(const EdgeList& edges, const std::string& path);
+
+/// Binary format: magic "KTRB", u64 n, u64 edge count, then u64 pairs.
+/// Used to cache generated proxy instances between bench runs.
+[[nodiscard]] CsrGraph read_binary(const std::string& path);
+void write_binary(const CsrGraph& graph, const std::string& path);
+
+/// METIS graph format: header "n m", then one 1-indexed neighbor list per
+/// vertex; '%' lines are comments. The interchange format of the partitioning
+/// community (and of KaGen's file output).
+[[nodiscard]] CsrGraph read_metis(const std::string& path);
+void write_metis(const CsrGraph& graph, const std::string& path);
+
+}  // namespace katric::graph

@@ -1,0 +1,83 @@
+#include "graph/load_balance.hpp"
+
+#include <algorithm>
+
+#include "graph/orientation.hpp"
+#include "util/assert.hpp"
+
+namespace katric::graph {
+
+std::string cost_function_name(CostFunction fn) {
+    switch (fn) {
+        case CostFunction::kUniform: return "uniform";
+        case CostFunction::kDegree: return "degree";
+        case CostFunction::kDegreeSq: return "degree^2";
+        case CostFunction::kOrientedWedges: return "oriented-wedges";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint64_t> vertex_costs(const CsrGraph& undirected, CostFunction fn) {
+    const VertexId n = undirected.num_vertices();
+    std::vector<std::uint64_t> costs(n, 1);
+    switch (fn) {
+        case CostFunction::kUniform: break;
+        case CostFunction::kDegree:
+            for (VertexId v = 0; v < n; ++v) { costs[v] = 1 + undirected.degree(v); }
+            break;
+        case CostFunction::kDegreeSq:
+            for (VertexId v = 0; v < n; ++v) {
+                const auto d = undirected.degree(v);
+                costs[v] = 1 + d * d;
+            }
+            break;
+        case CostFunction::kOrientedWedges: {
+            const CsrGraph oriented = orient_by_degree(undirected);
+            for (VertexId v = 0; v < n; ++v) {
+                const auto d = oriented.degree(v);
+                costs[v] = 1 + d * (d - 1) / 2 + undirected.degree(v);
+            }
+            break;
+        }
+    }
+    return costs;
+}
+
+Partition1D partition_by_cost(const CsrGraph& undirected, Rank num_ranks,
+                              CostFunction fn) {
+    KATRIC_ASSERT(num_ranks >= 1);
+    const auto costs = vertex_costs(undirected, fn);
+    const VertexId n = undirected.num_vertices();
+    std::uint64_t total = 0;
+    for (const auto c : costs) { total += c; }
+
+    std::vector<VertexId> boundaries(num_ranks + 1, 0);
+    VertexId v = 0;
+    std::uint64_t prefix = 0;
+    for (Rank i = 0; i < num_ranks; ++i) {
+        const std::uint64_t target = total / num_ranks * (i + 1)
+                                     + std::min<std::uint64_t>(i + 1, total % num_ranks);
+        while (v < n && prefix + costs[v] <= target) { prefix += costs[v++]; }
+        // Keep enough vertices for the remaining ranks to stay nonempty when
+        // possible (mirrors Partition1D::balanced_by_edges).
+        const VertexId remaining = num_ranks - i - 1;
+        v = std::min<VertexId>(v, n - std::min<VertexId>(remaining, n));
+        v = std::max<VertexId>(v, boundaries[i]);
+        boundaries[i + 1] = v;
+    }
+    boundaries[num_ranks] = n;
+    return Partition1D(std::move(boundaries));
+}
+
+std::uint64_t redistribution_volume(const CsrGraph& undirected, const Partition1D& from,
+                                    const Partition1D& to) {
+    KATRIC_ASSERT(from.num_vertices() == undirected.num_vertices());
+    KATRIC_ASSERT(to.num_vertices() == undirected.num_vertices());
+    std::uint64_t volume = 0;
+    for (VertexId v = 0; v < undirected.num_vertices(); ++v) {
+        if (from.rank_of(v) != to.rank_of(v)) { volume += 1 + undirected.degree(v); }
+    }
+    return volume;
+}
+
+}  // namespace katric::graph

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+
+namespace katric::graph {
+
+/// Degree-based load balancing à la Arifuzzaman et al. (discussed in the
+/// paper's Section IV-D): estimate per-vertex processing cost with a degree
+/// cost function, then split the (contiguous) vertex range by cost prefix
+/// sums instead of by vertex or edge counts. The paper found that the
+/// redistribution overhead does not pay off at scale; the ablation bench
+/// reproduces that trade-off by reporting the one-time redistribution
+/// volume next to the per-run gains.
+enum class CostFunction {
+    kUniform,        ///< 1 per vertex (≙ Partition1D::uniform)
+    kDegree,         ///< d(v) (≙ balanced_by_edges)
+    kDegreeSq,       ///< d(v)² — proxy for the intersection work of a hub
+    kOrientedWedges, ///< C(d⁺(v), 2) on the degree-oriented graph — the true
+                     ///< wedge-generation work estimate
+};
+
+[[nodiscard]] std::string cost_function_name(CostFunction fn);
+
+[[nodiscard]] std::vector<std::uint64_t> vertex_costs(const CsrGraph& undirected,
+                                                      CostFunction fn);
+
+/// Contiguous partition with near-equal cost per rank (prefix-sum sweep).
+[[nodiscard]] Partition1D partition_by_cost(const CsrGraph& undirected, Rank num_ranks,
+                                            CostFunction fn);
+
+/// Words that must cross the network to move from `from` to `to`:
+/// Σ over vertices whose owner changes of (1 + d(v)) — vertex ID plus its
+/// neighborhood. This is the rebalancing price the paper weighs.
+[[nodiscard]] std::uint64_t redistribution_volume(const CsrGraph& undirected,
+                                                  const Partition1D& from,
+                                                  const Partition1D& to);
+
+}  // namespace katric::graph

@@ -1,0 +1,58 @@
+#include "graph/orientation.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace katric::graph {
+
+namespace {
+
+template <typename Precedes>
+CsrGraph orient(const CsrGraph& undirected, Precedes precedes) {
+    KATRIC_ASSERT(!undirected.is_oriented());
+    const VertexId n = undirected.num_vertices();
+    std::vector<EdgeId> out_degree(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+        for (VertexId u : undirected.neighbors(v)) {
+            if (precedes(v, u)) { ++out_degree[v]; }
+        }
+    }
+    auto offsets = katric::exclusive_prefix_sum(std::span<const EdgeId>(out_degree));
+    std::vector<VertexId> targets(offsets.back());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+        // neighbors(v) is ID-sorted, so out-neighborhoods stay ID-sorted.
+        for (VertexId u : undirected.neighbors(v)) {
+            if (precedes(v, u)) { targets[cursor[v]++] = u; }
+        }
+    }
+    return CsrGraph(std::move(offsets), std::move(targets), /*oriented=*/true);
+}
+
+}  // namespace
+
+CsrGraph orient_by_degree(const CsrGraph& undirected) {
+    const VertexId n = undirected.num_vertices();
+    std::vector<Degree> degrees(n);
+    for (VertexId v = 0; v < n; ++v) { degrees[v] = undirected.degree(v); }
+    const DegreeOrder order{std::span<const Degree>(degrees)};
+    return orient(undirected, [&](VertexId a, VertexId b) { return order.precedes(a, b); });
+}
+
+CsrGraph orient_by_id(const CsrGraph& undirected) {
+    return orient(undirected, [](VertexId a, VertexId b) { return IdOrder::precedes(a, b); });
+}
+
+Degree max_out_degree(const CsrGraph& oriented) {
+    KATRIC_ASSERT(oriented.is_oriented());
+    Degree result = 0;
+    for (VertexId v = 0; v < oriented.num_vertices(); ++v) {
+        result = std::max(result, oriented.degree(v));
+    }
+    return result;
+}
+
+}  // namespace katric::graph

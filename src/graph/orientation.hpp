@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace katric::graph {
+
+/// The degree-based total order ≺ from the paper (attributed to Latapy):
+///   u ≺ v ⇔ (dᵤ < dᵥ) ∨ (dᵤ = dᵥ ∧ u < v).
+/// Orienting each edge from lower- to higher-ranked endpoint bounds the
+/// out-degree of high-degree vertices and removes duplicate triangle counts.
+class DegreeOrder {
+public:
+    /// Degrees indexed by vertex ID (for a full global graph).
+    explicit DegreeOrder(std::span<const Degree> degrees) : degrees_(degrees) {}
+
+    [[nodiscard]] bool precedes(VertexId u, VertexId v) const noexcept {
+        const Degree du = degrees_[u];
+        const Degree dv = degrees_[v];
+        return du != dv ? du < dv : u < v;
+    }
+
+private:
+    std::span<const Degree> degrees_;
+};
+
+/// ID order — what a code without degree orientation (the TriC-style
+/// baseline) effectively uses: u ≺ v ⇔ u < v.
+struct IdOrder {
+    [[nodiscard]] static constexpr bool precedes(VertexId u, VertexId v) noexcept {
+        return u < v;
+    }
+};
+
+/// Builds the degree-oriented graph: N⁺(v) = {u ∈ N(v) | v ≺ u}, with every
+/// neighborhood sorted by vertex ID (required by merge intersection and the
+/// surrogate send rule).
+[[nodiscard]] CsrGraph orient_by_degree(const CsrGraph& undirected);
+
+/// Builds the ID-oriented graph: N⁺(v) = {u ∈ N(v) | v < u}.
+[[nodiscard]] CsrGraph orient_by_id(const CsrGraph& undirected);
+
+/// Maximum out-degree of an oriented graph — the quantity degree orientation
+/// is designed to shrink.
+[[nodiscard]] Degree max_out_degree(const CsrGraph& oriented);
+
+}  // namespace katric::graph

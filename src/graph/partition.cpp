@@ -1,0 +1,54 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace katric::graph {
+
+Partition1D::Partition1D(std::vector<VertexId> boundaries)
+    : boundaries_(std::move(boundaries)) {
+    KATRIC_ASSERT_MSG(boundaries_.size() >= 2, "partition needs at least one rank");
+    KATRIC_ASSERT(boundaries_.front() == 0);
+    KATRIC_ASSERT(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+}
+
+Rank Partition1D::rank_of(VertexId v) const noexcept {
+    // upper_bound over boundaries: the first boundary > v ends v's range.
+    const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+    return static_cast<Rank>(std::distance(boundaries_.begin(), it) - 1);
+}
+
+Partition1D Partition1D::uniform(VertexId n, Rank p) {
+    KATRIC_ASSERT(p >= 1);
+    std::vector<VertexId> boundaries(p + 1);
+    for (Rank i = 0; i <= p; ++i) {
+        boundaries[i] = n / p * i + std::min<VertexId>(i, n % p);
+    }
+    return Partition1D(std::move(boundaries));
+}
+
+Partition1D Partition1D::balanced_by_edges(const CsrGraph& graph, Rank p) {
+    KATRIC_ASSERT(p >= 1);
+    const VertexId n = graph.num_vertices();
+    const EdgeId total_half_edges = graph.offsets().back();
+    std::vector<VertexId> boundaries(p + 1);
+    boundaries[0] = 0;
+    // Greedy sweep: close a range once it reaches its proportional share.
+    // Guarantees each remaining rank still gets at least an empty range.
+    VertexId v = 0;
+    for (Rank i = 0; i < p; ++i) {
+        const EdgeId target = total_half_edges / p * (i + 1)
+                              + std::min<EdgeId>(i + 1, total_half_edges % p);
+        while (v < n && graph.offsets()[v + 1] <= target) { ++v; }
+        // Never leave fewer vertices than remaining ranks could cover.
+        const VertexId remaining_ranks = p - i - 1;
+        v = std::min<VertexId>(v, n - std::min<VertexId>(remaining_ranks, n));
+        v = std::max<VertexId>(v, boundaries[i]);
+        boundaries[i + 1] = v;
+    }
+    boundaries[p] = n;
+    return Partition1D(std::move(boundaries));
+}
+
+}  // namespace katric::graph

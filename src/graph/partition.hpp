@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace katric::graph {
+
+/// 1-D partition of the vertex set {0,…,n−1} into p contiguous ranges
+/// V₀,…,V_{p−1} (Section II-B): vertices are globally ordered among the
+/// processors by vertex ID, so rank boundaries fully describe the partition.
+class Partition1D {
+public:
+    Partition1D() = default;
+    /// boundaries has size p+1 with boundaries[0] = 0, boundaries[p] = n,
+    /// nondecreasing; rank i owns [boundaries[i], boundaries[i+1]).
+    explicit Partition1D(std::vector<VertexId> boundaries);
+
+    [[nodiscard]] Rank num_ranks() const noexcept {
+        return static_cast<Rank>(boundaries_.size() - 1);
+    }
+    [[nodiscard]] VertexId num_vertices() const noexcept { return boundaries_.back(); }
+    [[nodiscard]] VertexId begin(Rank i) const noexcept { return boundaries_[i]; }
+    [[nodiscard]] VertexId end(Rank i) const noexcept { return boundaries_[i + 1]; }
+    [[nodiscard]] VertexId size(Rank i) const noexcept { return end(i) - begin(i); }
+
+    /// rank(v): binary search over the boundaries. O(log p).
+    [[nodiscard]] Rank rank_of(VertexId v) const noexcept;
+
+    [[nodiscard]] bool is_local(VertexId v, Rank i) const noexcept {
+        return v >= begin(i) && v < end(i);
+    }
+
+    [[nodiscard]] const std::vector<VertexId>& boundaries() const noexcept {
+        return boundaries_;
+    }
+
+    /// Uniform split: each rank gets ⌈n/p⌉ or ⌊n/p⌋ vertices.
+    [[nodiscard]] static Partition1D uniform(VertexId n, Rank p);
+
+    /// Edge-balanced split: contiguous ranges chosen so each rank holds
+    /// roughly m/p incident half-edges — the load model used for real-world
+    /// skewed-degree graphs.
+    [[nodiscard]] static Partition1D balanced_by_edges(const CsrGraph& graph, Rank p);
+
+private:
+    std::vector<VertexId> boundaries_;
+};
+
+}  // namespace katric::graph

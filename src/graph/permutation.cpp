@@ -1,0 +1,66 @@
+#include "graph/permutation.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+#include "util/random.hpp"
+
+namespace katric::graph {
+
+CsrGraph apply_permutation(const CsrGraph& graph, const std::vector<VertexId>& perm) {
+    KATRIC_ASSERT(perm.size() == graph.num_vertices());
+    EdgeList edges;
+    edges.reserve(graph.num_edges());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+        for (VertexId u : graph.neighbors(v)) {
+            if (v < u) { edges.add(perm[v], perm[u]); }
+        }
+    }
+    return build_undirected(std::move(edges), graph.num_vertices());
+}
+
+std::vector<VertexId> identity_permutation(VertexId n) {
+    std::vector<VertexId> perm(n);
+    std::iota(perm.begin(), perm.end(), VertexId{0});
+    return perm;
+}
+
+std::vector<VertexId> random_permutation(VertexId n, std::uint64_t seed) {
+    auto perm = identity_permutation(n);
+    Xoshiro256 rng(seed);
+    // Fisher–Yates with the library RNG so shuffles are reproducible across
+    // standard-library implementations.
+    for (VertexId i = n; i > 1; --i) {
+        const auto j = rng.next_bounded(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+std::vector<VertexId> bfs_order(const CsrGraph& graph) {
+    const VertexId n = graph.num_vertices();
+    std::vector<VertexId> perm(n, kInvalidVertex);
+    VertexId next_label = 0;
+    std::deque<VertexId> queue;
+    for (VertexId root = 0; root < n; ++root) {
+        if (perm[root] != kInvalidVertex) { continue; }
+        perm[root] = next_label++;
+        queue.push_back(root);
+        while (!queue.empty()) {
+            const VertexId v = queue.front();
+            queue.pop_front();
+            for (VertexId u : graph.neighbors(v)) {
+                if (perm[u] == kInvalidVertex) {
+                    perm[u] = next_label++;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    return perm;
+}
+
+}  // namespace katric::graph

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace katric::graph {
+
+/// Vertex relabelings. Locality — how well the ID order correlates with the
+/// graph's community/geometric structure — decides whether CETRIC's
+/// contraction pays off, so proxies control it explicitly:
+///  * generated geometric/web graphs keep their natural (local) order,
+///  * social-network proxies get a random shuffle (no locality),
+///  * bfs_order restores locality for locality-sensitivity ablations.
+
+/// perm[v] = new ID of vertex v; returns the relabeled graph.
+[[nodiscard]] CsrGraph apply_permutation(const CsrGraph& graph,
+                                         const std::vector<VertexId>& perm);
+
+[[nodiscard]] std::vector<VertexId> identity_permutation(VertexId n);
+[[nodiscard]] std::vector<VertexId> random_permutation(VertexId n, std::uint64_t seed);
+
+/// Relabels by BFS discovery order from vertex 0 (unreached vertices keep
+/// relative order at the end) — a cheap locality-restoring order.
+[[nodiscard]] std::vector<VertexId> bfs_order(const CsrGraph& graph);
+
+}  // namespace katric::graph

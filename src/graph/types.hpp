@@ -1,0 +1,37 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace katric::graph {
+
+/// Global vertex identifier. Vertices are {0, …, n−1}, globally ordered by
+/// rank (Section II-B of the paper): rank(v) < rank(w) ⇒ v < w.
+using VertexId = std::uint64_t;
+
+/// Edge index / edge count type.
+using EdgeId = std::uint64_t;
+
+/// Vertex degree.
+using Degree = std::uint64_t;
+
+/// PE (processing element) rank in the simulated machine.
+using Rank = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// An undirected edge; canonical form has u < v (by ID, not by ≺).
+struct Edge {
+    VertexId u = kInvalidVertex;
+    VertexId v = kInvalidVertex;
+
+    friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+
+    [[nodiscard]] constexpr Edge canonical() const noexcept {
+        return u <= v ? *this : Edge{v, u};
+    }
+    [[nodiscard]] constexpr bool is_self_loop() const noexcept { return u == v; }
+};
+
+}  // namespace katric::graph

@@ -1,0 +1,36 @@
+#pragma once
+
+/// Umbrella header for the katric library — a from-scratch reproduction of
+/// "Engineering a Distributed-Memory Triangle Counting Algorithm"
+/// (Sanders & Uhl, IPDPS 2023) on a simulated message-passing machine.
+///
+/// Typical entry points:
+///   * core::count_triangles(graph, RunSpec)      — DITRIC/CETRIC & baselines
+///   * core::compute_distributed_lcc(graph, spec) — local clustering coefficients
+///   * core::enumerate_triangles(graph, spec)     — exactly-once listing
+///   * core::count_triangles_cetric_amq(...)      — approximate counting
+///   * gen::* / graph::read_* — inputs; net::NetworkConfig — machine model.
+
+#include "amq/bloom.hpp"
+#include "core/approx.hpp"
+#include "core/dist_lcc.hpp"
+#include "core/enumerate.hpp"
+#include "core/runner.hpp"
+#include "gen/gnm.hpp"
+#include "gen/grid.hpp"
+#include "gen/proxies.hpp"
+#include "gen/rgg2d.hpp"
+#include "gen/rhg.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/degeneracy.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/io.hpp"
+#include "graph/load_balance.hpp"
+#include "graph/permutation.hpp"
+#include "net/network_config.hpp"
+#include "net/termination.hpp"
+#include "seq/algorithm_zoo.hpp"
+#include "seq/edge_iterator.hpp"
+#include "seq/lcc.hpp"
+#include "seq/parallel_local.hpp"

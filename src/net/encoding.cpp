@@ -1,0 +1,99 @@
+#include "net/encoding.hpp"
+
+#include "util/assert.hpp"
+
+namespace katric::net {
+
+namespace {
+
+/// LEB128-style varint: 7 payload bits per byte, high bit = continuation.
+inline void push_varint(std::vector<std::uint8_t>& bytes, std::uint64_t value) {
+    while (value >= 0x80) {
+        bytes.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    bytes.push_back(static_cast<std::uint8_t>(value));
+}
+
+inline std::size_t varint_bytes(std::uint64_t value) {
+    std::size_t n = 1;
+    while (value >= 0x80) {
+        value >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+std::vector<std::uint8_t> encode_bytes(std::span<const std::uint64_t> values) {
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(values.size() * 2);
+    std::uint64_t previous = 0;
+    bool first = true;
+    for (const std::uint64_t v : values) {
+        if (first) {
+            push_varint(bytes, v);
+            first = false;
+        } else {
+            KATRIC_ASSERT_MSG(v > previous, "encode_sorted requires strictly increasing input");
+            push_varint(bytes, v - previous);
+        }
+        previous = v;
+    }
+    return bytes;
+}
+
+}  // namespace
+
+std::size_t encode_sorted(std::span<const std::uint64_t> values, WordVec& out) {
+    const auto bytes = encode_bytes(values);
+    const std::size_t words = (bytes.size() + 7) / 8;
+    const std::size_t base = out.size();
+    out.resize(base + words, 0);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        out[base + i / 8] |= static_cast<std::uint64_t>(bytes[i]) << (8 * (i % 8));
+    }
+    return words;
+}
+
+std::size_t encoded_words(std::span<const std::uint64_t> values) {
+    std::size_t bytes = 0;
+    std::uint64_t previous = 0;
+    bool first = true;
+    for (const std::uint64_t v : values) {
+        bytes += varint_bytes(first ? v : v - previous);
+        previous = v;
+        first = false;
+    }
+    return (bytes + 7) / 8;
+}
+
+void decode_sorted(std::span<const std::uint64_t> words, std::size_t count,
+                   std::vector<std::uint64_t>& out) {
+    out.clear();
+    out.reserve(count);
+    std::size_t byte_index = 0;
+    const std::size_t byte_limit = words.size() * 8;
+    auto next_byte = [&]() {
+        KATRIC_ASSERT_MSG(byte_index < byte_limit, "varint stream truncated");
+        const std::uint8_t b = static_cast<std::uint8_t>(
+            words[byte_index / 8] >> (8 * (byte_index % 8)));
+        ++byte_index;
+        return b;
+    };
+    std::uint64_t previous = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t value = 0;
+        int shift = 0;
+        while (true) {
+            const std::uint8_t b = next_byte();
+            value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if ((b & 0x80) == 0) { break; }
+            shift += 7;
+            KATRIC_ASSERT_MSG(shift < 64, "varint overlong");
+        }
+        previous = (i == 0) ? value : previous + value;
+        out.push_back(previous);
+    }
+}
+
+}  // namespace katric::net

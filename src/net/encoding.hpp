@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/simulator.hpp"
+
+namespace katric::net {
+
+/// Delta–varint compression for sorted vertex-ID lists — the classic
+/// volume-reduction technique for neighborhood exchange. Sorted IDs have
+/// small gaps exactly when the graph has ID locality, so compression and
+/// CETRIC's contraction profit from the same structure (and the compressed
+/// global phase shows it: see the compression ablation bench).
+///
+/// Wire layout: the byte stream (first value varint-encoded, then the gaps)
+/// packed little-endian into 64-bit words; the element count travels in the
+/// record header, the word count is implicit in the record length.
+
+/// Appends the encoding of `values` (strictly increasing) to `out`.
+/// Returns the number of words appended.
+std::size_t encode_sorted(std::span<const std::uint64_t> values, WordVec& out);
+
+/// Decodes `count` values from `words` into `out` (cleared first).
+void decode_sorted(std::span<const std::uint64_t> words, std::size_t count,
+                   std::vector<std::uint64_t>& out);
+
+/// Exact number of words encode_sorted would append (for sizing decisions).
+[[nodiscard]] std::size_t encoded_words(std::span<const std::uint64_t> values);
+
+}  // namespace katric::net

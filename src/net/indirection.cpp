@@ -1,0 +1,68 @@
+#include "net/indirection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace katric::net {
+
+GridRouter::GridRouter(Rank num_ranks) : num_ranks_(num_ranks) {
+    KATRIC_ASSERT(num_ranks >= 1);
+    // ⌊√p + ½⌋ columns — round to the nearest integer (paper, Section IV-B).
+    const auto root = katric::isqrt(num_ranks);
+    // isqrt gives ⌊√p⌋; adding ½ rounds up when the fractional part ≥ ½,
+    // i.e. when p ≥ root² + root + ¼ ⇔ p > root² + root − 1 (integers).
+    columns_ = static_cast<Rank>(root);
+    if (static_cast<std::uint64_t>(num_ranks) >= root * root + root + 1) { ++columns_; }
+    if (columns_ == 0) { columns_ = 1; }
+    rows_ = static_cast<Rank>(katric::div_ceil(num_ranks, columns_));
+}
+
+Rank GridRouter::first_hop(Rank src, Rank final_dest) const {
+    KATRIC_ASSERT(src < num_ranks_ && final_dest < num_ranks_);
+    if (src == final_dest) { return final_dest; }
+    const auto [i, j] = coords(src);
+    const auto [k, l] = coords(final_dest);
+    Rank proxy;
+    if (exists(i, l)) {
+        proxy = id(i, l);
+    } else {
+        // src sits in the partial last row and column l is beyond its width:
+        // transpose the last row — src becomes the rank in row j of the
+        // appended right-hand column — and pick the proxy along *that* row.
+        KATRIC_ASSERT_MSG(exists(j, l), "transposed proxy (" << j << ',' << l
+                                                             << ") must exist for p="
+                                                             << num_ranks_);
+        proxy = id(j, l);
+    }
+    if (proxy == src || proxy == final_dest) { return final_dest; }
+    return proxy;
+}
+
+TwoLevelRouter::TwoLevelRouter(Rank num_ranks, Rank node_size)
+    : num_ranks_(num_ranks), node_size_(std::max<Rank>(node_size, 1)) {
+    KATRIC_ASSERT(num_ranks >= 1);
+}
+
+Rank TwoLevelRouter::gateway(Rank src_node, Rank dst_node) const {
+    const Rank node_begin = src_node * node_size_;
+    const Rank node_end = std::min<Rank>(node_begin + node_size_, num_ranks_);
+    const Rank members = node_end - node_begin;
+    // Spread destination nodes round-robin over the node's members so no
+    // single PE funnels all outbound traffic.
+    return node_begin + dst_node % members;
+}
+
+Rank TwoLevelRouter::first_hop(Rank src, Rank final_dest) const {
+    KATRIC_ASSERT(src < num_ranks_ && final_dest < num_ranks_);
+    if (src == final_dest) { return final_dest; }
+    const Rank src_node = node_of(src);
+    const Rank dst_node = node_of(final_dest);
+    if (src_node == dst_node) { return final_dest; }
+    const Rank gw = gateway(src_node, dst_node);
+    return gw == src ? final_dest : gw;
+}
+
+}  // namespace katric::net

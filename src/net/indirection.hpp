@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "net/simulator.hpp"
+
+namespace katric::net {
+
+/// Routing policy for the message queue: where does a message for
+/// `final_dest` physically go first?
+class Router {
+public:
+    virtual ~Router() = default;
+    /// Never returns src; returns final_dest when no indirection applies.
+    [[nodiscard]] virtual Rank first_hop(Rank src, Rank final_dest) const = 0;
+};
+
+/// Direct delivery — DITRIC / CETRIC without the "2" suffix.
+class DirectRouter final : public Router {
+public:
+    [[nodiscard]] Rank first_hop(Rank /*src*/, Rank final_dest) const override {
+        return final_dest;
+    }
+};
+
+/// Grid-based indirect delivery (Section IV-B, Fig. 3): PEs are arranged in
+/// a logical grid with ⌊√p + ½⌋ columns; a message from P_{i,j} to P_{k,l}
+/// first travels along row i to the proxy P_{i,l}, which aggregates and
+/// forwards along column l. With a non-square p the last row may be
+/// partial; when the proxy P_{i,l} does not exist (sender sits in the
+/// partial last row), the last row is treated as transposed — appended as a
+/// column on the right — and the proxy P_{j,l} is used instead. Routing
+/// always terminates in at most two hops because a proxy shares its column
+/// with the destination.
+class GridRouter final : public Router {
+public:
+    explicit GridRouter(Rank num_ranks);
+
+    [[nodiscard]] Rank first_hop(Rank src, Rank final_dest) const override;
+
+    [[nodiscard]] Rank columns() const noexcept { return columns_; }
+    [[nodiscard]] Rank rows() const noexcept { return rows_; }
+    /// (row, column) of a rank.
+    [[nodiscard]] std::pair<Rank, Rank> coords(Rank r) const noexcept {
+        return {r / columns_, r % columns_};
+    }
+    [[nodiscard]] bool exists(Rank row, Rank col) const noexcept {
+        return col < columns_ && static_cast<std::uint64_t>(row) * columns_ + col < num_ranks_;
+    }
+    [[nodiscard]] Rank id(Rank row, Rank col) const noexcept {
+        return row * columns_ + col;
+    }
+
+private:
+    Rank num_ranks_;
+    Rank columns_;
+    Rank rows_;
+};
+
+/// Two-level (node-aware) routing, the HavoqGT scheme the paper contrasts
+/// with its grid: PEs are grouped into compute nodes of `node_size` ranks;
+/// traffic to a remote node is first aggregated at a designated local
+/// gateway PE for that destination node, which then forwards across the
+/// network. Unlike GridRouter this is topology *dependent* — it assumes the
+/// rank→node mapping is physical. Terminates in ≤ 2 hops (a gateway sends
+/// directly).
+class TwoLevelRouter final : public Router {
+public:
+    TwoLevelRouter(Rank num_ranks, Rank node_size);
+
+    [[nodiscard]] Rank first_hop(Rank src, Rank final_dest) const override;
+
+    [[nodiscard]] Rank node_of(Rank r) const noexcept { return r / node_size_; }
+    [[nodiscard]] Rank num_nodes() const noexcept {
+        return (num_ranks_ + node_size_ - 1) / node_size_;
+    }
+    /// The PE inside node `src_node` responsible for traffic to `dst_node`.
+    [[nodiscard]] Rank gateway(Rank src_node, Rank dst_node) const;
+
+private:
+    Rank num_ranks_;
+    Rank node_size_;
+};
+
+}  // namespace katric::net

@@ -1,0 +1,58 @@
+#include "net/message_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace katric::net {
+
+MessageQueue::MessageQueue(std::uint64_t threshold_words, const Router& router, int tag)
+    : threshold_(threshold_words), router_(&router), tag_(tag) {
+    KATRIC_ASSERT(threshold_words > 0);
+}
+
+void MessageQueue::post(RankHandle& self, Rank final_dest,
+                        std::span<const std::uint64_t> words) {
+    KATRIC_ASSERT_MSG(final_dest != self.rank(), "queue post to self on rank " << self.rank());
+    const Rank hop = router_->first_hop(self.rank(), final_dest);
+    WordVec& buffer = buffers_[hop];
+    buffer.push_back(final_dest);
+    buffer.push_back(words.size());
+    buffer.insert(buffer.end(), words.begin(), words.end());
+    buffered_words_ += 2 + words.size();
+    self.note_buffered_words(buffered_words_);
+    if (buffered_words_ > threshold_) { flush(self); }
+}
+
+void MessageQueue::flush(RankHandle& self) {
+    for (auto& [dest, buffer] : buffers_) {
+        if (!buffer.empty()) { self.send(dest, std::move(buffer), tag_); }
+    }
+    buffers_.clear();
+    buffered_words_ = 0;
+    self.note_buffered_words(0);
+}
+
+std::size_t MessageQueue::handle(RankHandle& self, std::span<const std::uint64_t> payload,
+                                 const Deliver& deliver) {
+    std::size_t delivered = 0;
+    std::size_t index = 0;
+    while (index < payload.size()) {
+        KATRIC_ASSERT_MSG(index + 2 <= payload.size(), "truncated record header");
+        const auto final_dest = static_cast<Rank>(payload[index]);
+        const auto length = static_cast<std::size_t>(payload[index + 1]);
+        KATRIC_ASSERT_MSG(index + 2 + length <= payload.size(), "truncated record body");
+        const auto record = payload.subspan(index + 2, length);
+        if (final_dest == self.rank()) {
+            deliver(self, record);
+            ++delivered;
+        } else {
+            // Aggregation at the proxy: records for the same final column
+            // destination coalesce in this queue's buffers.
+            self.charge_ops(length);  // copy cost of staging the record
+            post(self, final_dest, record);
+        }
+        index += 2 + length;
+    }
+    return delivered;
+}
+
+}  // namespace katric::net

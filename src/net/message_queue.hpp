@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+
+#include "net/indirection.hpp"
+#include "net/simulator.hpp"
+
+namespace katric::net {
+
+/// The dynamically buffered message queue of Section IV-A — the paper's
+/// "asynchronous sparse all-to-all" building block, combined with the
+/// indirect routing of Section IV-B through a pluggable Router.
+///
+/// Each PE keeps a hash map of dynamic buffers B_j, one per physical
+/// communication partner (≤ p direct, ≤ ~2√p with the grid router). post()
+/// appends a logical record; once the total buffered volume B = Σ|B_j|
+/// exceeds the threshold δ, all buffers are handed to the runtime as
+/// non-blocking sends (double buffering: the algorithm keeps filling fresh
+/// buffers while the old ones are in flight — in the simulator this shows up
+/// as the sender being charged injection time only). Setting δ ∈ O(|E_i|)
+/// bounds per-PE memory by the local input size; the high-water mark is
+/// tracked through RankHandle::note_buffered_words, which enforces the
+/// configured memory budget.
+///
+/// Wire format of a physical payload: a sequence of records
+///   [final_dest, record_len, word₀ … word_{len−1}]
+/// Records whose final_dest is not the receiving PE are aggregation traffic
+/// for a proxy, which re-posts them into its own queue (second hop).
+class MessageQueue {
+public:
+    /// threshold_words = δ. The router reference must outlive the queue.
+    MessageQueue(std::uint64_t threshold_words, const Router& router, int tag);
+
+    /// Enqueues one logical record for final_dest; flushes if B > δ.
+    void post(RankHandle& self, Rank final_dest, std::span<const std::uint64_t> words);
+
+    /// Sends all non-empty buffers.
+    void flush(RankHandle& self);
+
+    [[nodiscard]] bool has_buffered() const noexcept { return buffered_words_ > 0; }
+    [[nodiscard]] std::uint64_t buffered_words() const noexcept { return buffered_words_; }
+    [[nodiscard]] int tag() const noexcept { return tag_; }
+
+    using Deliver = std::function<void(RankHandle&, std::span<const std::uint64_t>)>;
+
+    /// Processes one received physical payload: delivers records addressed
+    /// to this PE and re-posts (aggregates) records in transit. Returns the
+    /// number of records delivered locally.
+    std::size_t handle(RankHandle& self, std::span<const std::uint64_t> payload,
+                       const Deliver& deliver);
+
+private:
+    std::uint64_t threshold_;
+    const Router* router_;
+    int tag_;
+    std::unordered_map<Rank, WordVec> buffers_;
+    std::uint64_t buffered_words_ = 0;
+};
+
+}  // namespace katric::net

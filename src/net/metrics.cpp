@@ -1,0 +1,54 @@
+#include "net/metrics.hpp"
+
+#include <algorithm>
+
+namespace katric::net {
+
+void RankMetrics::merge(const RankMetrics& other) noexcept {
+    messages_sent += other.messages_sent;
+    messages_received += other.messages_received;
+    words_sent += other.words_sent;
+    words_received += other.words_received;
+    compute_ops += other.compute_ops;
+    peak_buffered_words = std::max(peak_buffered_words, other.peak_buffered_words);
+}
+
+std::uint64_t max_messages_sent(std::span<const RankMetrics> ranks) noexcept {
+    std::uint64_t result = 0;
+    for (const auto& r : ranks) { result = std::max(result, r.messages_sent); }
+    return result;
+}
+
+std::uint64_t max_words_sent(std::span<const RankMetrics> ranks) noexcept {
+    std::uint64_t result = 0;
+    for (const auto& r : ranks) { result = std::max(result, r.words_sent); }
+    return result;
+}
+
+std::uint64_t total_words_sent(std::span<const RankMetrics> ranks) noexcept {
+    std::uint64_t result = 0;
+    for (const auto& r : ranks) { result += r.words_sent; }
+    return result;
+}
+
+std::uint64_t total_messages_sent(std::span<const RankMetrics> ranks) noexcept {
+    std::uint64_t result = 0;
+    for (const auto& r : ranks) { result += r.messages_sent; }
+    return result;
+}
+
+std::uint64_t max_peak_buffered(std::span<const RankMetrics> ranks) noexcept {
+    std::uint64_t result = 0;
+    for (const auto& r : ranks) { result = std::max(result, r.peak_buffered_words); }
+    return result;
+}
+
+double phase_time(std::span<const PhaseRecord> phases, const std::string& name) {
+    double total = 0.0;
+    for (const auto& p : phases) {
+        if (p.name == name) { total += p.duration(); }
+    }
+    return total;
+}
+
+}  // namespace katric::net

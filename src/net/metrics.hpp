@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace katric::net {
+
+/// Per-PE communication and compute counters. These are *exact*
+/// combinatorial quantities — independent of the time model — and are the
+/// basis of the paper's "sent messages" and "bottleneck volume" plots.
+struct RankMetrics {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_received = 0;
+    std::uint64_t words_sent = 0;
+    std::uint64_t words_received = 0;
+    std::uint64_t compute_ops = 0;
+    /// High-water mark of buffered outgoing communication data (message
+    /// queue buffers, static aggregation buffers).
+    std::uint64_t peak_buffered_words = 0;
+
+    void merge(const RankMetrics& other) noexcept;
+};
+
+/// Max over PEs of messages_sent — the paper's Fig. 5 middle row.
+[[nodiscard]] std::uint64_t max_messages_sent(std::span<const RankMetrics> ranks) noexcept;
+/// Max over PEs of words_sent — the paper's "bottleneck communication volume".
+[[nodiscard]] std::uint64_t max_words_sent(std::span<const RankMetrics> ranks) noexcept;
+[[nodiscard]] std::uint64_t total_words_sent(std::span<const RankMetrics> ranks) noexcept;
+[[nodiscard]] std::uint64_t total_messages_sent(std::span<const RankMetrics> ranks) noexcept;
+[[nodiscard]] std::uint64_t max_peak_buffered(std::span<const RankMetrics> ranks) noexcept;
+
+/// Simulated timing of one superstep.
+struct PhaseRecord {
+    std::string name;
+    double start_time = 0.0;
+    double end_time = 0.0;  ///< after the closing barrier
+    [[nodiscard]] double duration() const noexcept { return end_time - start_time; }
+};
+
+/// Sums the durations of all phases whose name matches exactly.
+[[nodiscard]] double phase_time(std::span<const PhaseRecord> phases, const std::string& name);
+
+}  // namespace katric::net

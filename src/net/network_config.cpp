@@ -1,0 +1,15 @@
+#include "net/network_config.hpp"
+
+#include <sstream>
+
+namespace katric::net {
+
+std::string NetworkConfig::describe() const {
+    std::ostringstream out;
+    out << "alpha=" << alpha * 1e6 << "us beta=" << beta * 1e9
+        << "ns/word compute_op=" << compute_op * 1e9
+        << "ns mem_limit=" << (memory_limit_words >> 17) << "MiB/PE";
+    return out.str();
+}
+
+}  // namespace katric::net

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "net/metrics.hpp"
+#include "net/network_config.hpp"
+
+namespace katric::net {
+
+using Rank = graph::Rank;
+using WordVec = std::vector<std::uint64_t>;
+
+/// Raised when a PE's buffered communication data exceeds the configured
+/// per-PE memory budget — the simulated equivalent of the out-of-memory
+/// crashes the paper reports for TriC's static single-shot buffering.
+class OomError : public std::runtime_error {
+public:
+    OomError(Rank rank, std::uint64_t words);
+    [[nodiscard]] Rank rank() const noexcept { return rank_; }
+    [[nodiscard]] std::uint64_t words() const noexcept { return words_; }
+
+private:
+    Rank rank_;
+    std::uint64_t words_;
+};
+
+class Simulator;
+
+/// Per-PE facade handed to algorithm callbacks: the only way algorithm code
+/// can touch the machine. Mirrors the discipline of an MPI rank — a PE sees
+/// its own rank, the PE count, and explicit message passing; nothing else.
+class RankHandle {
+public:
+    RankHandle(Simulator& sim, Rank rank) noexcept : sim_(&sim), rank_(rank) {}
+
+    [[nodiscard]] Rank rank() const noexcept { return rank_; }
+    [[nodiscard]] Rank size() const noexcept;
+    [[nodiscard]] const NetworkConfig& config() const noexcept;
+
+    /// Non-blocking send: charges the sender α + β·ℓ (single-ported
+    /// injection) and schedules delivery. Self-sends are delivered through
+    /// the same path (with zero network charge) so algorithms need no
+    /// special case.
+    void send(Rank dest, WordVec payload, int tag = 0);
+
+    /// Advances this PE's clock by ops elementary operations.
+    void charge_ops(std::uint64_t ops);
+    /// Advances this PE's clock by an explicit amount of seconds.
+    void charge_seconds(double seconds);
+
+    /// This PE's simulated clock.
+    [[nodiscard]] double now() const noexcept;
+
+    /// Reports the current amount of buffered outgoing data; updates the
+    /// high-water mark and enforces the per-PE memory budget (throws
+    /// OomError past the limit).
+    void note_buffered_words(std::uint64_t current_words);
+
+    [[nodiscard]] const RankMetrics& metrics() const noexcept;
+
+private:
+    Simulator* sim_;
+    Rank rank_;
+};
+
+/// Deterministic discrete-event simulator of a p-PE message-passing machine.
+///
+/// Execution model (DESIGN.md §3): a *phase* (superstep) runs every rank's
+/// start function, then delivers messages in global arrival order until
+/// quiescence — handlers may send further messages (aggregation proxies,
+/// replies). An optional idle hook runs when the event queue drains, so
+/// message queues can flush residual buffers; the phase ends when an idle
+/// round generates no new traffic. A closing barrier lifts all clocks to the
+/// maximum plus α·⌈log₂ p⌉.
+///
+/// Determinism: ties in arrival time break by send sequence number, and
+/// per-channel FIFO follows from per-sender clock monotonicity.
+class Simulator {
+public:
+    using MessageHandler =
+        std::function<void(RankHandle&, Rank src, int tag, std::span<const std::uint64_t>)>;
+    using RankFn = std::function<void(RankHandle&)>;
+
+    Simulator(Rank num_ranks, NetworkConfig config);
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /// Runs one superstep; returns its duration in simulated seconds.
+    double run_phase(const std::string& name, const RankFn& start,
+                     const MessageHandler& on_message, const RankFn& on_idle = {});
+
+    [[nodiscard]] Rank num_ranks() const noexcept { return num_ranks_; }
+    [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+    /// Global simulated time (the last barrier).
+    [[nodiscard]] double time() const noexcept { return barrier_time_; }
+
+    [[nodiscard]] std::span<const RankMetrics> rank_metrics() const noexcept {
+        return metrics_;
+    }
+    [[nodiscard]] std::span<const PhaseRecord> phases() const noexcept { return phases_; }
+
+private:
+    friend class RankHandle;
+
+    struct Event {
+        double arrival;
+        std::uint64_t seq;
+        Rank src;
+        Rank dest;
+        int tag;
+        WordVec payload;
+    };
+    struct EventLater {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            return a.arrival != b.arrival ? a.arrival > b.arrival : a.seq > b.seq;
+        }
+    };
+
+    void send_from(Rank src, Rank dest, int tag, WordVec payload);
+    void deliver_until_quiescent(const MessageHandler& on_message, const RankFn& on_idle);
+
+    NetworkConfig config_;
+    Rank num_ranks_;
+    std::vector<double> clocks_;
+    std::vector<RankMetrics> metrics_;
+    std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+    std::uint64_t next_seq_ = 0;
+    double barrier_time_ = 0.0;
+    std::vector<PhaseRecord> phases_;
+};
+
+}  // namespace katric::net

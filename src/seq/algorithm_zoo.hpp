@@ -1,0 +1,28 @@
+#pragma once
+
+#include "seq/edge_iterator.hpp"
+
+namespace katric::seq {
+
+/// The wider sequential algorithm family surveyed by Ortmann & Brandes
+/// ("Triangle listing algorithms: back from the diversion", cited as [12]):
+/// beyond the merge-based EDGEITERATOR these serve as cross-checks and as
+/// kernels with different op-count profiles for the simulator's cost model.
+
+/// FORWARD (Latapy): process vertices in ≺ order with *dynamic* adjacency
+/// sets A(v) that only ever contain already-processed smaller vertices;
+/// T += |A(v) ∩ A(u)| before inserting v into A(u). Identical counts to
+/// compact-forward, but peak memory is bounded by the processed prefix.
+[[nodiscard]] SeqCountResult count_forward(const graph::CsrGraph& undirected);
+
+/// Hashed edge iterator: intersect N⁺(v) with a hash set over N⁺(u) —
+/// O(min) expected probes instead of O(|a|+|b|) comparisons. Preferable for
+/// very skewed neighborhood sizes.
+[[nodiscard]] SeqCountResult count_edge_iterator_hashed(const graph::CsrGraph& undirected);
+
+/// Node iterator: for every vertex, probe all pairs of (oriented) neighbors
+/// for the closing edge — the classic O(Σ C(d⁺,2) · log d) baseline, and the
+/// kernel the HavoqGT-style distributed baseline parallelizes.
+[[nodiscard]] SeqCountResult count_node_iterator(const graph::CsrGraph& undirected);
+
+}  // namespace katric::seq

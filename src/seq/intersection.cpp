@@ -1,0 +1,84 @@
+#include "seq/intersection.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace katric::seq {
+
+IntersectResult intersect_merge(std::span<const graph::VertexId> a,
+                                std::span<const graph::VertexId> b) noexcept {
+    IntersectResult result;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++result.ops;
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            ++result.count;
+            ++i;
+            ++j;
+        }
+    }
+    return result;
+}
+
+IntersectResult intersect_binary(std::span<const graph::VertexId> a,
+                                 std::span<const graph::VertexId> b) noexcept {
+    if (a.size() > b.size()) { return intersect_binary(b, a); }
+    IntersectResult result;
+    const std::uint64_t log_b = katric::ceil_log2(b.size() + 1) + 1;
+    for (const graph::VertexId x : a) {
+        result.ops += log_b;
+        if (std::binary_search(b.begin(), b.end(), x)) { ++result.count; }
+    }
+    return result;
+}
+
+IntersectResult intersect_hybrid(std::span<const graph::VertexId> a,
+                                 std::span<const graph::VertexId> b) noexcept {
+    const std::size_t small = std::min(a.size(), b.size());
+    const std::size_t large = std::max(a.size(), b.size());
+    // Binary search pays off once |small|·log|large| < |small| + |large|.
+    if (small + large > small * (katric::ceil_log2(large + 1) + 1)) {
+        return intersect_binary(a, b);
+    }
+    return intersect_merge(a, b);
+}
+
+IntersectResult intersect(IntersectKind kind, std::span<const graph::VertexId> a,
+                          std::span<const graph::VertexId> b) noexcept {
+    switch (kind) {
+        case IntersectKind::kMerge: return intersect_merge(a, b);
+        case IntersectKind::kBinary: return intersect_binary(a, b);
+        case IntersectKind::kHybrid: return intersect_hybrid(a, b);
+    }
+    return {};
+}
+
+IntersectResult intersect_merge_collect(std::span<const graph::VertexId> a,
+                                        std::span<const graph::VertexId> b,
+                                        std::vector<graph::VertexId>& out) {
+    IntersectResult result;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++result.ops;
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            ++result.count;
+            out.push_back(a[i]);
+            ++i;
+            ++j;
+        }
+    }
+    return result;
+}
+
+}  // namespace katric::seq

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace katric::seq {
+
+/// Result of a set-intersection count plus the number of elementary
+/// operations performed. The op count feeds the simulator's compute-cost
+/// model so simulated time reflects the real work the kernels do.
+struct IntersectResult {
+    std::uint64_t count = 0;
+    std::uint64_t ops = 0;
+};
+
+/// Merge-style intersection of two ID-sorted neighborhoods — the kernel the
+/// paper uses ("a procedure similar to the merge phase of merge sort").
+/// ops = number of comparisons ≈ |a| + |b|.
+[[nodiscard]] IntersectResult intersect_merge(std::span<const graph::VertexId> a,
+                                              std::span<const graph::VertexId> b) noexcept;
+
+/// Binary-search intersection: probe each element of the smaller set in the
+/// larger one. ops ≈ |small| · log₂|large|; wins for very skewed sizes and
+/// is the GPU-friendly variant discussed in related work.
+[[nodiscard]] IntersectResult intersect_binary(std::span<const graph::VertexId> a,
+                                               std::span<const graph::VertexId> b) noexcept;
+
+/// Size-ratio dispatch between merge and binary search.
+[[nodiscard]] IntersectResult intersect_hybrid(std::span<const graph::VertexId> a,
+                                               std::span<const graph::VertexId> b) noexcept;
+
+enum class IntersectKind { kMerge, kBinary, kHybrid };
+
+[[nodiscard]] IntersectResult intersect(IntersectKind kind,
+                                        std::span<const graph::VertexId> a,
+                                        std::span<const graph::VertexId> b) noexcept;
+
+/// Merge intersection that also reports the common elements — needed for
+/// per-vertex triangle counts (LCC), where every closing vertex w must be
+/// credited.
+IntersectResult intersect_merge_collect(std::span<const graph::VertexId> a,
+                                        std::span<const graph::VertexId> b,
+                                        std::vector<graph::VertexId>& out);
+
+}  // namespace katric::seq

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Lightweight always-on assertion macros. Unlike <cassert>, these stay
+/// active in Release builds: the library's correctness claims (orientation
+/// invariants, partition bounds, queue accounting) are cheap relative to the
+/// graph work they guard and are part of the public contract.
+namespace katric {
+
+/// Thrown by KATRIC_ASSERT / KATRIC_THROW. Derives from std::logic_error so
+/// callers can catch precondition violations separately from I/O failures.
+class assertion_error : public std::logic_error {
+public:
+    explicit assertion_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assertion_failed(const char* expr, const char* file, int line,
+                                          const std::string& msg) {
+    std::ostringstream out;
+    out << "KATRIC_ASSERT failed: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) { out << " — " << msg; }
+    throw assertion_error(out.str());
+}
+}  // namespace detail
+
+}  // namespace katric
+
+#define KATRIC_ASSERT(expr)                                                       \
+    do {                                                                          \
+        if (!(expr)) {                                                            \
+            ::katric::detail::assertion_failed(#expr, __FILE__, __LINE__, "");    \
+        }                                                                         \
+    } while (false)
+
+#define KATRIC_ASSERT_MSG(expr, msg)                                              \
+    do {                                                                          \
+        if (!(expr)) {                                                            \
+            std::ostringstream katric_assert_out_;                                \
+            katric_assert_out_ << msg;                                            \
+            ::katric::detail::assertion_failed(#expr, __FILE__, __LINE__,         \
+                                               katric_assert_out_.str());         \
+        }                                                                         \
+    } while (false)
+
+#define KATRIC_THROW(msg)                                                         \
+    do {                                                                          \
+        std::ostringstream katric_throw_out_;                                     \
+        katric_throw_out_ << msg;                                                 \
+        throw ::katric::assertion_error(katric_throw_out_.str());                 \
+    } while (false)

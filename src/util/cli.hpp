@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace katric {
+
+/// Minimal command-line parser for benches and examples. Supports
+/// `--name value`, `--name=value`, and boolean `--flag`. Unknown arguments
+/// are an error so typos in sweep parameters fail loudly instead of
+/// silently benchmarking the defaults.
+class CliParser {
+public:
+    CliParser(std::string program, std::string description);
+
+    /// Declares an option with a default; returns *this for chaining.
+    CliParser& option(const std::string& name, const std::string& default_value,
+                      const std::string& help);
+    CliParser& flag(const std::string& name, const std::string& help);
+
+    /// Parses argv. Returns false (after printing usage) iff --help was given.
+    /// Throws assertion_error on unknown options or missing values.
+    bool parse(int argc, const char* const* argv);
+
+    [[nodiscard]] std::string get_string(const std::string& name) const;
+    [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+    [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+    [[nodiscard]] double get_double(const std::string& name) const;
+    [[nodiscard]] bool get_flag(const std::string& name) const;
+    /// Comma-separated integer list, e.g. "--ps 1,2,4,8".
+    [[nodiscard]] std::vector<std::uint64_t> get_uint_list(const std::string& name) const;
+
+    [[nodiscard]] std::string usage() const;
+
+private:
+    struct Option {
+        std::string default_value;
+        std::string help;
+        bool is_flag = false;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Option> options_;
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace katric

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace katric {
+
+/// Fibonacci/Murmur3-style 64-bit finalizer. Good avalanche, no allocation;
+/// used for AMQ hash families, colorful-counting colors, and hash maps.
+constexpr std::uint64_t hash64(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/// Seeded variant, for independent hash functions h_i(x) = hash64_seeded(x, i).
+constexpr std::uint64_t hash64_seeded(std::uint64_t x, std::uint64_t seed) noexcept {
+    return hash64(x ^ (seed * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL));
+}
+
+/// boost-style combine for composite keys.
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+    return h ^ (hash64(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+struct PairHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p) const noexcept {
+        return static_cast<std::size_t>(hash_combine(hash64(p.first), p.second));
+    }
+};
+
+}  // namespace katric

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace katric {
+
+/// Exclusive prefix sum; result has size input.size() + 1 with the total in
+/// the last slot — the exact shape CSR offset arrays need.
+template <typename T>
+[[nodiscard]] std::vector<T> exclusive_prefix_sum(std::span<const T> values) {
+    std::vector<T> out(values.size() + 1);
+    T running{};
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        out[i] = running;
+        running += values[i];
+    }
+    out[values.size()] = running;
+    return out;
+}
+
+/// In-place inclusive prefix sum.
+template <typename T>
+void inclusive_prefix_sum_inplace(std::span<T> values) {
+    T running{};
+    for (auto& v : values) {
+        running += v;
+        v = running;
+    }
+}
+
+}  // namespace katric

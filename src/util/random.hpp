@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace katric {
+
+/// SplitMix64 — used to seed Xoshiro and as a cheap stateless mixer.
+/// Reference: Steele, Lea, Flood (2014); public-domain constants.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Deterministic, fast, and with
+/// 256-bit state — sufficient independence for per-PE generator streams.
+class Xoshiro256 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) { word = splitmix64(sm); }
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). Lemire's multiply-shift rejection method.
+    std::uint64_t next_bounded(std::uint64_t bound) noexcept {
+        KATRIC_ASSERT(bound > 0);
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (0ULL - bound) % bound;
+            while (low < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform double in [0, 1) with 53 bits of entropy.
+    double next_double() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double next_double(double lo, double hi) noexcept {
+        return lo + (hi - lo) * next_double();
+    }
+
+    /// Bernoulli trial with success probability prob.
+    bool next_bool(double prob) noexcept { return next_double() < prob; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+/// Derives an independent stream seed for (base_seed, stream). Used so every
+/// simulated PE generates its slice of a graph from the same global seed
+/// without coordination — mirroring KaGen's communication-free design.
+constexpr std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream) noexcept {
+    std::uint64_t s = base_seed ^ (0x9e3779b97f4a7c15ULL + stream * 0xda942042e4dd58b5ULL);
+    (void)splitmix64(s);
+    return splitmix64(s);
+}
+
+}  // namespace katric

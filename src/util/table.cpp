@@ -1,0 +1,112 @@
+#include "util/table.hpp"
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace katric {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    KATRIC_ASSERT(!headers_.empty());
+}
+
+Table& Table::row() {
+    if (!rows_.empty()) {
+        KATRIC_ASSERT_MSG(rows_.back().size() == headers_.size(),
+                          "previous row incomplete: " << rows_.back().size() << " of "
+                                                      << headers_.size() << " cells");
+    }
+    rows_.emplace_back();
+    rows_.back().reserve(headers_.size());
+    return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+    KATRIC_ASSERT_MSG(!rows_.empty(), "call row() before cell()");
+    KATRIC_ASSERT_MSG(rows_.back().size() < headers_.size(), "row overflow");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return cell(out.str());
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) { widths[c] = headers_[c].size(); }
+    for (const auto& r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            widths[c] = std::max(widths[c], r[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& text = c < cells.size() ? cells[c] : std::string{};
+            out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+                << std::left << text;
+        }
+        out << '\n';
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) { total += widths[c] + (c == 0 ? 0 : 2); }
+    out << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) { print_row(r); }
+}
+
+std::string Table::to_csv() const {
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0) { out << ','; }
+            out << cells[c];
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) { emit(r); }
+    return out.str();
+}
+
+std::string format_si(double value, int precision) {
+    static constexpr const char* suffixes[] = {"", " k", " M", " G", " T", " P"};
+    std::size_t index = 0;
+    double magnitude = value < 0 ? -value : value;
+    while (magnitude >= 1000.0 && index + 1 < std::size(suffixes)) {
+        magnitude /= 1000.0;
+        value /= 1000.0;
+        ++index;
+    }
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(index == 0 ? 0 : precision) << value
+        << suffixes[index];
+    return out.str();
+}
+
+std::string format_words_as_bytes(std::uint64_t words) {
+    static constexpr const char* suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double bytes = static_cast<double>(words) * 8.0;
+    std::size_t index = 0;
+    while (bytes >= 1024.0 && index + 1 < std::size(suffixes)) {
+        bytes /= 1024.0;
+        ++index;
+    }
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(index == 0 ? 0 : 2) << bytes << ' '
+        << suffixes[index];
+    return out.str();
+}
+
+}  // namespace katric

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <chrono>
+
+namespace katric {
+
+/// Wall-clock timer for host-side measurements (bench harness bookkeeping).
+/// Simulated time inside the machine model is tracked separately by
+/// net::Simulator; this class never feeds simulated results.
+class WallTimer {
+public:
+    WallTimer() noexcept { restart(); }
+
+    void restart() noexcept { start_ = Clock::now(); }
+
+    [[nodiscard]] double elapsed_seconds() const noexcept {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace katric

@@ -1,0 +1,96 @@
+#include "amq/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace katric::amq {
+namespace {
+
+TEST(BloomFilter, NoFalseNegativesProperty) {
+    for (std::uint64_t trial = 0; trial < 20; ++trial) {
+        Xoshiro256 rng(trial);
+        BloomFilter filter = BloomFilter::with_fpr(200, 0.02, trial);
+        std::vector<std::uint64_t> keys;
+        for (int i = 0; i < 200; ++i) { keys.push_back(rng()); }
+        for (const auto k : keys) { filter.insert(k); }
+        for (const auto k : keys) { EXPECT_TRUE(filter.contains(k)); }
+    }
+}
+
+TEST(BloomFilter, MeasuredFprNearAnalytic) {
+    const std::uint64_t n = 2000;
+    BloomFilter filter = BloomFilter::with_fpr(n, 0.02, 99);
+    Xoshiro256 rng(7);
+    for (std::uint64_t i = 0; i < n; ++i) { filter.insert(rng()); }
+    // Disjoint query set (fresh random 64-bit keys collide with the inserted
+    // set with negligible probability).
+    std::uint64_t false_positives = 0;
+    const std::uint64_t queries = 50000;
+    for (std::uint64_t i = 0; i < queries; ++i) {
+        if (filter.contains(rng())) { ++false_positives; }
+    }
+    const double measured = static_cast<double>(false_positives) / queries;
+    const double analytic = filter.expected_fpr();
+    EXPECT_LT(measured, 3.0 * analytic + 0.005);
+    EXPECT_GT(measured, analytic / 4.0 - 0.005);
+    EXPECT_NEAR(analytic, 0.02, 0.02);
+}
+
+TEST(BloomFilter, SizingFormula) {
+    const auto filter = BloomFilter::with_fpr(1000, 0.01);
+    // m ≈ 9.59 bits/key at 1% FPR, k ≈ 7.
+    EXPECT_NEAR(static_cast<double>(filter.num_bits()), 9585.0, 10.0);
+    EXPECT_NEAR(filter.num_hashes(), 7u, 1u);
+}
+
+TEST(BloomFilter, SerializationRoundTrip) {
+    BloomFilter filter(512, 4, 12345);
+    for (std::uint64_t k = 0; k < 50; ++k) { filter.insert(k * k + 1); }
+    const auto copy = BloomFilter::from_words(filter.words(), filter.num_bits(),
+                                              filter.num_hashes(), 12345,
+                                              filter.inserted());
+    EXPECT_EQ(copy.inserted(), filter.inserted());
+    for (std::uint64_t k = 0; k < 50; ++k) {
+        EXPECT_TRUE(copy.contains(k * k + 1));
+    }
+    // Same bit pattern ⇒ identical membership answers on arbitrary probes.
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const auto key = rng();
+        EXPECT_EQ(copy.contains(key), filter.contains(key));
+    }
+}
+
+TEST(BloomFilter, DeserializationSizeMismatchRejected) {
+    BloomFilter filter(512, 4, 1);
+    EXPECT_THROW(
+        BloomFilter::from_words(filter.words(), /*num_bits=*/4096, 4, 1, 0),
+        katric::assertion_error);
+}
+
+TEST(BloomFilter, ExpectedFprMonotoneInLoad) {
+    BloomFilter filter(1024, 4, 1);
+    EXPECT_LT(filter.expected_fpr(10), filter.expected_fpr(100));
+    EXPECT_LT(filter.expected_fpr(100), filter.expected_fpr(1000));
+    EXPECT_EQ(filter.expected_fpr(0), 0.0);
+}
+
+TEST(BloomFilter, EmptyFilterContainsNothing) {
+    const BloomFilter filter(256, 3, 7);
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 1000; ++i) { EXPECT_FALSE(filter.contains(rng())); }
+}
+
+TEST(BloomFilter, SeedChangesHashPositions) {
+    BloomFilter a(256, 3, 1);
+    BloomFilter b(256, 3, 2);
+    a.insert(42);
+    b.insert(42);
+    EXPECT_NE(a.words(), b.words());
+}
+
+}  // namespace
+}  // namespace katric::amq

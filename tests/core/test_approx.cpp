@@ -1,0 +1,184 @@
+#include "core/approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runner.hpp"
+#include "seq/edge_iterator.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::core {
+namespace {
+
+TEST(CetricAmq, Type12ExactAndType3WithinTolerance) {
+    const auto g = gen::generate_rgg2d(2048, gen::rgg2d_radius_for_degree(2048, 14.0), 6);
+    const auto exact = seq::count_edge_iterator(g).triangles;
+
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 8;
+    const auto exact_run = count_triangles(g, spec);
+    ASSERT_EQ(exact_run.triangles, exact);
+
+    AmqOptions amq;
+    amq.target_fpr = 0.01;
+    const auto approx = count_triangles_cetric_amq(g, spec, amq);
+    EXPECT_EQ(approx.exact_type12, exact_run.local_phase_triangles);
+    // Type-3 estimate within 15% of the true value (plus small absolute slack
+    // for tiny counts).
+    const auto true_type3 = static_cast<double>(exact_run.global_phase_triangles);
+    EXPECT_NEAR(approx.estimated_type3, true_type3,
+                0.15 * true_type3 + 8.0);
+    EXPECT_NEAR(approx.estimated_triangles, static_cast<double>(exact),
+                0.05 * static_cast<double>(exact) + 8.0);
+}
+
+TEST(CetricAmq, TruthfulCorrectionBeatsRawCount) {
+    // With a sloppy filter (high FPR), the uncorrected count overestimates;
+    // the truthful estimator must land closer to the target.
+    const auto g = gen::generate_gnm(2048, 2048 * 10, 19);
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 8;
+    const auto exact_run = count_triangles(g, spec);
+    const auto true_type3 = static_cast<double>(exact_run.global_phase_triangles);
+    ASSERT_GT(true_type3, 100.0);
+
+    AmqOptions sloppy;
+    sloppy.target_fpr = 0.2;
+    sloppy.truthful = false;
+    const auto raw = count_triangles_cetric_amq(g, spec, sloppy);
+    sloppy.truthful = true;
+    const auto corrected = count_triangles_cetric_amq(g, spec, sloppy);
+
+    EXPECT_GT(raw.estimated_type3, true_type3);  // FPs only ever add
+    EXPECT_LT(std::abs(corrected.estimated_type3 - true_type3),
+              std::abs(raw.estimated_type3 - true_type3));
+}
+
+TEST(CetricAmq, ReducesGlobalVolumeOnCutHeavyInstance) {
+    // 8 bits/key Bloom vs 64-bit vertex IDs: the approximate global phase
+    // must ship fewer words than the exact one.
+    const auto g = gen::generate_gnm(4096, 4096 * 12, 29);
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 16;
+    const auto exact_run = count_triangles(g, spec);
+    AmqOptions amq;
+    amq.target_fpr = 0.05;
+    const auto approx = count_triangles_cetric_amq(g, spec, amq);
+    EXPECT_LT(approx.metrics.total_words_sent, exact_run.total_words_sent);
+}
+
+TEST(CetricAmq, SingleRankHasNoType3) {
+    const auto g = katric::test::complete_graph(12);
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 1;
+    const auto approx = count_triangles_cetric_amq(g, spec, AmqOptions{});
+    EXPECT_DOUBLE_EQ(approx.estimated_type3, 0.0);
+    EXPECT_EQ(approx.exact_type12, 220u);  // C(12,3)
+}
+
+TEST(Doulion, SparsifiesAndEstimates) {
+    const auto g = gen::generate_rgg2d(4096, gen::rgg2d_radius_for_degree(4096, 16.0), 31);
+    const auto exact = static_cast<double>(seq::count_edge_iterator(g).triangles);
+    ASSERT_GT(exact, 1000.0);
+
+    const double keep = 0.5;
+    double estimate_sum = 0.0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+        const auto sparse = sparsify_doulion(g, keep, 100 + t);
+        EXPECT_LT(sparse.num_edges(), g.num_edges());
+        RunSpec spec;
+        spec.algorithm = Algorithm::kDitric;
+        spec.num_ranks = 4;
+        estimate_sum += static_cast<double>(count_triangles(sparse, spec).triangles)
+                        * doulion_scale(keep);
+    }
+    const double estimate = estimate_sum / trials;
+    EXPECT_NEAR(estimate, exact, 0.25 * exact);
+}
+
+TEST(Doulion, KeepAllIsExact) {
+    const auto g = katric::test::complete_graph(10);
+    const auto sparse = sparsify_doulion(g, 1.0, 1);
+    EXPECT_EQ(sparse.num_edges(), g.num_edges());
+    EXPECT_DOUBLE_EQ(doulion_scale(1.0), 1.0);
+}
+
+TEST(Colorful, MonochromaticSparsificationEstimates) {
+    const auto g = gen::generate_rgg2d(4096, gen::rgg2d_radius_for_degree(4096, 16.0), 37);
+    const auto exact = static_cast<double>(seq::count_edge_iterator(g).triangles);
+    const std::uint64_t colors = 2;
+    double estimate_sum = 0.0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+        const auto sparse = sparsify_colorful(g, colors, 200 + t);
+        EXPECT_LT(sparse.num_edges(), g.num_edges());
+        RunSpec spec;
+        spec.algorithm = Algorithm::kCetric;
+        spec.num_ranks = 4;
+        estimate_sum += static_cast<double>(count_triangles(sparse, spec).triangles)
+                        * colorful_scale(colors);
+    }
+    EXPECT_NEAR(estimate_sum / trials, exact, 0.35 * exact);
+}
+
+TEST(Colorful, OneColorKeepsEverything) {
+    const auto g = katric::test::bowtie_graph();
+    const auto sparse = sparsify_colorful(g, 1, 7);
+    EXPECT_EQ(sparse.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace katric::core
+
+namespace katric::core {
+namespace {
+
+TEST(CetricAmqAdaptive, VolumeNeverWorseAndErrorNeverWorse) {
+    // Adaptive encoding ships the raw list whenever it is cheaper than the
+    // filter: volume can only go down, and raw records are exact, so the
+    // error cannot grow systematically.
+    const auto g = gen::generate_rgg2d(4096, gen::rgg2d_radius_for_degree(4096, 16.0), 41);
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 16;
+    const auto exact = count_triangles(g, spec);
+    const auto true_total = static_cast<double>(exact.triangles);
+
+    AmqOptions plain;
+    plain.target_fpr = 0.05;
+    AmqOptions adaptive = plain;
+    adaptive.adaptive = true;
+    const auto plain_run = count_triangles_cetric_amq(g, spec, plain);
+    const auto adaptive_run = count_triangles_cetric_amq(g, spec, adaptive);
+
+    EXPECT_LE(adaptive_run.metrics.total_words_sent, plain_run.metrics.total_words_sent);
+    const double plain_err = std::abs(plain_run.estimated_triangles - true_total);
+    const double adaptive_err = std::abs(adaptive_run.estimated_triangles - true_total);
+    EXPECT_LE(adaptive_err, plain_err + 0.02 * true_total);
+}
+
+TEST(CetricAmqAdaptive, AllRawListsEqualsExactCount) {
+    // With a huge FPR target, every filter is tiny but the adaptive check
+    // compares against the list+header; on a graph with short contracted
+    // lists, everything ships raw and the "estimate" is exact.
+    const auto g = gen::generate_grid_road(48, 48, 0.95, 0.2, 9);
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 8;
+    const auto exact = count_triangles(g, spec);
+    AmqOptions amq;
+    amq.target_fpr = 0.3;  // 2.5 bits/key — still ≥ 1 word + 5-word header
+    amq.adaptive = true;
+    const auto approx = count_triangles_cetric_amq(g, spec, amq);
+    EXPECT_DOUBLE_EQ(approx.estimated_triangles,
+                     static_cast<double>(exact.triangles));
+}
+
+}  // namespace
+}  // namespace katric::core

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/cetric.hpp"
+#include "core/runner.hpp"
+#include "graph/distributed_graph.hpp"
+#include "seq/edge_iterator.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::core {
+namespace {
+
+/// Classifies every triangle of g under a partition into types 1/2/3
+/// (Section IV-C, Fig. 4a).
+struct TypeCounts {
+    std::uint64_t type1 = 0;
+    std::uint64_t type2 = 0;
+    std::uint64_t type3 = 0;
+};
+
+TypeCounts classify(const graph::CsrGraph& g, const graph::Partition1D& partition) {
+    TypeCounts counts;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        for (VertexId v : g.neighbors(u)) {
+            if (v <= u) { continue; }
+            for (VertexId w : g.neighbors(v)) {
+                if (w <= v || !g.has_edge(u, w)) { continue; }
+                const Rank ru = partition.rank_of(u);
+                const Rank rv = partition.rank_of(v);
+                const Rank rw = partition.rank_of(w);
+                if (ru == rv && rv == rw) {
+                    ++counts.type1;
+                } else if (ru != rv && rv != rw && ru != rw) {
+                    ++counts.type3;
+                } else {
+                    ++counts.type2;
+                }
+            }
+        }
+    }
+    return counts;
+}
+
+class CetricPhaseTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Rank>> {};
+
+TEST_P(CetricPhaseTest, LocalPhaseFindsType12GlobalFindsType3) {
+    const auto [family_index, p] = GetParam();
+    static const auto cases = katric::test::family_cases();
+    const auto& g = cases[family_index].graph;
+
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = p;
+    const auto partition = make_partition(g, spec);
+    const auto types = classify(g, partition);
+
+    const auto result = count_triangles(g, spec);
+    EXPECT_EQ(result.local_phase_triangles, types.type1 + types.type2)
+        << "local phase must find exactly the type-1+type-2 triangles";
+    EXPECT_EQ(result.global_phase_triangles, types.type3)
+        << "global phase must find exactly the type-3 triangles";
+}
+
+INSTANTIATE_TEST_SUITE_P(FamiliesTimesRanks, CetricPhaseTest,
+                         ::testing::Combine(::testing::Range<std::size_t>(0, 7),
+                                            ::testing::Values<Rank>(2, 4, 7)));
+
+TEST(CetricProperties, GlobalPhaseVolumeBoundedByCutStructure) {
+    // CETRIC's communication volume depends only on the cut graph: on a
+    // locality-rich geometric instance it must be well below DITRIC's, which
+    // ships full neighborhoods.
+    const auto g = gen::generate_rgg2d(2048, gen::rgg2d_radius_for_degree(2048, 16.0), 8);
+    RunSpec cetric;
+    cetric.algorithm = Algorithm::kCetric;
+    cetric.num_ranks = 8;
+    RunSpec ditric = cetric;
+    ditric.algorithm = Algorithm::kDitric;
+    const auto cetric_result = count_triangles(g, cetric);
+    const auto ditric_result = count_triangles(g, ditric);
+    EXPECT_EQ(cetric_result.triangles, ditric_result.triangles);
+    EXPECT_LT(cetric_result.total_words_sent, ditric_result.total_words_sent);
+    EXPECT_LT(cetric_result.max_words_sent, ditric_result.max_words_sent);
+}
+
+TEST(CetricProperties, NoLocalityMeansNoVolumeWin) {
+    // GNM has no locality: contraction removes few edges, so CETRIC's volume
+    // is not substantially below DITRIC's (the paper's Fig. 5, GNM column).
+    const auto g = gen::generate_gnm(2048, 2048 * 8, 4);
+    RunSpec cetric;
+    cetric.algorithm = Algorithm::kCetric;
+    cetric.num_ranks = 8;
+    RunSpec ditric = cetric;
+    ditric.algorithm = Algorithm::kDitric;
+    const auto cetric_result = count_triangles(g, cetric);
+    const auto ditric_result = count_triangles(g, ditric);
+    EXPECT_GT(static_cast<double>(cetric_result.total_words_sent),
+              0.5 * static_cast<double>(ditric_result.total_words_sent));
+}
+
+TEST(CetricProperties, ContractedSizeEqualsOrientedCutEdges) {
+    const auto g = gen::generate_rhg(1024, 10.0, 2.8, 6);
+    const auto partition = graph::Partition1D::uniform(g.num_vertices(), 4);
+    auto views = graph::distribute(g, partition);
+    graph::EdgeId contracted_total = 0;
+    for (auto& view : views) {
+        view.fill_ghost_degrees_from(g);
+        view.build_oriented();
+        contracted_total += view.contracted_size();
+    }
+    // Each cut edge appears in exactly one contracted list (at its
+    // ≺-smaller endpoint's owner).
+    graph::EdgeId cut_edges = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        for (VertexId u : g.neighbors(v)) {
+            if (v < u && partition.rank_of(v) != partition.rank_of(u)) { ++cut_edges; }
+        }
+    }
+    EXPECT_EQ(contracted_total, cut_edges);
+}
+
+TEST(CetricProperties, PhaseTimesArePopulated) {
+    const auto g = gen::generate_rgg2d(512, gen::rgg2d_radius_for_degree(512, 12.0), 2);
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric2;
+    spec.num_ranks = 8;
+    const auto result = count_triangles(g, spec);
+    EXPECT_GT(result.preprocessing_time, 0.0);
+    EXPECT_GT(result.local_time, 0.0);
+    EXPECT_GT(result.contraction_time, 0.0);
+    EXPECT_GT(result.global_time, 0.0);
+    EXPECT_GT(result.reduce_time, 0.0);
+    EXPECT_NEAR(result.total_time,
+                result.preprocessing_time + result.local_time + result.contraction_time
+                    + result.global_time + result.reduce_time,
+                1e-9);
+}
+
+TEST(CetricProperties, DitricHasNoContractionPhase) {
+    const auto g = gen::generate_rgg2d(512, gen::rgg2d_radius_for_degree(512, 12.0), 2);
+    RunSpec spec;
+    spec.algorithm = Algorithm::kDitric;
+    spec.num_ranks = 4;
+    const auto result = count_triangles(g, spec);
+    EXPECT_EQ(result.contraction_time, 0.0);
+}
+
+}  // namespace
+}  // namespace katric::core

@@ -1,0 +1,78 @@
+#include "core/dist_lcc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+#include <numeric>
+
+#include "seq/edge_iterator.hpp"
+#include "seq/lcc.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::core {
+namespace {
+
+class DistLccTest
+    : public ::testing::TestWithParam<std::tuple<Algorithm, std::size_t, Rank>> {};
+
+TEST_P(DistLccTest, DeltaAndLccMatchSequential) {
+    const auto [algorithm, family_index, p] = GetParam();
+    static const auto cases = katric::test::family_cases();
+    const auto& g = cases[family_index].graph;
+
+    RunSpec spec;
+    spec.algorithm = algorithm;
+    spec.num_ranks = p;
+    const auto result = compute_distributed_lcc(g, spec);
+
+    const auto expected_delta = seq::per_vertex_triangles(g);
+    ASSERT_EQ(result.delta.size(), expected_delta.size());
+    EXPECT_EQ(result.delta, expected_delta);
+
+    const auto expected_lcc = seq::lcc_from_triangle_counts(g, expected_delta);
+    ASSERT_EQ(result.lcc.size(), expected_lcc.size());
+    for (std::size_t v = 0; v < expected_lcc.size(); ++v) {
+        EXPECT_DOUBLE_EQ(result.lcc[v], expected_lcc[v]) << "vertex " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SinkCapableAlgorithms, DistLccTest,
+    ::testing::Combine(::testing::Values(Algorithm::kDitric, Algorithm::kDitric2,
+                                         Algorithm::kCetric, Algorithm::kCetric2),
+                       ::testing::Values<std::size_t>(0, 1, 3, 5),
+                       ::testing::Values<Rank>(1, 4, 7)));
+
+TEST(DistLcc, DeltaSumsToThreeTimesTriangles) {
+    const auto g = gen::generate_rhg(700, 9.0, 2.8, 12);
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 5;
+    const auto result = compute_distributed_lcc(g, spec);
+    const auto total =
+        std::accumulate(result.delta.begin(), result.delta.end(), std::uint64_t{0});
+    EXPECT_EQ(total, 3 * result.count.triangles);
+    EXPECT_EQ(result.count.triangles, seq::count_edge_iterator(g).triangles);
+}
+
+TEST(DistLcc, PostprocessingIsAccounted) {
+    const auto g = gen::generate_rgg2d(512, gen::rgg2d_radius_for_degree(512, 10.0), 4);
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 8;
+    const auto result = compute_distributed_lcc(g, spec);
+    EXPECT_GT(result.postprocess_time, 0.0);
+    EXPECT_GE(result.count.total_time, result.postprocess_time);
+}
+
+TEST(DistLcc, BaselineAlgorithmsRejected) {
+    const auto g = katric::test::triangle_graph();
+    RunSpec spec;
+    spec.algorithm = Algorithm::kTricStyle;
+    spec.num_ranks = 2;
+    EXPECT_THROW(compute_distributed_lcc(g, spec), katric::assertion_error);
+}
+
+}  // namespace
+}  // namespace katric::core

@@ -1,0 +1,80 @@
+#include "core/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "seq/edge_iterator.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::core {
+namespace {
+
+std::set<Triangle> brute_force_triangles(const graph::CsrGraph& g) {
+    std::set<Triangle> result;
+    for (VertexId a = 0; a < g.num_vertices(); ++a) {
+        for (VertexId b : g.neighbors(a)) {
+            if (b <= a) { continue; }
+            for (VertexId c : g.neighbors(b)) {
+                if (c > b && g.has_edge(a, c)) { result.insert(Triangle{a, b, c}); }
+            }
+        }
+    }
+    return result;
+}
+
+class EnumerateTest
+    : public ::testing::TestWithParam<std::tuple<Algorithm, std::size_t, Rank>> {};
+
+TEST_P(EnumerateTest, ExactlyOnceAndComplete) {
+    const auto [algorithm, family_index, p] = GetParam();
+    static const auto cases = katric::test::family_cases();
+    const auto& g = cases[family_index].graph;
+
+    RunSpec spec;
+    spec.algorithm = algorithm;
+    spec.num_ranks = p;
+    const auto result = enumerate_triangles(g, spec);
+
+    const auto expected = brute_force_triangles(g);
+    ASSERT_EQ(result.triangles.size(), expected.size());
+    std::size_t index = 0;
+    for (const auto& t : expected) {
+        EXPECT_EQ(result.triangles[index], t) << "at index " << index;
+        ++index;
+    }
+    // The per-rank emission counts partition the full set.
+    const auto emitted = std::accumulate(result.found_per_rank.begin(),
+                                         result.found_per_rank.end(), std::size_t{0});
+    EXPECT_EQ(emitted, expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsFamiliesRanks, EnumerateTest,
+    ::testing::Combine(::testing::Values(Algorithm::kDitric, Algorithm::kCetric,
+                                         Algorithm::kCetric2),
+                       ::testing::Values<std::size_t>(0, 1, 4, 5),
+                       ::testing::Values<Rank>(1, 4, 9)));
+
+TEST(Enumerate, CompleteGraphListsAllTriples) {
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 5;
+    const auto result = enumerate_triangles(katric::test::complete_graph(10), spec);
+    EXPECT_EQ(result.triangles.size(), 120u);  // C(10,3)
+    EXPECT_EQ(result.triangles.front(), (Triangle{0, 1, 2}));
+    EXPECT_EQ(result.triangles.back(), (Triangle{7, 8, 9}));
+}
+
+TEST(Enumerate, TriangleFreeGraphIsEmpty) {
+    RunSpec spec;
+    spec.algorithm = Algorithm::kDitric2;
+    spec.num_ranks = 3;
+    const auto result = enumerate_triangles(katric::test::petersen_graph(), spec);
+    EXPECT_TRUE(result.triangles.empty());
+    EXPECT_EQ(result.count.triangles, 0u);
+}
+
+}  // namespace
+}  // namespace katric::core

@@ -1,0 +1,79 @@
+// Randomized end-to-end property sweep: random graph family, random size,
+// random partition strategy, random rank count, random δ — the distributed
+// count must always equal the sequential reference, and the conservation
+// identities must hold. 48 seeded scenarios per algorithm family.
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "gen/gnm.hpp"
+#include "gen/grid.hpp"
+#include "gen/rgg2d.hpp"
+#include "gen/rhg.hpp"
+#include "gen/rmat.hpp"
+#include "seq/edge_iterator.hpp"
+#include "util/random.hpp"
+
+namespace katric::core {
+namespace {
+
+graph::CsrGraph random_instance(katric::Xoshiro256& rng) {
+    const auto family = rng.next_bounded(5);
+    const graph::VertexId n = 64 + rng.next_bounded(400);
+    const std::uint64_t seed = rng();
+    switch (family) {
+        case 0: return gen::generate_gnm(n, n * (2 + rng.next_bounded(12)), seed);
+        case 1:
+            return gen::generate_rgg2d(
+                n, gen::rgg2d_radius_for_degree(n, 4.0 + rng.next_double() * 12.0), seed);
+        case 2:
+            return gen::generate_rhg(n, 4.0 + rng.next_double() * 8.0,
+                                     2.2 + rng.next_double(), seed);
+        case 3: {
+            const auto scale = static_cast<std::uint32_t>(6 + rng.next_bounded(4));
+            return gen::generate_rmat(scale, (std::uint64_t{1} << scale) * 8, seed);
+        }
+        default: {
+            const graph::VertexId side = 8 + rng.next_bounded(16);
+            return gen::generate_grid_road(side, side, 0.8 + rng.next_double() * 0.2,
+                                           rng.next_double() * 0.3, seed);
+        }
+    }
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, RandomScenarioStaysExact) {
+    katric::Xoshiro256 rng(GetParam() * 7919 + 13);
+    const auto g = random_instance(rng);
+    const auto expected = seq::count_edge_iterator(g).triangles;
+
+    RunSpec spec;
+    const auto& algorithms = all_algorithms();
+    spec.algorithm = algorithms[rng.next_bounded(algorithms.size())];
+    spec.num_ranks = static_cast<Rank>(1 + rng.next_bounded(24));
+    spec.partition = rng.next_bool(0.5) ? PartitionStrategy::kUniformVertices
+                                        : PartitionStrategy::kBalancedEdges;
+    if (rng.next_bool(0.3)) {
+        spec.options.buffer_threshold_words = 1 + rng.next_bounded(256);
+    }
+    spec.options.intersect =
+        std::array{seq::IntersectKind::kMerge, seq::IntersectKind::kBinary,
+                   seq::IntersectKind::kHybrid}[rng.next_bounded(3)];
+    if (rng.next_bool(0.25)) { spec.options.threads = 1 + static_cast<int>(rng.next_bounded(8)); }
+
+    SCOPED_TRACE(testing::Message()
+                 << algorithm_name(spec.algorithm) << " p=" << spec.num_ranks
+                 << " n=" << g.num_vertices() << " m=" << g.num_edges()
+                 << " delta=" << spec.options.buffer_threshold_words
+                 << " threads=" << spec.options.threads);
+    const auto result = count_triangles(g, spec);
+    ASSERT_FALSE(result.oom);
+    EXPECT_EQ(result.triangles, expected);
+    EXPECT_EQ(result.local_phase_triangles + result.global_phase_triangles, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<std::uint64_t>(0, 48));
+
+}  // namespace
+}  // namespace katric::core

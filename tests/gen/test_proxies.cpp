@@ -1,0 +1,67 @@
+#include "gen/proxies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+#include "graph/graph_stats.hpp"
+#include "seq/lcc.hpp"
+
+namespace katric::gen {
+namespace {
+
+TEST(Proxies, RegistryHasAllEightInstances) {
+    const auto& registry = proxy_registry();
+    ASSERT_EQ(registry.size(), 8u);
+    EXPECT_EQ(registry[0].name, "live-journal");
+    EXPECT_EQ(registry[7].name, "usa");
+    for (const auto& spec : registry) {
+        EXPECT_TRUE(spec.family == "social" || spec.family == "web"
+                    || spec.family == "road");
+        EXPECT_GT(spec.paper_n, 0u);
+        EXPECT_GT(spec.paper_m, 0u);
+    }
+}
+
+TEST(Proxies, SpecLookup) {
+    EXPECT_EQ(proxy_spec("orkut").family, "social");
+    EXPECT_EQ(proxy_spec("europe").family, "road");
+    EXPECT_THROW(proxy_spec("nonexistent"), katric::assertion_error);
+    EXPECT_THROW(build_proxy("nonexistent"), katric::assertion_error);
+}
+
+TEST(Proxies, AllBuildAndAreDeterministic) {
+    for (const auto& spec : proxy_registry()) {
+        SCOPED_TRACE(spec.name);
+        const auto g = build_proxy(spec.name);
+        EXPECT_GT(g.num_vertices(), 1000u);
+        EXPECT_GT(g.num_edges(), g.num_vertices() / 2);
+        const auto again = build_proxy(spec.name);
+        EXPECT_EQ(g.targets(), again.targets());
+    }
+}
+
+TEST(Proxies, FamilyCharacteristicsHold) {
+    // Road proxies: low uniform degree. Social/web: skewed.
+    const auto europe = graph::compute_stats(build_proxy("europe"));
+    EXPECT_LT(europe.avg_degree, 6.0);
+    EXPECT_LE(europe.max_degree, 8u);
+
+    const auto orkut = graph::compute_stats(build_proxy("orkut"));
+    EXPECT_GT(orkut.avg_degree, 20.0);
+    EXPECT_GT(static_cast<double>(orkut.max_degree), 5.0 * orkut.avg_degree);
+
+    // Web proxies cluster strongly; road proxies almost not at all.
+    const double web_lcc = seq::average_lcc(build_proxy("webbase-2001"));
+    const double road_lcc = seq::average_lcc(build_proxy("usa"));
+    EXPECT_GT(web_lcc, 3.0 * road_lcc);
+}
+
+TEST(Proxies, ScaleGrowsInstance) {
+    const auto base = build_proxy("live-journal", 1);
+    const auto big = build_proxy("live-journal", 2);
+    EXPECT_EQ(big.num_vertices(), 2 * base.num_vertices());
+}
+
+}  // namespace
+}  // namespace katric::gen

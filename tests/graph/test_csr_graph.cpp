@@ -1,0 +1,93 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "support/test_graphs.hpp"
+#include "util/assert.hpp"
+
+namespace katric::graph {
+namespace {
+
+TEST(CsrGraph, BuildFromEdgeListBasics) {
+    EdgeList e;
+    e.add(0, 1);
+    e.add(1, 2);
+    e.add(0, 2);
+    e.add(2, 3);
+    const CsrGraph g = build_undirected(std::move(e));
+    EXPECT_EQ(g.num_vertices(), 4u);
+    EXPECT_EQ(g.num_edges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(2), 3u);
+    EXPECT_EQ(g.degree(3), 1u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_FALSE(g.has_edge(0, 3));
+    g.validate();
+}
+
+TEST(CsrGraph, DuplicatesAndSelfLoopsRemoved) {
+    EdgeList e;
+    e.add(0, 1);
+    e.add(1, 0);
+    e.add(0, 0);
+    const CsrGraph g = build_undirected(std::move(e), 2);
+    EXPECT_EQ(g.num_edges(), 1u);
+    g.validate();
+}
+
+TEST(CsrGraph, IsolatedTrailingVertices) {
+    EdgeList e;
+    e.add(0, 1);
+    const CsrGraph g = build_undirected(std::move(e), 5);
+    EXPECT_EQ(g.num_vertices(), 5u);
+    EXPECT_EQ(g.degree(4), 0u);
+    EXPECT_TRUE(g.neighbors(4).empty());
+    g.validate();
+}
+
+TEST(CsrGraph, NeighborhoodsAreSorted) {
+    EdgeList e;
+    e.add(3, 0);
+    e.add(3, 2);
+    e.add(3, 1);
+    const CsrGraph g = build_undirected(std::move(e));
+    const auto nbrs = g.neighbors(3);
+    ASSERT_EQ(nbrs.size(), 3u);
+    EXPECT_EQ(nbrs[0], 0u);
+    EXPECT_EQ(nbrs[1], 1u);
+    EXPECT_EQ(nbrs[2], 2u);
+}
+
+TEST(CsrGraph, EndpointBeyondVertexCountRejected) {
+    EdgeList e;
+    e.add(0, 7);
+    EXPECT_THROW(build_undirected(std::move(e), 3), katric::assertion_error);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+    const CsrGraph g = build_undirected(EdgeList{}, 0);
+    EXPECT_EQ(g.num_vertices(), 0u);
+    EXPECT_EQ(g.num_edges(), 0u);
+    g.validate();
+}
+
+TEST(CsrGraph, EdgeListRoundTrip) {
+    const CsrGraph g = katric::test::bowtie_graph();
+    const EdgeList back = to_edge_list(g);
+    const CsrGraph g2 = build_undirected(back, g.num_vertices());
+    EXPECT_EQ(g2.num_edges(), g.num_edges());
+    EXPECT_EQ(g2.offsets(), g.offsets());
+    EXPECT_EQ(g2.targets(), g.targets());
+}
+
+TEST(CsrGraph, ValidateOnGeneratedFamilies) {
+    for (const auto& fc : katric::test::family_cases()) {
+        SCOPED_TRACE(fc.name);
+        EXPECT_NO_THROW(fc.graph.validate());
+    }
+}
+
+}  // namespace
+}  // namespace katric::graph

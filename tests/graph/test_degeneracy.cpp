@@ -1,0 +1,86 @@
+#include "graph/degeneracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/orientation.hpp"
+#include "seq/edge_iterator.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::graph {
+namespace {
+
+TEST(Degeneracy, KnownValues) {
+    EXPECT_EQ(degeneracy(katric::test::complete_graph(8)), 7u);   // K_n: n−1
+    EXPECT_EQ(degeneracy(katric::test::path_graph(10)), 1u);      // tree: 1
+    EXPECT_EQ(degeneracy(katric::test::cycle_graph(10)), 2u);     // cycle: 2
+    EXPECT_EQ(degeneracy(katric::test::petersen_graph()), 3u);    // 3-regular
+    EXPECT_EQ(degeneracy(katric::test::triangle_graph()), 2u);
+}
+
+TEST(Degeneracy, CoreNumbersOfBowtie) {
+    // Both triangles are 2-cores; every vertex has core number 2.
+    const auto cores = core_numbers(katric::test::bowtie_graph());
+    for (const auto c : cores) { EXPECT_EQ(c, 2u); }
+}
+
+TEST(Degeneracy, CoreNumbersNestedStructure) {
+    // K5 with a pendant path: K5 vertices have core 4, the path degrades.
+    EdgeList e;
+    for (VertexId u = 0; u < 5; ++u) {
+        for (VertexId v = u + 1; v < 5; ++v) { e.add(u, v); }
+    }
+    e.add(4, 5);
+    e.add(5, 6);
+    const auto g = build_undirected(std::move(e), 7);
+    const auto cores = core_numbers(g);
+    for (VertexId v = 0; v < 5; ++v) { EXPECT_EQ(cores[v], 4u) << v; }
+    EXPECT_EQ(cores[5], 1u);
+    EXPECT_EQ(cores[6], 1u);
+}
+
+TEST(Degeneracy, OrderIsAPermutation) {
+    const auto g = gen::generate_rmat(9, 4096, 7);
+    auto order = degeneracy_order(g);
+    EXPECT_EQ(order.size(), g.num_vertices());
+    std::sort(order.begin(), order.end());
+    for (VertexId i = 0; i < order.size(); ++i) { EXPECT_EQ(order[i], i); }
+}
+
+TEST(Degeneracy, OrientationBoundsOutDegree) {
+    // The defining property: out-degree ≤ degeneracy for every vertex.
+    for (const auto& fc : katric::test::family_cases()) {
+        SCOPED_TRACE(fc.name);
+        const auto d = degeneracy(fc.graph);
+        const auto oriented = orient_by_degeneracy(fc.graph);
+        EXPECT_LE(max_out_degree(oriented), d);
+        EXPECT_EQ(oriented.num_edges(), fc.graph.num_edges());
+    }
+}
+
+TEST(Degeneracy, OrientedCountMatchesReference) {
+    for (const auto& fc : katric::test::family_cases()) {
+        SCOPED_TRACE(fc.name);
+        const auto oriented = orient_by_degeneracy(fc.graph);
+        EXPECT_EQ(seq::count_oriented(oriented).triangles,
+                  seq::count_brute_force(fc.graph));
+    }
+}
+
+TEST(Degeneracy, DegeneracyLowerBoundsMaxOutDegreeOfDegreeOrder) {
+    // Degree order is a heuristic; degeneracy order is optimal for the
+    // max-out-degree objective.
+    const auto g = gen::generate_rhg(2048, 10.0, 2.4, 3);
+    EXPECT_LE(max_out_degree(orient_by_degeneracy(g)),
+              max_out_degree(orient_by_degree(g)));
+}
+
+TEST(Degeneracy, EmptyGraph) {
+    const auto empty = build_undirected(EdgeList{}, 0);
+    EXPECT_EQ(degeneracy(empty), 0u);
+    EXPECT_TRUE(degeneracy_order(empty).empty());
+}
+
+}  // namespace
+}  // namespace katric::graph

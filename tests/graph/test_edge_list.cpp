@@ -1,0 +1,53 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace katric::graph {
+namespace {
+
+TEST(EdgeList, NormalizeCanonicalizesAndDedups) {
+    EdgeList e;
+    e.add(2, 1);
+    e.add(1, 2);
+    e.add(3, 3);  // self loop
+    e.add(0, 1);
+    e.add(1, 0);
+    e.normalize();
+    ASSERT_EQ(e.size(), 2u);
+    EXPECT_EQ(e.edges()[0], (Edge{0, 1}));
+    EXPECT_EQ(e.edges()[1], (Edge{1, 2}));
+}
+
+TEST(EdgeList, NormalizeEmpty) {
+    EdgeList e;
+    e.normalize();
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.max_vertex_plus_one(), 0u);
+}
+
+TEST(EdgeList, MaxVertexPlusOne) {
+    EdgeList e;
+    e.add(5, 2);
+    e.add(0, 9);
+    EXPECT_EQ(e.max_vertex_plus_one(), 10u);
+}
+
+TEST(EdgeList, AppendConcatenates) {
+    EdgeList a;
+    a.add(0, 1);
+    EdgeList b;
+    b.add(1, 2);
+    b.add(2, 3);
+    a.append(b);
+    EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(Edge, CanonicalOrdersEndpoints) {
+    EXPECT_EQ((Edge{5, 2}.canonical()), (Edge{2, 5}));
+    EXPECT_EQ((Edge{2, 5}.canonical()), (Edge{2, 5}));
+    EXPECT_TRUE((Edge{4, 4}.is_self_loop()));
+    EXPECT_FALSE((Edge{4, 5}.is_self_loop()));
+}
+
+}  // namespace
+}  // namespace katric::graph

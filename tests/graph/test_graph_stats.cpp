@@ -1,0 +1,51 @@
+#include "graph/graph_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_graphs.hpp"
+
+namespace katric::graph {
+namespace {
+
+TEST(GraphStats, TriangleGraph) {
+    const auto stats = compute_stats(katric::test::triangle_graph());
+    EXPECT_EQ(stats.n, 3u);
+    EXPECT_EQ(stats.m, 3u);
+    EXPECT_EQ(stats.wedges, 3u);           // one per vertex
+    EXPECT_EQ(stats.oriented_wedges, 1u);  // only the ≺-smallest vertex keeps 2 out-edges
+    EXPECT_EQ(stats.max_degree, 2u);
+    EXPECT_DOUBLE_EQ(stats.avg_degree, 2.0);
+}
+
+TEST(GraphStats, CompleteGraphCounts) {
+    const VertexId n = 10;
+    const auto stats = compute_stats(katric::test::complete_graph(n));
+    EXPECT_EQ(stats.m, n * (n - 1) / 2);
+    EXPECT_EQ(stats.wedges, n * (n - 1) / 2 * (n - 2));  // n·C(n−1,2)
+    EXPECT_EQ(stats.max_degree, n - 1);
+    // Oriented: vertex with out-degree k contributes C(k,2); out-degrees in
+    // K_n under any total order are 0..n−1 ⇒ Σ C(k,2) = C(n,3).
+    EXPECT_EQ(stats.oriented_wedges, n * (n - 1) * (n - 2) / 6);
+}
+
+TEST(GraphStats, PathHasNoOrientedWedgeSurplus) {
+    const auto stats = compute_stats(katric::test::path_graph(10));
+    EXPECT_EQ(stats.wedges, 8u);  // every interior vertex
+    EXPECT_EQ(stats.m, 9u);
+}
+
+TEST(GraphStats, DegreeHistogramTotals) {
+    const auto g = katric::test::complete_graph(8);
+    const auto h = degree_histogram(g);
+    EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(GraphStats, EmptyGraph) {
+    const auto stats = compute_stats(graph::CsrGraph{});
+    EXPECT_EQ(stats.n, 0u);
+    EXPECT_EQ(stats.m, 0u);
+    EXPECT_DOUBLE_EQ(stats.avg_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace katric::graph

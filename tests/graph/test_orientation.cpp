@@ -1,0 +1,97 @@
+#include "graph/orientation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/test_graphs.hpp"
+
+namespace katric::graph {
+namespace {
+
+class OrientationFamilyTest : public ::testing::TestWithParam<std::size_t> {
+protected:
+    [[nodiscard]] const katric::test::FamilyCase& family_case() const {
+        static const auto cases = katric::test::family_cases();
+        return cases[GetParam()];
+    }
+};
+
+TEST_P(OrientationFamilyTest, EveryEdgeOrientedExactlyOnce) {
+    const CsrGraph& g = family_case().graph;
+    const CsrGraph oriented = orient_by_degree(g);
+    EXPECT_EQ(oriented.num_edges(), g.num_edges());
+    // (v,u) in oriented ⇒ {v,u} in g and (u,v) not in oriented.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        for (VertexId u : oriented.neighbors(v)) {
+            EXPECT_TRUE(g.has_edge(v, u));
+            EXPECT_FALSE(oriented.has_edge(u, v)) << v << "->" << u;
+        }
+    }
+}
+
+TEST_P(OrientationFamilyTest, RespectsDegreeOrder) {
+    const CsrGraph& g = family_case().graph;
+    const CsrGraph oriented = orient_by_degree(g);
+    std::vector<Degree> degrees(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) { degrees[v] = g.degree(v); }
+    const DegreeOrder order{std::span<const Degree>(degrees)};
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        for (VertexId u : oriented.neighbors(v)) {
+            EXPECT_TRUE(order.precedes(v, u)) << v << "->" << u;
+        }
+    }
+}
+
+TEST_P(OrientationFamilyTest, OutNeighborhoodsIdSorted) {
+    const CsrGraph oriented = orient_by_degree(family_case().graph);
+    for (VertexId v = 0; v < oriented.num_vertices(); ++v) {
+        const auto out = oriented.neighbors(v);
+        EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, OrientationFamilyTest,
+                         ::testing::Range<std::size_t>(0, 7),
+                         [](const auto& info) {
+                             static const auto cases = katric::test::family_cases();
+                             return cases[info.param].name;
+                         });
+
+TEST(DegreeOrder, IsTotalAndAntisymmetric) {
+    const std::vector<Degree> degrees{3, 1, 3, 2};
+    const DegreeOrder order{std::span<const Degree>(degrees)};
+    for (VertexId u = 0; u < 4; ++u) {
+        for (VertexId v = 0; v < 4; ++v) {
+            if (u == v) { continue; }
+            EXPECT_NE(order.precedes(u, v), order.precedes(v, u));
+        }
+    }
+    // Equal degrees tie-break by ID.
+    EXPECT_TRUE(order.precedes(0, 2));
+    // Lower degree precedes.
+    EXPECT_TRUE(order.precedes(1, 3));
+    EXPECT_TRUE(order.precedes(3, 0));
+}
+
+TEST(DegreeOrientation, ReducesMaxOutDegreeOnStar) {
+    // Star: center has degree n−1; degree orientation points all edges
+    // from the leaves to the hub, so the hub's out-degree is 0.
+    EdgeList e;
+    for (VertexId leaf = 1; leaf <= 32; ++leaf) { e.add(0, leaf); }
+    const CsrGraph g = build_undirected(std::move(e));
+    const CsrGraph by_degree = orient_by_degree(g);
+    const CsrGraph by_id = orient_by_id(g);
+    EXPECT_EQ(by_degree.degree(0), 0u);
+    EXPECT_EQ(max_out_degree(by_degree), 1u);
+    EXPECT_EQ(max_out_degree(by_id), 32u);  // ID order keeps the hub heavy
+}
+
+TEST(DegreeOrientation, SkewedFamilyImprovesOverIdOrder) {
+    const auto g = gen::generate_rmat(9, 4096, 123);
+    EXPECT_LE(max_out_degree(orient_by_degree(g)), max_out_degree(orient_by_id(g)));
+}
+
+}  // namespace
+}  // namespace katric::graph

@@ -1,0 +1,112 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+#include "gen/rmat.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::graph {
+namespace {
+
+TEST(Partition1D, UniformCoversDisjointly) {
+    for (Rank p : {1u, 2u, 3u, 7u, 16u}) {
+        for (VertexId n : {0ull, 1ull, 5ull, 100ull, 101ull}) {
+            SCOPED_TRACE(testing::Message() << "p=" << p << " n=" << n);
+            const auto part = Partition1D::uniform(n, p);
+            EXPECT_EQ(part.num_ranks(), p);
+            EXPECT_EQ(part.num_vertices(), n);
+            VertexId covered = 0;
+            for (Rank i = 0; i < p; ++i) {
+                EXPECT_EQ(part.begin(i), covered);
+                covered += part.size(i);
+            }
+            EXPECT_EQ(covered, n);
+            // Sizes differ by at most one.
+            VertexId min_size = n;
+            VertexId max_size = 0;
+            for (Rank i = 0; i < p; ++i) {
+                min_size = std::min(min_size, part.size(i));
+                max_size = std::max(max_size, part.size(i));
+            }
+            if (n > 0) { EXPECT_LE(max_size - min_size, 1u); }
+        }
+    }
+}
+
+TEST(Partition1D, RankOfMatchesRanges) {
+    const auto part = Partition1D::uniform(103, 7);
+    for (VertexId v = 0; v < 103; ++v) {
+        const Rank r = part.rank_of(v);
+        EXPECT_TRUE(part.is_local(v, r));
+        EXPECT_GE(v, part.begin(r));
+        EXPECT_LT(v, part.end(r));
+    }
+}
+
+TEST(Partition1D, GlobalIdOrderFollowsRankOrder) {
+    // The paper's assumption: rank(v) < rank(w) ⇒ v < w.
+    const auto part = Partition1D::uniform(64, 5);
+    for (VertexId v = 0; v < 64; ++v) {
+        for (VertexId w = v + 1; w < 64; ++w) {
+            EXPECT_LE(part.rank_of(v), part.rank_of(w));
+        }
+    }
+}
+
+TEST(Partition1D, MorePartsThanVertices) {
+    const auto part = Partition1D::uniform(3, 8);
+    VertexId total = 0;
+    for (Rank i = 0; i < 8; ++i) { total += part.size(i); }
+    EXPECT_EQ(total, 3u);
+}
+
+TEST(Partition1D, BalancedByEdgesCoversAndBalances) {
+    const auto g = gen::generate_rmat(10, 8192, 3);
+    for (Rank p : {2u, 4u, 8u, 16u}) {
+        SCOPED_TRACE(testing::Message() << "p=" << p);
+        const auto part = Partition1D::balanced_by_edges(g, p);
+        EXPECT_EQ(part.num_ranks(), p);
+        EXPECT_EQ(part.num_vertices(), g.num_vertices());
+        // Disjoint cover.
+        VertexId covered = 0;
+        for (Rank i = 0; i < p; ++i) {
+            EXPECT_EQ(part.begin(i), covered);
+            covered += part.size(i);
+        }
+        EXPECT_EQ(covered, g.num_vertices());
+        // Edge balance: no rank holds more than ~2.5× its share plus the
+        // heaviest single vertex (contiguity limits what is achievable).
+        const EdgeId total = g.offsets().back();
+        Degree max_degree = 0;
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+            max_degree = std::max(max_degree, g.degree(v));
+        }
+        for (Rank i = 0; i < p; ++i) {
+            EdgeId half_edges = 0;
+            for (VertexId v = part.begin(i); v < part.end(i); ++v) {
+                half_edges += g.degree(v);
+            }
+            EXPECT_LE(half_edges, total / p * 5 / 2 + max_degree + 1)
+                << "rank " << i << " overloaded";
+        }
+    }
+}
+
+TEST(Partition1D, BalancedByEdgesOnUniformFamilyIsNearUniform) {
+    const auto g = katric::test::complete_graph(64);
+    const auto part = Partition1D::balanced_by_edges(g, 4);
+    for (Rank i = 0; i < 4; ++i) {
+        EXPECT_NEAR(static_cast<double>(part.size(i)), 16.0, 3.0);
+    }
+}
+
+TEST(Partition1D, InvalidBoundariesRejected) {
+    EXPECT_THROW(Partition1D(std::vector<VertexId>{}), katric::assertion_error);
+    EXPECT_THROW(Partition1D(std::vector<VertexId>{1, 2}), katric::assertion_error);
+    EXPECT_THROW(Partition1D(std::vector<VertexId>{0, 3, 2}), katric::assertion_error);
+}
+
+}  // namespace
+}  // namespace katric::graph

@@ -1,0 +1,80 @@
+#include "graph/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/partition.hpp"
+#include "seq/edge_iterator.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::graph {
+namespace {
+
+bool is_permutation_of_iota(const std::vector<VertexId>& perm) {
+    std::vector<VertexId> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (VertexId i = 0; i < sorted.size(); ++i) {
+        if (sorted[i] != i) { return false; }
+    }
+    return true;
+}
+
+TEST(Permutation, RandomIsValidPermutation) {
+    const auto perm = random_permutation(257, 99);
+    EXPECT_TRUE(is_permutation_of_iota(perm));
+    EXPECT_EQ(perm, random_permutation(257, 99));  // deterministic
+    EXPECT_NE(perm, random_permutation(257, 100));
+}
+
+TEST(Permutation, ApplyPreservesStructure) {
+    const CsrGraph g = gen::generate_rgg2d(128, gen::rgg2d_radius_for_degree(128, 6.0), 3);
+    const auto perm = random_permutation(g.num_vertices(), 5);
+    const CsrGraph shuffled = apply_permutation(g, perm);
+    EXPECT_EQ(shuffled.num_vertices(), g.num_vertices());
+    EXPECT_EQ(shuffled.num_edges(), g.num_edges());
+    // Degrees are carried along.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(shuffled.degree(perm[v]), g.degree(v));
+    }
+    // Triangle count is invariant under relabeling.
+    EXPECT_EQ(seq::count_edge_iterator(shuffled).triangles,
+              seq::count_edge_iterator(g).triangles);
+}
+
+TEST(Permutation, IdentityIsNoop) {
+    const CsrGraph g = katric::test::bowtie_graph();
+    const CsrGraph same = apply_permutation(g, identity_permutation(g.num_vertices()));
+    EXPECT_EQ(same.offsets(), g.offsets());
+    EXPECT_EQ(same.targets(), g.targets());
+}
+
+TEST(Permutation, BfsOrderCoversAllVertices) {
+    const CsrGraph g = gen::generate_gnm(200, 500, 77);
+    const auto perm = bfs_order(g);
+    EXPECT_TRUE(is_permutation_of_iota(perm));
+}
+
+TEST(Permutation, BfsOrderImprovesLocalityOnGeometric) {
+    // A shuffled geometric graph regains locality under BFS order: measure
+    // the number of cut edges of a 4-way uniform partition.
+    const CsrGraph base =
+        gen::generate_rgg2d(512, gen::rgg2d_radius_for_degree(512, 8.0), 21);
+    const CsrGraph shuffled = apply_permutation(base, random_permutation(512, 22));
+    const CsrGraph restored = apply_permutation(shuffled, bfs_order(shuffled));
+    const auto part = Partition1D::uniform(512, 4);
+    auto cut_edges = [&](const CsrGraph& g) {
+        EdgeId cut = 0;
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+            for (VertexId u : g.neighbors(v)) {
+                if (v < u && part.rank_of(v) != part.rank_of(u)) { ++cut; }
+            }
+        }
+        return cut;
+    };
+    EXPECT_LT(cut_edges(restored), cut_edges(shuffled));
+}
+
+}  // namespace
+}  // namespace katric::graph

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/dist_lcc.hpp"
+#include "core/runner.hpp"
+#include "gen/proxies.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/io.hpp"
+#include "seq/edge_iterator.hpp"
+#include "seq/lcc.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric {
+namespace {
+
+using core::Algorithm;
+using core::RunSpec;
+
+TEST(Pipeline, GenerateDistributeCountValidateEveryProxy) {
+    // End-to-end over all eight Table I proxies with the paper's main
+    // algorithms at a moderate rank count.
+    for (const auto& spec_entry : gen::proxy_registry()) {
+        SCOPED_TRACE(spec_entry.name);
+        const auto g = gen::build_proxy(spec_entry.name);
+        const auto expected = seq::count_edge_iterator(g).triangles;
+        for (const Algorithm algorithm :
+             {Algorithm::kDitric, Algorithm::kCetric, Algorithm::kCetric2}) {
+            RunSpec spec;
+            spec.algorithm = algorithm;
+            spec.num_ranks = 8;
+            const auto result = core::count_triangles(g, spec);
+            ASSERT_FALSE(result.oom) << core::algorithm_name(algorithm);
+            EXPECT_EQ(result.triangles, expected) << core::algorithm_name(algorithm);
+        }
+    }
+}
+
+TEST(Pipeline, FileRoundTripThenDistributedCount) {
+    const auto dir = std::filesystem::temp_directory_path() / "katric_pipeline";
+    std::filesystem::create_directories(dir);
+    const auto g = gen::build_proxy("europe");
+    const auto path = (dir / "europe.ktrb").string();
+    graph::write_binary(g, path);
+    const auto loaded = graph::read_binary(path);
+
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 12;
+    EXPECT_EQ(core::count_triangles(loaded, spec).triangles,
+              seq::count_edge_iterator(g).triangles);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Pipeline, ScalingSweepKeepsCountInvariant) {
+    const auto g = gen::build_proxy("live-journal");
+    const auto expected = seq::count_edge_iterator(g).triangles;
+    for (const graph::Rank p : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        RunSpec spec;
+        spec.algorithm = Algorithm::kDitric2;
+        spec.num_ranks = p;
+        EXPECT_EQ(core::count_triangles(g, spec).triangles, expected) << "p=" << p;
+    }
+}
+
+TEST(Pipeline, LccOnWebProxyMatchesSequential) {
+    const auto g = gen::build_proxy("webbase-2001");
+    RunSpec spec;
+    spec.algorithm = Algorithm::kCetric;
+    spec.num_ranks = 8;
+    const auto dist = core::compute_distributed_lcc(g, spec);
+    EXPECT_EQ(dist.delta, seq::per_vertex_triangles(g));
+}
+
+TEST(Pipeline, StatsForTable1AreComputable) {
+    const auto g = gen::build_proxy("usa");
+    const auto stats = graph::compute_stats(g);
+    EXPECT_EQ(stats.n, g.num_vertices());
+    EXPECT_EQ(stats.m, g.num_edges());
+    EXPECT_GT(stats.wedges, 0u);
+}
+
+}  // namespace
+}  // namespace katric

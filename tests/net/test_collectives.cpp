@@ -1,0 +1,86 @@
+#include "net/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace katric::net {
+namespace {
+
+TEST(AllToAll, DenseExchangesEverything) {
+    const Rank p = 5;
+    Simulator sim(p, NetworkConfig{});
+    std::vector<std::vector<WordVec>> sends(p, std::vector<WordVec>(p));
+    for (Rank src = 0; src < p; ++src) {
+        for (Rank dst = 0; dst < p; ++dst) {
+            sends[src][dst] = WordVec{src * 100ULL + dst};
+        }
+    }
+    const auto recv = all_to_all(sim, std::move(sends), /*sparse=*/false, "x");
+    for (Rank dst = 0; dst < p; ++dst) {
+        for (Rank src = 0; src < p; ++src) {
+            ASSERT_EQ(recv[dst][src].size(), 1u) << src << "->" << dst;
+            EXPECT_EQ(recv[dst][src][0], src * 100ULL + dst);
+        }
+    }
+}
+
+TEST(AllToAll, DenseSendsEmptyMessagesSparseSkips) {
+    const Rank p = 4;
+    {
+        Simulator sim(p, NetworkConfig{});
+        std::vector<std::vector<WordVec>> sends(p, std::vector<WordVec>(p));
+        (void)all_to_all(sim, std::move(sends), /*sparse=*/false, "dense");
+        EXPECT_EQ(total_messages_sent(sim.rank_metrics()), p * (p - 1));
+    }
+    {
+        Simulator sim(p, NetworkConfig{});
+        std::vector<std::vector<WordVec>> sends(p, std::vector<WordVec>(p));
+        sends[0][1] = WordVec{42};
+        (void)all_to_all(sim, std::move(sends), /*sparse=*/true, "sparse");
+        EXPECT_EQ(total_messages_sent(sim.rank_metrics()), 1u);
+    }
+}
+
+TEST(AllToAll, SelfContributionBypassesNetwork) {
+    const Rank p = 2;
+    Simulator sim(p, NetworkConfig{});
+    std::vector<std::vector<WordVec>> sends(p, std::vector<WordVec>(p));
+    sends[0][0] = WordVec{9, 9};
+    const auto recv = all_to_all(sim, std::move(sends), /*sparse=*/true, "x");
+    EXPECT_EQ(recv[0][0], (WordVec{9, 9}));
+    EXPECT_EQ(total_messages_sent(sim.rank_metrics()), 0u);
+}
+
+class AllreduceTest : public ::testing::TestWithParam<Rank> {};
+
+TEST_P(AllreduceTest, SumsAcrossAnyRankCount) {
+    const Rank p = GetParam();
+    Simulator sim(p, NetworkConfig{});
+    std::vector<std::uint64_t> values(p);
+    std::iota(values.begin(), values.end(), 1);  // 1..p
+    const std::uint64_t sum = allreduce_sum(sim, values, "reduce");
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(p) * (p + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, AllreduceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32, 33, 64));
+
+TEST(Allreduce, LogarithmicMessageCount) {
+    const Rank p = 32;
+    Simulator sim(p, NetworkConfig{});
+    std::vector<std::uint64_t> values(p, 1);
+    (void)allreduce_sum(sim, values, "reduce");
+    // Binomial reduce + broadcast: 2·(p−1) messages total, and no PE sends
+    // more than 2·log₂p.
+    EXPECT_EQ(total_messages_sent(sim.rank_metrics()), 2u * (p - 1));
+    EXPECT_LE(max_messages_sent(sim.rank_metrics()), 10u);
+}
+
+TEST(Allreduce, ZeroValues) {
+    Simulator sim(4, NetworkConfig{});
+    EXPECT_EQ(allreduce_sum(sim, {0, 0, 0, 0}, "reduce"), 0u);
+}
+
+}  // namespace
+}  // namespace katric::net

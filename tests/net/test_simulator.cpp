@@ -1,0 +1,213 @@
+#include "net/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace katric::net {
+namespace {
+
+TEST(Simulator, DeliversAllMessagesOnce) {
+    Simulator sim(4, NetworkConfig{});
+    std::vector<int> received(4, 0);
+    sim.run_phase(
+        "test",
+        [](RankHandle& self) {
+            for (Rank dest = 0; dest < self.size(); ++dest) {
+                if (dest != self.rank()) { self.send(dest, WordVec{self.rank()}); }
+            }
+        },
+        [&](RankHandle& self, Rank src, int /*tag*/, std::span<const std::uint64_t> payload) {
+            ASSERT_EQ(payload.size(), 1u);
+            EXPECT_EQ(payload[0], src);
+            ++received[self.rank()];
+        });
+    for (int count : received) { EXPECT_EQ(count, 3); }
+}
+
+TEST(Simulator, MetricsCountMessagesAndWords) {
+    Simulator sim(3, NetworkConfig{});
+    sim.run_phase(
+        "test",
+        [](RankHandle& self) {
+            if (self.rank() == 0) {
+                self.send(1, WordVec{1, 2, 3});
+                self.send(2, WordVec{4});
+            }
+        },
+        [](RankHandle&, Rank, int, std::span<const std::uint64_t>) {});
+    const auto metrics = sim.rank_metrics();
+    EXPECT_EQ(metrics[0].messages_sent, 2u);
+    EXPECT_EQ(metrics[0].words_sent, 4u);
+    EXPECT_EQ(metrics[1].messages_received, 1u);
+    EXPECT_EQ(metrics[1].words_received, 3u);
+    EXPECT_EQ(metrics[2].words_received, 1u);
+    EXPECT_EQ(metrics[0].messages_received, 0u);
+}
+
+TEST(Simulator, SelfSendIsFreeButDelivered) {
+    Simulator sim(2, NetworkConfig{});
+    int delivered = 0;
+    sim.run_phase(
+        "test", [](RankHandle& self) { self.send(self.rank(), WordVec{7}); },
+        [&](RankHandle& self, Rank src, int, std::span<const std::uint64_t> payload) {
+            EXPECT_EQ(src, self.rank());
+            EXPECT_EQ(payload[0], 7u);
+            ++delivered;
+        });
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(sim.rank_metrics()[0].messages_sent, 0u);
+    EXPECT_EQ(sim.rank_metrics()[0].words_sent, 0u);
+}
+
+TEST(Simulator, PerChannelFifoOrder) {
+    Simulator sim(2, NetworkConfig{});
+    std::vector<std::uint64_t> order;
+    sim.run_phase(
+        "test",
+        [](RankHandle& self) {
+            if (self.rank() == 0) {
+                for (std::uint64_t i = 0; i < 10; ++i) { self.send(1, WordVec{i}); }
+            }
+        },
+        [&](RankHandle&, Rank, int, std::span<const std::uint64_t> payload) {
+            order.push_back(payload[0]);
+        });
+    ASSERT_EQ(order.size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i) { EXPECT_EQ(order[i], i); }
+}
+
+TEST(Simulator, HandlersCanSendReplies) {
+    Simulator sim(2, NetworkConfig{});
+    bool got_reply = false;
+    sim.run_phase(
+        "test",
+        [](RankHandle& self) {
+            if (self.rank() == 0) { self.send(1, WordVec{1}, /*tag=*/1); }
+        },
+        [&](RankHandle& self, Rank src, int tag, std::span<const std::uint64_t>) {
+            if (tag == 1) {
+                self.send(src, WordVec{2}, /*tag=*/2);
+            } else {
+                EXPECT_EQ(tag, 2);
+                got_reply = true;
+            }
+        });
+    EXPECT_TRUE(got_reply);
+}
+
+TEST(Simulator, AlphaBetaTimeModel) {
+    NetworkConfig cfg;
+    cfg.alpha = 1e-6;
+    cfg.beta = 1e-9;
+    Simulator sim(2, cfg);
+    const double t = sim.run_phase(
+        "test",
+        [](RankHandle& self) {
+            if (self.rank() == 0) { self.send(1, WordVec(1000, 0)); }
+        },
+        [](RankHandle&, Rank, int, std::span<const std::uint64_t>) {});
+    // Sender injection + receiver handling + closing barrier:
+    // 2·(α + β·1000) + α·log₂2.
+    const double expected = 2 * (1e-6 + 1e-9 * 1000) + 1e-6;
+    EXPECT_NEAR(t, expected, 1e-12);
+}
+
+TEST(Simulator, AllToOneHotspotSerializesAtReceiver) {
+    // The paper's motivating example for indirection: p−1 unit messages to
+    // PE 0 take ≈ (p−1)(α+β) at the receiver.
+    NetworkConfig cfg;
+    cfg.alpha = 1e-6;
+    cfg.beta = 0.0;
+    const Rank p = 64;
+    Simulator sim(p, cfg);
+    const double t = sim.run_phase(
+        "test",
+        [](RankHandle& self) {
+            if (self.rank() != 0) { self.send(0, WordVec{1}); }
+        },
+        [](RankHandle&, Rank, int, std::span<const std::uint64_t>) {});
+    EXPECT_GT(t, (p - 1) * cfg.alpha);
+    EXPECT_LT(t, (p + 8) * cfg.alpha + cfg.alpha * 6);
+}
+
+TEST(Simulator, ChargeOpsAdvancesClockAndMetric) {
+    NetworkConfig cfg;
+    cfg.compute_op = 1e-9;
+    Simulator sim(1, cfg);
+    sim.run_phase(
+        "test",
+        [](RankHandle& self) {
+            EXPECT_DOUBLE_EQ(self.now(), 0.0);
+            self.charge_ops(1000);
+            EXPECT_NEAR(self.now(), 1e-6, 1e-15);
+            self.charge_seconds(0.5);
+            EXPECT_NEAR(self.now(), 0.5 + 1e-6, 1e-12);
+        },
+        {});
+    EXPECT_EQ(sim.rank_metrics()[0].compute_ops, 1000u);
+}
+
+TEST(Simulator, PhaseTimesAccumulateMonotonically) {
+    Simulator sim(2, NetworkConfig{});
+    sim.run_phase("a", [](RankHandle& self) { self.charge_seconds(1.0); }, {});
+    sim.run_phase("b", [](RankHandle& self) { self.charge_seconds(2.0); }, {});
+    ASSERT_EQ(sim.phases().size(), 2u);
+    EXPECT_GE(sim.phases()[0].duration(), 1.0);
+    EXPECT_GE(sim.phases()[1].duration(), 2.0);
+    EXPECT_NEAR(sim.time(), sim.phases()[0].duration() + sim.phases()[1].duration(),
+                1e-12);
+    EXPECT_DOUBLE_EQ(phase_time(sim.phases(), "a"), sim.phases()[0].duration());
+}
+
+TEST(Simulator, IdleHookRunsUntilQuiescent) {
+    // Rank 0 flushes one pending message only when idle; the phase must not
+    // terminate before it is delivered.
+    Simulator sim(2, NetworkConfig{});
+    bool pending = true;
+    bool delivered = false;
+    sim.run_phase(
+        "test", [](RankHandle&) {},
+        [&](RankHandle&, Rank, int, std::span<const std::uint64_t>) { delivered = true; },
+        [&](RankHandle& self) {
+            if (self.rank() == 0 && pending) {
+                pending = false;
+                self.send(1, WordVec{1});
+            }
+        });
+    EXPECT_TRUE(delivered);
+}
+
+TEST(Simulator, OomErrorCarriesRankAndSize) {
+    NetworkConfig cfg;
+    cfg.memory_limit_words = 100;
+    Simulator sim(2, cfg);
+    try {
+        sim.run_phase(
+            "test",
+            [](RankHandle& self) {
+                if (self.rank() == 1) { self.note_buffered_words(101); }
+            },
+            {});
+        FAIL() << "expected OomError";
+    } catch (const OomError& e) {
+        EXPECT_EQ(e.rank(), 1u);
+        EXPECT_EQ(e.words(), 101u);
+    }
+}
+
+TEST(Simulator, PeakBufferHighWaterMark) {
+    Simulator sim(1, NetworkConfig{});
+    sim.run_phase(
+        "test",
+        [](RankHandle& self) {
+            self.note_buffered_words(10);
+            self.note_buffered_words(500);
+            self.note_buffered_words(20);
+        },
+        {});
+    EXPECT_EQ(sim.rank_metrics()[0].peak_buffered_words, 500u);
+}
+
+}  // namespace
+}  // namespace katric::net

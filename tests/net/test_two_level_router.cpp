@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/indirection.hpp"
+
+namespace katric::net {
+namespace {
+
+class TwoLevelRouterTest
+    : public ::testing::TestWithParam<std::tuple<Rank, Rank>> {};  // (p, node_size)
+
+TEST_P(TwoLevelRouterTest, TwoHopTerminationForAllPairs) {
+    const auto [p, node_size] = GetParam();
+    const TwoLevelRouter router(p, node_size);
+    for (Rank src = 0; src < p; ++src) {
+        for (Rank dst = 0; dst < p; ++dst) {
+            if (src == dst) { continue; }
+            const Rank hop = router.first_hop(src, dst);
+            ASSERT_LT(hop, p);
+            ASSERT_NE(hop, src);
+            if (hop == dst) { continue; }
+            // The gateway must reach the destination directly.
+            EXPECT_EQ(router.first_hop(hop, dst), dst)
+                << "p=" << p << " node=" << node_size << " " << src << "->" << dst;
+        }
+    }
+}
+
+TEST_P(TwoLevelRouterTest, IntraNodeIsDirect) {
+    const auto [p, node_size] = GetParam();
+    const TwoLevelRouter router(p, node_size);
+    for (Rank src = 0; src < p; ++src) {
+        for (Rank dst = 0; dst < p; ++dst) {
+            if (src != dst && router.node_of(src) == router.node_of(dst)) {
+                EXPECT_EQ(router.first_hop(src, dst), dst);
+            }
+        }
+    }
+}
+
+TEST_P(TwoLevelRouterTest, GatewayIsInSourceNode) {
+    const auto [p, node_size] = GetParam();
+    const TwoLevelRouter router(p, node_size);
+    for (Rank src_node = 0; src_node < router.num_nodes(); ++src_node) {
+        for (Rank dst_node = 0; dst_node < router.num_nodes(); ++dst_node) {
+            if (src_node == dst_node) { continue; }
+            const Rank gw = router.gateway(src_node, dst_node);
+            ASSERT_LT(gw, p);
+            EXPECT_EQ(router.node_of(gw), src_node);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TwoLevelRouterTest,
+                         ::testing::Values(std::tuple<Rank, Rank>{1, 4},
+                                           std::tuple<Rank, Rank>{8, 4},
+                                           std::tuple<Rank, Rank>{9, 4},
+                                           std::tuple<Rank, Rank>{16, 4},
+                                           std::tuple<Rank, Rank>{17, 8},
+                                           std::tuple<Rank, Rank>{48, 8},
+                                           std::tuple<Rank, Rank>{48, 48},
+                                           std::tuple<Rank, Rank>{64, 1}));
+
+TEST(TwoLevelRouter, CrossNodeSenderCountIsBounded) {
+    // Every PE forwards to at most num_nodes gateways + its own node's PEs.
+    const Rank p = 64;
+    const Rank node_size = 8;
+    const TwoLevelRouter router(p, node_size);
+    for (Rank src = 0; src < p; ++src) {
+        std::set<Rank> partners;
+        for (Rank dst = 0; dst < p; ++dst) {
+            if (dst != src) { partners.insert(router.first_hop(src, dst)); }
+        }
+        EXPECT_LE(partners.size(), node_size - 1 + p / node_size + node_size);
+    }
+}
+
+}  // namespace
+}  // namespace katric::net

@@ -1,0 +1,69 @@
+#include "seq/algorithm_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_graphs.hpp"
+
+namespace katric::seq {
+namespace {
+
+class ZooFamilyTest : public ::testing::TestWithParam<std::size_t> {
+protected:
+    [[nodiscard]] const katric::test::FamilyCase& family_case() const {
+        static const auto cases = katric::test::family_cases();
+        return cases[GetParam()];
+    }
+};
+
+TEST_P(ZooFamilyTest, ForwardMatchesReference) {
+    const auto& g = family_case().graph;
+    EXPECT_EQ(count_forward(g).triangles, count_brute_force(g));
+}
+
+TEST_P(ZooFamilyTest, HashedEdgeIteratorMatchesReference) {
+    const auto& g = family_case().graph;
+    EXPECT_EQ(count_edge_iterator_hashed(g).triangles, count_brute_force(g));
+}
+
+TEST_P(ZooFamilyTest, NodeIteratorMatchesReference) {
+    const auto& g = family_case().graph;
+    EXPECT_EQ(count_node_iterator(g).triangles, count_brute_force(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ZooFamilyTest, ::testing::Range<std::size_t>(0, 7),
+                         [](const auto& info) {
+                             static const auto cases = katric::test::family_cases();
+                             return cases[info.param].name;
+                         });
+
+TEST(Zoo, AllAgreeOnLargerInstance) {
+    const auto g = gen::generate_rhg(2048, 10.0, 2.6, 99);
+    const auto expected = count_edge_iterator(g).triangles;
+    EXPECT_EQ(count_forward(g).triangles, expected);
+    EXPECT_EQ(count_edge_iterator_hashed(g).triangles, expected);
+    EXPECT_EQ(count_node_iterator(g).triangles, expected);
+}
+
+TEST(Zoo, EmptyAndTrivialGraphs) {
+    const auto empty = graph::build_undirected(graph::EdgeList{}, 0);
+    EXPECT_EQ(count_forward(empty).triangles, 0u);
+    EXPECT_EQ(count_edge_iterator_hashed(empty).triangles, 0u);
+    EXPECT_EQ(count_node_iterator(empty).triangles, 0u);
+    const auto edge = katric::test::path_graph(2);
+    EXPECT_EQ(count_forward(edge).triangles, 0u);
+    EXPECT_EQ(count_node_iterator(edge).triangles, 0u);
+}
+
+TEST(Zoo, OpProfilesDiffer) {
+    // The zoo exists because the kernels have different cost profiles; make
+    // sure the op counters actually register distinct work.
+    const auto g = gen::generate_rmat(10, 8192, 5);
+    const auto merge_ops = count_edge_iterator(g).ops;
+    const auto node_ops = count_node_iterator(g).ops;
+    EXPECT_GT(merge_ops, 0u);
+    EXPECT_GT(node_ops, 0u);
+    EXPECT_NE(merge_ops, node_ops);
+}
+
+}  // namespace
+}  // namespace katric::seq

@@ -1,0 +1,66 @@
+#include "seq/lcc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/edge_iterator.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::seq {
+namespace {
+
+TEST(Lcc, TriangleIsFullyClustered) {
+    const auto lcc = local_clustering_coefficients(katric::test::triangle_graph());
+    for (double value : lcc) { EXPECT_DOUBLE_EQ(value, 1.0); }
+}
+
+TEST(Lcc, CompleteGraphAllOnes) {
+    const auto lcc = local_clustering_coefficients(katric::test::complete_graph(12));
+    for (double value : lcc) { EXPECT_DOUBLE_EQ(value, 1.0); }
+}
+
+TEST(Lcc, PathIsZero) {
+    const auto lcc = local_clustering_coefficients(katric::test::path_graph(6));
+    for (double value : lcc) { EXPECT_DOUBLE_EQ(value, 0.0); }
+}
+
+TEST(Lcc, BowtieCenter) {
+    // Center vertex: degree 4, 2 triangles ⇒ 2·2/(4·3) = 1/3; leaves: 1.
+    const auto lcc = local_clustering_coefficients(katric::test::bowtie_graph());
+    EXPECT_DOUBLE_EQ(lcc[2], 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(lcc[0], 1.0);
+    EXPECT_DOUBLE_EQ(lcc[3], 1.0);
+}
+
+TEST(Lcc, RangeInvariantOnRandomFamilies) {
+    for (const auto& fc : katric::test::family_cases()) {
+        SCOPED_TRACE(fc.name);
+        for (double value : local_clustering_coefficients(fc.graph)) {
+            EXPECT_GE(value, 0.0);
+            EXPECT_LE(value, 1.0);
+        }
+    }
+}
+
+TEST(Lcc, DegreeBelowTwoIsZero) {
+    const auto lcc = local_clustering_coefficients(katric::test::path_graph(2));
+    EXPECT_DOUBLE_EQ(lcc[0], 0.0);
+    EXPECT_DOUBLE_EQ(lcc[1], 0.0);
+}
+
+TEST(Lcc, AverageOnGeometricExceedsRandom) {
+    // Geometric graphs cluster; GNM at the same density does not.
+    const auto geometric =
+        gen::generate_rgg2d(1024, gen::rgg2d_radius_for_degree(1024, 10.0), 5);
+    const auto random = gen::generate_gnm(1024, geometric.num_edges(), 5);
+    EXPECT_GT(average_lcc(geometric), 3.0 * average_lcc(random));
+}
+
+TEST(Lcc, FromPrecomputedCountsMatches) {
+    const auto& g = katric::test::bowtie_graph();
+    const auto direct = local_clustering_coefficients(g);
+    const auto via_counts = lcc_from_triangle_counts(g, per_vertex_triangles(g));
+    EXPECT_EQ(direct, via_counts);
+}
+
+}  // namespace
+}  // namespace katric::seq

@@ -1,0 +1,45 @@
+#include "seq/parallel_local.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/orientation.hpp"
+#include "seq/edge_iterator.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::seq {
+namespace {
+
+class ParallelThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelThreadsTest, MatchesSequentialOnAllFamilies) {
+    const int threads = GetParam();
+    for (const auto& fc : katric::test::family_cases()) {
+        SCOPED_TRACE(fc.name);
+        const auto oriented = graph::orient_by_degree(fc.graph);
+        const auto seq_result = count_oriented(oriented);
+        const auto par_result = count_oriented_parallel(oriented, threads);
+        EXPECT_EQ(par_result.triangles, seq_result.triangles);
+        EXPECT_EQ(par_result.ops, seq_result.ops);  // same total work
+        EXPECT_EQ(par_result.threads, threads);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelThreadsTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelLocal, MaxThreadOpsBoundedByTotal) {
+    const auto oriented =
+        graph::orient_by_degree(gen::generate_rmat(10, 8192, 3));
+    const auto result = count_oriented_parallel(oriented, 4);
+    EXPECT_LE(result.max_thread_ops, result.ops);
+    EXPECT_GE(result.max_thread_ops, result.ops / 4);  // pigeonhole
+}
+
+TEST(ParallelLocal, SingleThreadDegenerate) {
+    const auto oriented = graph::orient_by_degree(katric::test::complete_graph(16));
+    const auto result = count_oriented_parallel(oriented, 1);
+    EXPECT_EQ(result.max_thread_ops, result.ops);
+    EXPECT_EQ(result.triangles, 560u);  // C(16,3)
+}
+
+}  // namespace
+}  // namespace katric::seq

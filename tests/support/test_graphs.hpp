@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/gnm.hpp"
+#include "gen/grid.hpp"
+#include "gen/rgg2d.hpp"
+#include "gen/rhg.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace katric::test {
+
+/// Canned small graphs with known triangle counts.
+inline graph::CsrGraph triangle_graph() {
+    graph::EdgeList e;
+    e.add(0, 1);
+    e.add(1, 2);
+    e.add(0, 2);
+    return graph::build_undirected(std::move(e));
+}
+
+inline graph::CsrGraph complete_graph(graph::VertexId n) {
+    graph::EdgeList e;
+    for (graph::VertexId u = 0; u < n; ++u) {
+        for (graph::VertexId v = u + 1; v < n; ++v) { e.add(u, v); }
+    }
+    return graph::build_undirected(std::move(e), n);
+}
+
+inline graph::CsrGraph path_graph(graph::VertexId n) {
+    graph::EdgeList e;
+    for (graph::VertexId v = 0; v + 1 < n; ++v) { e.add(v, v + 1); }
+    return graph::build_undirected(std::move(e), n);
+}
+
+inline graph::CsrGraph cycle_graph(graph::VertexId n) {
+    graph::EdgeList e;
+    for (graph::VertexId v = 0; v < n; ++v) { e.add(v, (v + 1) % n); }
+    return graph::build_undirected(std::move(e), n);
+}
+
+/// Two triangles sharing vertex 2.
+inline graph::CsrGraph bowtie_graph() {
+    graph::EdgeList e;
+    e.add(0, 1);
+    e.add(0, 2);
+    e.add(1, 2);
+    e.add(2, 3);
+    e.add(2, 4);
+    e.add(3, 4);
+    return graph::build_undirected(std::move(e));
+}
+
+/// The Petersen graph: 10 vertices, 15 edges, girth 5 — zero triangles.
+inline graph::CsrGraph petersen_graph() {
+    graph::EdgeList e;
+    for (graph::VertexId v = 0; v < 5; ++v) {
+        e.add(v, (v + 1) % 5);          // outer cycle
+        e.add(5 + v, 5 + (v + 2) % 5);  // inner pentagram
+        e.add(v, 5 + v);                // spokes
+    }
+    return graph::build_undirected(std::move(e), 10);
+}
+
+/// One small instance per generator family, for parameterized sweeps.
+struct FamilyCase {
+    std::string name;
+    graph::CsrGraph graph;
+};
+
+inline std::vector<FamilyCase> family_cases() {
+    std::vector<FamilyCase> cases;
+    cases.push_back({"gnm", gen::generate_gnm(256, 1024, 42)});
+    cases.push_back({"rgg2d", gen::generate_rgg2d(256, gen::rgg2d_radius_for_degree(256, 8.0), 7)});
+    cases.push_back({"rhg", gen::generate_rhg(256, 8.0, 2.8, 9)});
+    cases.push_back({"rmat", gen::generate_rmat(8, 1024, 11)});
+    cases.push_back({"grid", gen::generate_grid_road(16, 16, 0.9, 0.2, 13)});
+    cases.push_back({"complete", complete_graph(24)});
+    cases.push_back({"petersen", petersen_graph()});
+    return cases;
+}
+
+}  // namespace katric::test

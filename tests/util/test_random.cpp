@@ -1,0 +1,88 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace katric {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+    Xoshiro256 a(123);
+    Xoshiro256 b(123);
+    for (int i = 0; i < 1000; ++i) { EXPECT_EQ(a(), b()); }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) { ++equal; }
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+    Xoshiro256 rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i) { EXPECT_LT(rng.next_bounded(bound), bound); }
+    }
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+    Xoshiro256 rng(99);
+    constexpr std::uint64_t kBuckets = 8;
+    constexpr int kSamples = 80000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kSamples; ++i) { ++counts[rng.next_bounded(kBuckets)]; }
+    const double expected = static_cast<double>(kSamples) / kBuckets;
+    for (std::uint64_t b = 0; b < kBuckets; ++b) {
+        EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+    }
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+    Xoshiro256 rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.next_double();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+    Xoshiro256 rng(17);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i) { hits += rng.next_bool(0.3) ? 1 : 0; }
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(DeriveSeed, StreamsAreDistinct) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+        seeds.insert(derive_seed(42, stream));
+    }
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, DeterministicAcrossCalls) {
+    EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+    EXPECT_NE(derive_seed(7, 3), derive_seed(8, 3));
+}
+
+TEST(SplitMix64, KnownAvalanche) {
+    std::uint64_t s1 = 0;
+    std::uint64_t s2 = 1;
+    const auto a = splitmix64(s1);
+    const auto b = splitmix64(s2);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, 0u);
+}
+
+}  // namespace
+}  // namespace katric

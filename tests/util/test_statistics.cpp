@@ -1,0 +1,96 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace katric {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) { s.add(x); }
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+    RunningStats whole;
+    RunningStats left;
+    RunningStats right;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        whole.add(x);
+        (i < 37 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Summary, PercentilesNearestRank) {
+    Summary s;
+    for (int i = 1; i <= 100; ++i) { s.add(static_cast<double>(i)); }
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.median(), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Summary, SingleSample) {
+    Summary s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.median(), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.37), 42.0);
+}
+
+TEST(Log2Histogram, BucketsByPowerOfTwo) {
+    Log2Histogram h;
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    h.add(1000);
+    EXPECT_EQ(h.total(), 6u);
+    const auto& buckets = h.buckets();
+    EXPECT_EQ(buckets[0], 1u);  // value 0
+    EXPECT_EQ(buckets[1], 1u);  // value 1
+    EXPECT_EQ(buckets[2], 2u);  // values 2..3
+    EXPECT_EQ(buckets[3], 1u);  // values 4..7
+    EXPECT_EQ(buckets[10], 1u);  // 512..1023
+    EXPECT_FALSE(h.to_string().empty());
+}
+
+}  // namespace
+}  // namespace katric

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace katric {
+namespace {
+
+TEST(Table, AlignedPrintContainsAllCells) {
+    Table t({"algo", "p", "time"});
+    t.row().cell("DITRIC").cell(std::uint64_t{64}).cell(1.25, 2);
+    t.row().cell("CETRIC").cell(std::uint64_t{128}).cell(0.75, 2);
+    std::ostringstream out;
+    t.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("DITRIC"), std::string::npos);
+    EXPECT_NE(text.find("CETRIC"), std::string::npos);
+    EXPECT_NE(text.find("1.25"), std::string::npos);
+    EXPECT_NE(text.find("128"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripShape) {
+    Table t({"a", "b"});
+    t.row().cell(1).cell(2);
+    t.row().cell(3).cell(4);
+    EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, IncompleteRowIsRejectedOnNextRow) {
+    Table t({"a", "b"});
+    t.row().cell(1);
+    EXPECT_THROW(t.row(), assertion_error);
+}
+
+TEST(Table, OverflowingRowIsRejected) {
+    Table t({"a"});
+    t.row().cell(1);
+    EXPECT_THROW(t.cell(2), assertion_error);
+}
+
+TEST(Table, CellWithoutRowIsRejected) {
+    Table t({"a"});
+    EXPECT_THROW(t.cell(1), assertion_error);
+}
+
+TEST(FormatSi, ScalesSuffixes) {
+    EXPECT_EQ(format_si(999), "999");
+    EXPECT_EQ(format_si(1500), "1.50 k");
+    EXPECT_EQ(format_si(2'500'000), "2.50 M");
+    EXPECT_EQ(format_si(3'000'000'000.0), "3.00 G");
+}
+
+TEST(FormatWordsAsBytes, BinarySuffixes) {
+    EXPECT_EQ(format_words_as_bytes(1), "8 B");
+    EXPECT_EQ(format_words_as_bytes(128), "1.00 KiB");
+    EXPECT_EQ(format_words_as_bytes(std::uint64_t{1} << 17), "1.00 MiB");
+}
+
+}  // namespace
+}  // namespace katric
