@@ -91,6 +91,8 @@ struct CountResult {
 inline constexpr int kTagCount = 1;
 inline constexpr int kTagWedge = 2;
 inline constexpr int kTagDelta = 3;
+/// Tag of the streaming subsystem's epoch-stamped queues (src/stream/).
+inline constexpr int kTagStream = 4;
 
 /// Intersection that charges its comparison cost to the PE's clock.
 inline std::uint64_t charged_intersect(net::RankHandle& self,

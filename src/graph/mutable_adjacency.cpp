@@ -1,0 +1,44 @@
+#include "graph/mutable_adjacency.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace katric::graph {
+
+MutableAdjacency MutableAdjacency::from_csr_range(const CsrGraph& graph, VertexId begin,
+                                                  VertexId end) {
+    KATRIC_ASSERT(begin <= end && end <= graph.num_vertices());
+    MutableAdjacency result(static_cast<std::size_t>(end - begin));
+    for (VertexId v = begin; v < end; ++v) {
+        const auto neighbors = graph.neighbors(v);
+        result.rows_[v - begin].assign(neighbors.begin(), neighbors.end());
+        result.total_entries_ += neighbors.size();
+    }
+    return result;
+}
+
+bool MutableAdjacency::contains(std::size_t row, VertexId v) const noexcept {
+    const auto& r = rows_[row];
+    return std::binary_search(r.begin(), r.end(), v);
+}
+
+bool MutableAdjacency::insert(std::size_t row, VertexId v) {
+    auto& r = rows_[row];
+    const auto it = std::lower_bound(r.begin(), r.end(), v);
+    if (it != r.end() && *it == v) { return false; }
+    r.insert(it, v);
+    ++total_entries_;
+    return true;
+}
+
+bool MutableAdjacency::erase(std::size_t row, VertexId v) {
+    auto& r = rows_[row];
+    const auto it = std::lower_bound(r.begin(), r.end(), v);
+    if (it == r.end() || *it != v) { return false; }
+    r.erase(it);
+    --total_entries_;
+    return true;
+}
+
+}  // namespace katric::graph

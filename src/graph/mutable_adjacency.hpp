@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace katric::graph {
+
+/// Mutable counterpart of a CSR row block: one ID-sorted neighbor vector per
+/// row, supporting O(log d) membership tests and O(d) sorted insert/erase.
+/// This is the adjacency store of the streaming subsystem — a CsrGraph is
+/// immutable by design, so dynamic graphs grow/shrink here and freeze back
+/// into CSR form only for full recounts.
+///
+/// Rows are indexed 0…num_rows−1; the mapping from row index to global
+/// vertex ID is the caller's (DynamicDistGraph subtracts the partition
+/// offset, a whole-graph user passes IDs directly).
+class MutableAdjacency {
+public:
+    MutableAdjacency() = default;
+    explicit MutableAdjacency(std::size_t num_rows) : rows_(num_rows) {}
+
+    /// Copies the neighborhoods of vertices [begin, end) of `graph` into
+    /// rows 0…end−begin−1. Neighborhoods stay ID-sorted (CSR invariant).
+    [[nodiscard]] static MutableAdjacency from_csr_range(const CsrGraph& graph,
+                                                         VertexId begin, VertexId end);
+
+    [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] Degree degree(std::size_t row) const noexcept {
+        return static_cast<Degree>(rows_[row].size());
+    }
+    [[nodiscard]] std::span<const VertexId> row(std::size_t row) const noexcept {
+        return rows_[row];
+    }
+    [[nodiscard]] bool contains(std::size_t row, VertexId v) const noexcept;
+
+    /// Sorted insert; returns false (and changes nothing) if v is already
+    /// present. Keeps the total-entries counter exact.
+    bool insert(std::size_t row, VertexId v);
+    /// Sorted erase; returns false if v is absent.
+    bool erase(std::size_t row, VertexId v);
+
+    /// Σ row sizes — the number of stored half-edges.
+    [[nodiscard]] EdgeId total_entries() const noexcept { return total_entries_; }
+
+private:
+    std::vector<std::vector<VertexId>> rows_;
+    EdgeId total_entries_ = 0;
+};
+
+}  // namespace katric::graph

@@ -9,6 +9,7 @@
 ///   * core::compute_distributed_lcc(graph, spec) — local clustering coefficients
 ///   * core::enumerate_triangles(graph, spec)     — exactly-once listing
 ///   * core::count_triangles_cetric_amq(...)      — approximate counting
+///   * stream::count_triangles_streaming(...)     — dynamic-graph maintenance
 ///   * gen::* / graph::read_* — inputs; net::NetworkConfig — machine model.
 
 #include "amq/bloom.hpp"
@@ -34,3 +35,5 @@
 #include "seq/edge_iterator.hpp"
 #include "seq/lcc.hpp"
 #include "seq/parallel_local.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/stream_runner.hpp"

@@ -4,8 +4,10 @@
 
 namespace katric::net {
 
-MessageQueue::MessageQueue(std::uint64_t threshold_words, const Router& router, int tag)
-    : threshold_(threshold_words), router_(&router), tag_(tag) {
+MessageQueue::MessageQueue(std::uint64_t threshold_words, const Router& router, int tag,
+                           bool epoch_stamped)
+    : threshold_(threshold_words), router_(&router), tag_(tag),
+      epoch_stamped_(epoch_stamped) {
     KATRIC_ASSERT(threshold_words > 0);
 }
 
@@ -16,8 +18,9 @@ void MessageQueue::post(RankHandle& self, Rank final_dest,
     WordVec& buffer = buffers_[hop];
     buffer.push_back(final_dest);
     buffer.push_back(words.size());
+    if (epoch_stamped_) { buffer.push_back(epoch_); }
     buffer.insert(buffer.end(), words.begin(), words.end());
-    buffered_words_ += 2 + words.size();
+    buffered_words_ += header_words() + words.size();
     self.note_buffered_words(buffered_words_);
     if (buffered_words_ > threshold_) { flush(self); }
 }
@@ -31,16 +34,31 @@ void MessageQueue::flush(RankHandle& self) {
     self.note_buffered_words(0);
 }
 
+void MessageQueue::begin_epoch(std::uint64_t epoch) {
+    KATRIC_ASSERT_MSG(epoch_stamped_, "begin_epoch on a non-epoch-stamped queue");
+    KATRIC_ASSERT_MSG(buffered_words_ == 0,
+                      "batch boundary crossed with " << buffered_words_
+                                                     << " words still buffered");
+    epoch_ = epoch;
+}
+
 std::size_t MessageQueue::handle(RankHandle& self, std::span<const std::uint64_t> payload,
                                  const Deliver& deliver) {
     std::size_t delivered = 0;
     std::size_t index = 0;
+    const std::size_t header = header_words();
     while (index < payload.size()) {
-        KATRIC_ASSERT_MSG(index + 2 <= payload.size(), "truncated record header");
+        KATRIC_ASSERT_MSG(index + header <= payload.size(), "truncated record header");
         const auto final_dest = static_cast<Rank>(payload[index]);
         const auto length = static_cast<std::size_t>(payload[index + 1]);
-        KATRIC_ASSERT_MSG(index + 2 + length <= payload.size(), "truncated record body");
-        const auto record = payload.subspan(index + 2, length);
+        if (epoch_stamped_) {
+            KATRIC_ASSERT_MSG(payload[index + 2] == epoch_,
+                              "record from epoch " << payload[index + 2]
+                                                   << " crossed into epoch " << epoch_);
+        }
+        KATRIC_ASSERT_MSG(index + header + length <= payload.size(),
+                          "truncated record body");
+        const auto record = payload.subspan(index + header, length);
         if (final_dest == self.rank()) {
             deliver(self, record);
             ++delivered;
@@ -50,7 +68,7 @@ std::size_t MessageQueue::handle(RankHandle& self, std::span<const std::uint64_t
             self.charge_ops(length);  // copy cost of staging the record
             post(self, final_dest, record);
         }
-        index += 2 + length;
+        index += header + length;
     }
     return delivered;
 }

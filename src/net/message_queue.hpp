@@ -27,12 +27,17 @@ namespace katric::net {
 ///
 /// Wire format of a physical payload: a sequence of records
 ///   [final_dest, record_len, word₀ … word_{len−1}]
-/// Records whose final_dest is not the receiving PE are aggregation traffic
-/// for a proxy, which re-posts them into its own queue (second hop).
+/// (epoch-stamped queues insert the epoch between the header and the body:
+/// [final_dest, record_len, epoch, word₀ …]). Records whose final_dest is
+/// not the receiving PE are aggregation traffic for a proxy, which re-posts
+/// them into its own queue (second hop).
 class MessageQueue {
 public:
     /// threshold_words = δ. The router reference must outlive the queue.
-    MessageQueue(std::uint64_t threshold_words, const Router& router, int tag);
+    /// With epoch_stamped = true every record carries the queue's current
+    /// epoch in its header (streaming batch attribution, see begin_epoch).
+    MessageQueue(std::uint64_t threshold_words, const Router& router, int tag,
+                 bool epoch_stamped = false);
 
     /// Enqueues one logical record for final_dest; flushes if B > δ.
     void post(RankHandle& self, Rank final_dest, std::span<const std::uint64_t> words);
@@ -44,6 +49,15 @@ public:
     [[nodiscard]] std::uint64_t buffered_words() const noexcept { return buffered_words_; }
     [[nodiscard]] int tag() const noexcept { return tag_; }
 
+    /// Batch-boundary hook for streaming workloads: advances the queue to
+    /// `epoch`. Requires an epoch-stamped queue and a clean boundary (all
+    /// buffers flushed and the phase quiescent) — traffic from one batch must
+    /// never bleed into the next, and handle() enforces this by rejecting
+    /// records whose stamp disagrees with the current epoch.
+    void begin_epoch(std::uint64_t epoch);
+    [[nodiscard]] bool epoch_stamped() const noexcept { return epoch_stamped_; }
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
     using Deliver = std::function<void(RankHandle&, std::span<const std::uint64_t>)>;
 
     /// Processes one received physical payload: delivers records addressed
@@ -53,9 +67,17 @@ public:
                        const Deliver& deliver);
 
 private:
+    /// Per-record header size on the wire: [final_dest, record_len] plus the
+    /// epoch stamp when enabled.
+    [[nodiscard]] std::size_t header_words() const noexcept {
+        return epoch_stamped_ ? 3 : 2;
+    }
+
     std::uint64_t threshold_;
     const Router* router_;
     int tag_;
+    bool epoch_stamped_;
+    std::uint64_t epoch_ = 0;
     std::unordered_map<Rank, WordVec> buffers_;
     std::uint64_t buffered_words_ = 0;
 };

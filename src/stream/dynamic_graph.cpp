@@ -1,0 +1,99 @@
+#include "stream/dynamic_graph.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "util/assert.hpp"
+
+namespace katric::stream {
+
+DynamicDistGraph DynamicDistGraph::from_global(const CsrGraph& global,
+                                               const Partition1D& partition, Rank rank) {
+    KATRIC_ASSERT(rank < partition.num_ranks());
+    KATRIC_ASSERT(partition.num_vertices() == global.num_vertices());
+    DynamicDistGraph view;
+    view.partition_ = partition;
+    view.rank_ = rank;
+    const VertexId begin = partition.begin(rank);
+    const VertexId end = partition.end(rank);
+    view.adjacency_ = graph::MutableAdjacency::from_csr_range(global, begin, end);
+    // Seed exact ghost degrees — the one-time exchange a native streaming
+    // system performs before ingesting deltas.
+    for (VertexId v = begin; v < end; ++v) {
+        for (const VertexId w : global.neighbors(v)) {
+            if (!partition.is_local(w, rank) && !view.ghost_degrees_.contains(w)) {
+                view.ghost_degrees_.emplace(w, global.degree(w));
+            }
+        }
+    }
+    return view;
+}
+
+std::size_t DynamicDistGraph::local_index(VertexId v) const {
+    KATRIC_ASSERT_MSG(is_local(v), "vertex " << v << " is not local to rank " << rank_);
+    return static_cast<std::size_t>(v - first_local());
+}
+
+Degree DynamicDistGraph::degree(VertexId local_v) const {
+    return adjacency_.degree(local_index(local_v));
+}
+
+std::span<const VertexId> DynamicDistGraph::neighbors(VertexId local_v) const {
+    return adjacency_.row(local_index(local_v));
+}
+
+bool DynamicDistGraph::has_edge(VertexId local_u, VertexId v) const {
+    return adjacency_.contains(local_index(local_u), v);
+}
+
+bool DynamicDistGraph::insert_half_edge(VertexId local_u, VertexId v) {
+    KATRIC_ASSERT_MSG(local_u != v, "self-loops are not representable");
+    KATRIC_ASSERT(v < partition_.num_vertices());
+    return adjacency_.insert(local_index(local_u), v);
+}
+
+bool DynamicDistGraph::erase_half_edge(VertexId local_u, VertexId v) {
+    return adjacency_.erase(local_index(local_u), v);
+}
+
+std::optional<Degree> DynamicDistGraph::ghost_degree(VertexId v) const {
+    const auto it = ghost_degrees_.find(v);
+    if (it == ghost_degrees_.end()) { return std::nullopt; }
+    return it->second;
+}
+
+void DynamicDistGraph::note_ghost_degree(VertexId v, Degree degree) {
+    KATRIC_ASSERT_MSG(!is_local(v), "ghost-degree note for a local vertex");
+    ghost_degrees_[v] = degree;
+}
+
+std::vector<Rank> DynamicDistGraph::neighbor_ranks(VertexId local_v) const {
+    std::vector<Rank> ranks;
+    for (const VertexId w : neighbors(local_v)) {
+        if (is_local(w)) { continue; }
+        const Rank owner = partition_.rank_of(w);
+        if (std::find(ranks.begin(), ranks.end(), owner) == ranks.end()) {
+            ranks.push_back(owner);
+        }
+    }
+    return ranks;
+}
+
+CsrGraph materialize_global(const std::vector<DynamicDistGraph>& views) {
+    KATRIC_ASSERT(!views.empty());
+    const auto& partition = views.front().partition();
+    graph::EdgeList edges;
+    for (const auto& view : views) {
+        const VertexId begin = view.first_local();
+        const VertexId end = begin + view.num_local();
+        for (VertexId v = begin; v < end; ++v) {
+            for (const VertexId w : view.neighbors(v)) {
+                if (v < w) { edges.add(v, w); }
+            }
+        }
+    }
+    return graph::build_undirected(std::move(edges), partition.num_vertices());
+}
+
+}  // namespace katric::stream

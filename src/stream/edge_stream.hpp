@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace katric::stream {
+
+using graph::CsrGraph;
+using graph::Edge;
+using graph::VertexId;
+
+/// One timestamped update to the dynamic graph. Events are best-effort
+/// requests, not invariants: inserting an edge that already exists or
+/// deleting one that does not is a no-op (Tangwongsan et al.'s streaming
+/// model, where the producer has no global view of the current edge set).
+enum class EventKind : std::uint8_t { kInsert, kDelete };
+
+struct EdgeEvent {
+    double time = 0.0;
+    VertexId u = graph::kInvalidVertex;
+    VertexId v = graph::kInvalidVertex;
+    EventKind kind = EventKind::kInsert;
+};
+
+/// A contiguous slice of the stream processed as one unit — the granularity
+/// at which the incremental counter pays its per-batch latency and at which
+/// queries observe a consistent triangle count.
+struct EdgeBatch {
+    std::vector<EdgeEvent> events;
+    double begin_time = 0.0;  ///< inclusive
+    double end_time = 0.0;    ///< exclusive for window batching, else last event time
+};
+
+/// An ordered sequence of edge events plus the two grouping policies the
+/// incremental counter consumes: fixed-size batches (throughput-oriented)
+/// and fixed time windows (latency/staleness-oriented).
+class EdgeStream {
+public:
+    EdgeStream() = default;
+    explicit EdgeStream(std::vector<EdgeEvent> events);
+
+    /// Appends an event; times must be nondecreasing.
+    void push(const EdgeEvent& event);
+
+    [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+    [[nodiscard]] const std::vector<EdgeEvent>& events() const noexcept { return events_; }
+
+    /// Groups into batches of at most `events_per_batch` events, preserving
+    /// order; the last batch may be smaller.
+    [[nodiscard]] std::vector<EdgeBatch> batches_of(std::size_t events_per_batch) const;
+
+    /// Groups by half-open time windows [k·window, (k+1)·window) starting at
+    /// the first event's time. Empty windows produce no batch.
+    [[nodiscard]] std::vector<EdgeBatch> batches_by_window(double window_seconds) const;
+
+private:
+    std::vector<EdgeEvent> events_;
+};
+
+/// Synthetic churn workload for tests and benches: starting from `base`'s
+/// edge set, emits `num_events` events at `events_per_second`; each event is
+/// a deletion of a uniformly random *current* edge with probability
+/// `delete_fraction`, otherwise an insertion of a uniformly random vertex
+/// pair (which may duplicate a live edge — deliberately exercising the
+/// no-op-insert path). Deterministic in (base, parameters, seed).
+[[nodiscard]] EdgeStream make_churn_stream(const CsrGraph& base, std::size_t num_events,
+                                           double delete_fraction, std::uint64_t seed,
+                                           double events_per_second = 1000.0);
+
+}  // namespace katric::stream

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "net/indirection.hpp"
+#include "net/message_queue.hpp"
+#include "net/simulator.hpp"
+#include "stream/dynamic_graph.hpp"
+#include "stream/edge_stream.hpp"
+#include "util/hash.hpp"
+
+namespace katric::stream {
+
+/// What one batch cost and changed — the streaming analogue of
+/// core::CountResult, reported per batch instead of per run.
+struct BatchStats {
+    std::size_t batch_index = 0;
+    std::size_t events = 0;           ///< raw events in the batch
+    std::size_t net_inserts = 0;      ///< effective insertions after folding
+    std::size_t net_deletes = 0;      ///< effective deletions after folding
+    std::int64_t delta = 0;           ///< triangle-count change
+    std::uint64_t triangles = 0;      ///< global count after the batch
+    double seconds = 0.0;             ///< simulated seconds for the batch's phases
+    std::uint64_t messages_sent = 0;  ///< total over PEs, this batch only
+    std::uint64_t words_sent = 0;     ///< total over PEs, this batch only
+};
+
+/// Incremental distributed triangle-count maintenance (Tangwongsan, Pavan &
+/// Tirthapura's batched streaming model on this repo's simulated machine).
+///
+/// Per batch, the counter folds the events into net effective deletions D
+/// and insertions I against the current edge set, then runs two supersteps:
+///
+///   1. "stream/delete" — every effective deletion {u,v} is processed by
+///      owner(u) (u < v) *before* any adjacency changes: the triangles of
+///      the old graph through {u,v} are counted by intersecting N(u) and
+///      N(v). A triangle whose three edges contain k ≥ 1 deleted edges is
+///      found once per deleted edge, so each find contributes 6/k sixths
+///      (k = 1 + [del {u,w}] + [del {v,w}]) and the global sum is divisible
+///      by 6 — integer-exact multiplicity correction, no fractions.
+///   2. "stream/apply" — all ranks apply deletions and insertions to their
+///      local rows, post ghost-degree notifications for changed local
+///      vertices, then count the new graph's triangles through each
+///      effective insertion with the same 6/k correction.
+///
+/// Cross-rank neighborhood access routes through net::MessageQueue (the
+/// paper's δ-buffered asynchronous all-to-all, Section IV-A, with optional
+/// grid indirection, Section IV-B) in epoch-stamped mode: each superstep is
+/// one epoch, so a record can never bleed across a batch boundary. The
+/// direction of each exchange is degree-driven: owner(u) ships flagged
+/// N(u) when deg(u) is at most the ghost-degree estimate of v, and
+/// otherwise pulls flagged N(v) — the smaller neighborhood travels.
+class IncrementalCounter {
+public:
+    /// The counter mutates `views` (adjacency deltas) and drives `sim`;
+    /// both must outlive it. `initial_triangles` is the static count of the
+    /// graph the views were built from. options supplies δ
+    /// (buffer_threshold_words, 0 = auto O(|E_i|)); `indirect` enables the
+    /// grid router for the stream queues.
+    IncrementalCounter(net::Simulator& sim, std::vector<DynamicDistGraph>& views,
+                       const core::AlgorithmOptions& options, bool indirect,
+                       std::uint64_t initial_triangles);
+
+    /// Ingests one batch; returns its stats. Events referencing vertices
+    /// outside the partition's universe are a precondition violation;
+    /// no-op events (re-inserts, deletes of absent edges, insert/delete
+    /// pairs cancelling within the batch) are folded away.
+    BatchStats apply_batch(const EdgeBatch& batch);
+
+    [[nodiscard]] std::uint64_t triangles() const noexcept { return triangles_; }
+    [[nodiscard]] std::size_t batches_applied() const noexcept { return batch_index_; }
+
+private:
+    using EdgeKey = std::pair<std::uint64_t, std::uint64_t>;
+    using EdgeSet = std::unordered_set<EdgeKey, PairHash>;
+
+    struct NetEffect {
+        std::vector<graph::Edge> deletes;  // canonical u < v
+        std::vector<graph::Edge> inserts;
+    };
+
+    [[nodiscard]] NetEffect fold_batch(const EdgeBatch& batch) const;
+
+    void start_epoch(std::uint64_t epoch);
+    /// Flag-annotated local neighborhood of x appended to `prefix` — the
+    /// shared wire/operand form of ship records and local intersections.
+    [[nodiscard]] net::WordVec flagged_row(net::RankHandle& self, graph::VertexId x,
+                                           net::WordVec prefix);
+    /// Posts the counting work for one changed edge owned by this rank:
+    /// local intersection, ship, or pull (degree-driven).
+    void post_edge_work(net::RankHandle& self, const graph::Edge& edge);
+    /// Merge-intersects a (possibly flag-annotated) neighborhood of `a`
+    /// against the local neighborhood of `b`, accumulating 6/k sixths.
+    void intersect_and_accumulate(net::RankHandle& self, graph::VertexId a,
+                                  graph::VertexId b,
+                                  std::span<const std::uint64_t> flagged_a);
+    void deliver_record(net::RankHandle& self, std::span<const std::uint64_t> record);
+    [[nodiscard]] bool edge_changed(graph::VertexId x, graph::VertexId w) const;
+    /// Drains per-rank sixth-accumulators; asserts divisibility by 6.
+    [[nodiscard]] std::uint64_t take_triangle_sixths();
+
+    net::Simulator* sim_;
+    std::vector<DynamicDistGraph>* views_;
+    core::AlgorithmOptions options_;
+    std::unique_ptr<net::Router> router_;
+    std::vector<net::MessageQueue> queues_;
+    std::vector<std::uint64_t> sixths_;  // per-rank, units of 1/6 triangle
+
+    /// Effective changed-edge set of the phase in flight (deletions during
+    /// "stream/delete", insertions during "stream/apply"). Stored once for
+    /// all ranks; lookups only ever use edges incident to the querying
+    /// rank's local vertices, which the rank knows natively.
+    const EdgeSet* current_changed_ = nullptr;
+
+    std::uint64_t triangles_;
+    std::size_t batch_index_ = 0;
+    std::uint64_t epoch_ = 0;
+};
+
+}  // namespace katric::stream

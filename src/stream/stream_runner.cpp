@@ -1,0 +1,42 @@
+#include "stream/stream_runner.hpp"
+
+#include "util/assert.hpp"
+
+namespace katric::stream {
+
+std::vector<DynamicDistGraph> distribute_dynamic(const graph::CsrGraph& initial,
+                                                 const StreamRunSpec& spec) {
+    const auto partition = core::make_partition(initial, spec.static_spec());
+    std::vector<DynamicDistGraph> views;
+    views.reserve(spec.num_ranks);
+    for (Rank r = 0; r < spec.num_ranks; ++r) {
+        views.push_back(DynamicDistGraph::from_global(initial, partition, r));
+    }
+    return views;
+}
+
+StreamResult count_triangles_streaming(const graph::CsrGraph& initial,
+                                       const std::vector<EdgeBatch>& batches,
+                                       const StreamRunSpec& spec,
+                                       const BatchObserver& observer) {
+    KATRIC_ASSERT(spec.num_ranks >= 1);
+    StreamResult result;
+    result.initial = core::count_triangles(initial, spec.static_spec());
+    KATRIC_ASSERT_MSG(!result.initial.oom, "initial static count ran out of memory");
+
+    auto views = distribute_dynamic(initial, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    IncrementalCounter counter(sim, views, spec.options, spec.indirect,
+                               result.initial.triangles);
+    result.batches.reserve(batches.size());
+    for (const auto& batch : batches) {
+        auto stats = counter.apply_batch(batch);
+        if (observer) { observer(stats); }
+        result.batches.push_back(std::move(stats));
+    }
+    result.triangles = counter.triangles();
+    result.stream_seconds = sim.time();
+    return result;
+}
+
+}  // namespace katric::stream

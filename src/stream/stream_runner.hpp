@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "stream/dynamic_graph.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/incremental.hpp"
+
+namespace katric::stream {
+
+/// One streaming experiment: machine, rank count, partition strategy, and
+/// the static algorithm used for the initial count (and for full-recount
+/// comparisons in the bench). Mirrors core::RunSpec so every existing
+/// generator, partitioner, and NetworkConfig plugs in unchanged.
+struct StreamRunSpec {
+    core::Algorithm initial_algorithm = core::Algorithm::kCetric;
+    graph::Rank num_ranks = 4;
+    net::NetworkConfig network = net::NetworkConfig::supermuc_like();
+    core::AlgorithmOptions options = {};
+    core::PartitionStrategy partition = core::PartitionStrategy::kBalancedEdges;
+    /// Route stream traffic through the grid proxy (Section IV-B).
+    bool indirect = false;
+
+    /// The equivalent static RunSpec (initial count, full recounts).
+    [[nodiscard]] core::RunSpec static_spec() const {
+        return core::RunSpec{initial_algorithm, num_ranks, network, options, partition};
+    }
+};
+
+/// Per-batch observer, called after each batch commits.
+using BatchObserver = std::function<void(const BatchStats&)>;
+
+/// Everything a streaming run produces.
+struct StreamResult {
+    core::CountResult initial;        ///< static count of the starting graph
+    std::vector<BatchStats> batches;  ///< one entry per ingested batch
+    std::uint64_t triangles = 0;      ///< final global count
+    double stream_seconds = 0.0;      ///< simulated seconds across all batches
+};
+
+/// The streaming entry point — the dynamic sibling of
+/// core::count_triangles: counts `initial` statically with
+/// spec.initial_algorithm, builds every rank's DynamicDistGraph, then
+/// maintains the count incrementally over `batches` on a fresh simulated
+/// machine, invoking `observer` (if any) after each batch.
+[[nodiscard]] StreamResult count_triangles_streaming(const graph::CsrGraph& initial,
+                                                     const std::vector<EdgeBatch>& batches,
+                                                     const StreamRunSpec& spec,
+                                                     const BatchObserver& observer = {});
+
+/// Builds every rank's dynamic view of `initial` under spec's partition —
+/// the streaming analogue of graph::distribute, exposed for tests/benches
+/// that drive IncrementalCounter directly.
+[[nodiscard]] std::vector<DynamicDistGraph> distribute_dynamic(
+    const graph::CsrGraph& initial, const StreamRunSpec& spec);
+
+}  // namespace katric::stream

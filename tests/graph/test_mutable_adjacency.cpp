@@ -1,0 +1,74 @@
+#include "graph/mutable_adjacency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/gnm.hpp"
+#include "support/test_graphs.hpp"
+
+namespace katric::graph {
+namespace {
+
+TEST(MutableAdjacency, StartsEmpty) {
+    MutableAdjacency adj(4);
+    EXPECT_EQ(adj.num_rows(), 4u);
+    EXPECT_EQ(adj.total_entries(), 0u);
+    EXPECT_EQ(adj.degree(0), 0u);
+    EXPECT_FALSE(adj.contains(0, 1));
+}
+
+TEST(MutableAdjacency, InsertKeepsRowsSortedAndDeduplicated) {
+    MutableAdjacency adj(2);
+    EXPECT_TRUE(adj.insert(0, 5));
+    EXPECT_TRUE(adj.insert(0, 1));
+    EXPECT_TRUE(adj.insert(0, 3));
+    EXPECT_FALSE(adj.insert(0, 3));  // duplicate is a no-op
+    const auto row = adj.row(0);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+    EXPECT_EQ(adj.degree(0), 3u);
+    EXPECT_EQ(adj.total_entries(), 3u);
+    EXPECT_TRUE(adj.contains(0, 1));
+    EXPECT_TRUE(adj.contains(0, 3));
+    EXPECT_TRUE(adj.contains(0, 5));
+}
+
+TEST(MutableAdjacency, EraseRemovesAndReportsAbsence) {
+    MutableAdjacency adj(1);
+    adj.insert(0, 2);
+    adj.insert(0, 4);
+    EXPECT_TRUE(adj.erase(0, 2));
+    EXPECT_FALSE(adj.erase(0, 2));  // already gone
+    EXPECT_FALSE(adj.contains(0, 2));
+    EXPECT_EQ(adj.total_entries(), 1u);
+}
+
+TEST(MutableAdjacency, FromCsrRangeMatchesSourceRows) {
+    const auto g = gen::generate_gnm(64, 256, 3);
+    const VertexId begin = 16;
+    const VertexId end = 48;
+    const auto adj = MutableAdjacency::from_csr_range(g, begin, end);
+    ASSERT_EQ(adj.num_rows(), static_cast<std::size_t>(end - begin));
+    EdgeId entries = 0;
+    for (VertexId v = begin; v < end; ++v) {
+        const auto expected = g.neighbors(v);
+        const auto got = adj.row(v - begin);
+        ASSERT_EQ(got.size(), expected.size()) << "row " << v;
+        EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+        entries += expected.size();
+    }
+    EXPECT_EQ(adj.total_entries(), entries);
+}
+
+TEST(MutableAdjacency, RoundTripInsertEraseRestoresRow) {
+    const auto g = katric::test::complete_graph(8);
+    auto adj = MutableAdjacency::from_csr_range(g, 0, 8);
+    const std::vector<VertexId> before(adj.row(3).begin(), adj.row(3).end());
+    ASSERT_TRUE(adj.erase(3, 5));
+    ASSERT_TRUE(adj.insert(3, 5));
+    const std::vector<VertexId> after(adj.row(3).begin(), adj.row(3).end());
+    EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace katric::graph

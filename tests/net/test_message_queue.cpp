@@ -176,6 +176,135 @@ TEST(MessageQueue, PostToSelfIsRejected) {
                  katric::assertion_error);
 }
 
+TEST(MessageQueue, EpochStampedRecordsRoundTrip) {
+    const DirectRouter router;
+    Simulator sim(2, NetworkConfig{});
+    MessageQueue q0(1 << 20, router, 1, /*epoch_stamped=*/true);
+    MessageQueue q1(1 << 20, router, 1, /*epoch_stamped=*/true);
+    std::vector<WordVec> received;
+    for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+        q0.begin_epoch(epoch);
+        q1.begin_epoch(epoch);
+        sim.run_phase(
+            "batch",
+            [&](RankHandle& self) {
+                if (self.rank() == 0) {
+                    const WordVec rec{epoch * 100};
+                    q0.post(self, 1, rec);
+                }
+            },
+            [&](RankHandle& self, Rank, int, std::span<const std::uint64_t> payload) {
+                q1.handle(self, payload,
+                          [&](RankHandle&, std::span<const std::uint64_t> rec) {
+                              received.emplace_back(rec.begin(), rec.end());
+                          });
+            },
+            [&](RankHandle& self) {
+                if (self.rank() == 0 && q0.has_buffered()) { q0.flush(self); }
+            });
+    }
+    ASSERT_EQ(received.size(), 3u);
+    EXPECT_EQ(received[0], (WordVec{100}));
+    EXPECT_EQ(received[2], (WordVec{300}));
+    EXPECT_EQ(q1.epoch(), 3u);
+}
+
+TEST(MessageQueue, StaleEpochRecordRejected) {
+    // A record stamped in epoch 1 must not survive into epoch 2 — the
+    // batch-boundary guarantee of the streaming subsystem.
+    const DirectRouter router;
+    Simulator sim(2, NetworkConfig{});
+    MessageQueue sender(1 << 20, router, 1, /*epoch_stamped=*/true);
+    MessageQueue receiver(1 << 20, router, 1, /*epoch_stamped=*/true);
+    sender.begin_epoch(1);
+    receiver.begin_epoch(1);
+    WordVec stale_payload;
+    sim.run_phase(
+        "x",
+        [&](RankHandle& self) {
+            if (self.rank() == 0) {
+                const WordVec rec{7};
+                sender.post(self, 1, rec);
+            }
+        },
+        [&](RankHandle&, Rank, int, std::span<const std::uint64_t> payload) {
+            stale_payload.assign(payload.begin(), payload.end());
+        },
+        [&](RankHandle& self) {
+            if (self.rank() == 0 && sender.has_buffered()) { sender.flush(self); }
+        });
+    ASSERT_FALSE(stale_payload.empty());
+    receiver.begin_epoch(2);
+    sim.run_phase(
+        "y",
+        [&](RankHandle& self) {
+            if (self.rank() == 1) {
+                EXPECT_THROW(receiver.handle(self, stale_payload,
+                                             [](RankHandle&,
+                                                std::span<const std::uint64_t>) {}),
+                             katric::assertion_error);
+            }
+        },
+        {});
+}
+
+TEST(MessageQueue, EpochMisuseRejected) {
+    const DirectRouter router;
+    MessageQueue plain(100, router, 1);
+    EXPECT_THROW(plain.begin_epoch(1), katric::assertion_error);
+
+    Simulator sim(2, NetworkConfig{});
+    MessageQueue stamped(1 << 20, router, 1, /*epoch_stamped=*/true);
+    sim.run_phase(
+        "x",
+        [&](RankHandle& self) {
+            if (self.rank() == 0) {
+                const WordVec rec{1};
+                stamped.post(self, 1, rec);
+                // Buffered residue across a boundary is a protocol bug.
+                EXPECT_THROW(stamped.begin_epoch(2), katric::assertion_error);
+                stamped.flush(self);
+            }
+        },
+        {});
+    stamped.begin_epoch(2);  // clean boundary after the flush
+    EXPECT_EQ(stamped.epoch(), 2u);
+}
+
+TEST(MessageQueue, EpochStampSurvivesProxyHop) {
+    // 9 PEs, 3×3 grid: rank 0 → 8 routes via proxy 2, which re-posts the
+    // record with its own (identical) epoch stamp.
+    const Rank p = 9;
+    const GridRouter router(p);
+    Simulator sim(p, NetworkConfig{});
+    std::vector<MessageQueue> queues;
+    for (Rank r = 0; r < p; ++r) { queues.emplace_back(1 << 20, router, 1, true); }
+    for (auto& q : queues) { q.begin_epoch(5); }
+    std::size_t delivered = 0;
+    sim.run_phase(
+        "x",
+        [&](RankHandle& self) {
+            if (self.rank() == 0) {
+                const WordVec rec{42};
+                queues[0].post(self, 8, rec);
+            }
+        },
+        [&](RankHandle& self, Rank, int, std::span<const std::uint64_t> payload) {
+            queues[self.rank()].handle(self, payload,
+                                       [&](RankHandle& s, std::span<const std::uint64_t> rec) {
+                                           EXPECT_EQ(s.rank(), 8u);
+                                           ASSERT_EQ(rec.size(), 1u);
+                                           EXPECT_EQ(rec[0], 42u);
+                                           ++delivered;
+                                       });
+        },
+        [&](RankHandle& self) {
+            auto& q = queues[self.rank()];
+            if (q.has_buffered()) { q.flush(self); }
+        });
+    EXPECT_EQ(delivered, 1u);
+}
+
 TEST(MessageQueue, MalformedPayloadRejected) {
     const DirectRouter router;
     Simulator sim(1, NetworkConfig{});

@@ -1,0 +1,121 @@
+#include "stream/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/rgg2d.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "support/test_graphs.hpp"
+#include "util/assert.hpp"
+
+namespace katric::stream {
+namespace {
+
+std::vector<DynamicDistGraph> build_views(const CsrGraph& g, Rank p) {
+    const auto partition = Partition1D::uniform(g.num_vertices(), p);
+    std::vector<DynamicDistGraph> views;
+    for (Rank r = 0; r < p; ++r) {
+        views.push_back(DynamicDistGraph::from_global(g, partition, r));
+    }
+    return views;
+}
+
+TEST(DynamicDistGraph, FromGlobalMirrorsLocalNeighborhoods) {
+    const auto g = gen::generate_rmat(7, 512, 19);
+    const Rank p = 4;
+    auto views = build_views(g, p);
+    for (const auto& view : views) {
+        for (VertexId v = view.first_local(); v < view.first_local() + view.num_local();
+             ++v) {
+            const auto expected = g.neighbors(v);
+            const auto got = view.neighbors(v);
+            ASSERT_EQ(got.size(), expected.size());
+            EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+        }
+    }
+}
+
+TEST(DynamicDistGraph, GhostDegreesSeededExactly) {
+    const auto g = gen::generate_rgg2d(200, gen::rgg2d_radius_for_degree(200, 8.0), 3);
+    auto views = build_views(g, 5);
+    for (const auto& view : views) {
+        for (VertexId v = view.first_local(); v < view.first_local() + view.num_local();
+             ++v) {
+            for (const VertexId w : view.neighbors(v)) {
+                if (view.is_local(w)) { continue; }
+                const auto degree = view.ghost_degree(w);
+                ASSERT_TRUE(degree.has_value());
+                EXPECT_EQ(*degree, g.degree(w));
+            }
+        }
+    }
+}
+
+TEST(DynamicDistGraph, InsertEraseHalfEdgesAreIdempotentPerDirection) {
+    const auto g = katric::test::petersen_graph();
+    auto views = build_views(g, 2);
+    auto& view = views[0];
+    const VertexId u = view.first_local();
+    // Petersen vertex 0 is adjacent to 1, 4, 5.
+    EXPECT_TRUE(view.has_edge(u, 1));
+    EXPECT_FALSE(view.insert_half_edge(u, 1));  // already present
+    EXPECT_TRUE(view.insert_half_edge(u, 3));
+    EXPECT_TRUE(view.has_edge(u, 3));
+    EXPECT_TRUE(view.erase_half_edge(u, 3));
+    EXPECT_FALSE(view.erase_half_edge(u, 3));  // already absent
+    EXPECT_EQ(view.degree(u), 3u);
+}
+
+TEST(DynamicDistGraph, NeighborRanksDeduplicatesAndExcludesSelf) {
+    const auto g = katric::test::complete_graph(12);
+    auto views = build_views(g, 4);  // 3 vertices per rank
+    const auto& view = views[1];
+    const auto ranks = view.neighbor_ranks(view.first_local());
+    // K12: every other rank owns neighbors; self excluded.
+    ASSERT_EQ(ranks.size(), 3u);
+    EXPECT_TRUE(std::find(ranks.begin(), ranks.end(), 1u) == ranks.end());
+}
+
+TEST(DynamicDistGraph, GhostDegreeNotesOverride) {
+    const auto g = katric::test::complete_graph(6);
+    auto views = build_views(g, 2);
+    auto& view = views[0];
+    const VertexId ghost = 5;
+    ASSERT_TRUE(view.ghost_degree(ghost).has_value());
+    view.note_ghost_degree(ghost, 17);
+    EXPECT_EQ(view.ghost_degree(ghost), 17u);
+    EXPECT_THROW(view.note_ghost_degree(view.first_local(), 1), katric::assertion_error);
+}
+
+TEST(MaterializeGlobal, RoundTripsTheInitialGraph) {
+    for (const auto& fc : katric::test::family_cases()) {
+        SCOPED_TRACE(fc.name);
+        auto views = build_views(fc.graph, 6);
+        const auto rebuilt = materialize_global(views);
+        ASSERT_EQ(rebuilt.num_vertices(), fc.graph.num_vertices());
+        ASSERT_EQ(rebuilt.num_edges(), fc.graph.num_edges());
+        EXPECT_EQ(rebuilt.offsets(), fc.graph.offsets());
+        EXPECT_EQ(rebuilt.targets(), fc.graph.targets());
+    }
+}
+
+TEST(MaterializeGlobal, ReflectsMutations) {
+    const auto g = katric::test::path_graph(6);  // 0-1-2-3-4-5
+    auto views = build_views(g, 3);
+    // Close the triangle {0,1,2}: edge {0,2} touches owner(0)=rank 0 twice.
+    ASSERT_TRUE(views[0].insert_half_edge(0, 2));
+    ASSERT_TRUE(views[1].insert_half_edge(2, 0));
+    // Remove {3,4}: endpoints live on ranks 1 and 2.
+    ASSERT_TRUE(views[1].erase_half_edge(3, 4));
+    ASSERT_TRUE(views[2].erase_half_edge(4, 3));
+    const auto rebuilt = materialize_global(views);
+    rebuilt.validate();
+    EXPECT_TRUE(rebuilt.has_edge(0, 2));
+    EXPECT_FALSE(rebuilt.has_edge(3, 4));
+    EXPECT_EQ(rebuilt.num_edges(), 5u);
+}
+
+}  // namespace
+}  // namespace katric::stream

@@ -1,0 +1,100 @@
+#include "stream/edge_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/gnm.hpp"
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace katric::stream {
+namespace {
+
+EdgeStream three_events() {
+    EdgeStream s;
+    s.push({0.0, 0, 1, EventKind::kInsert});
+    s.push({0.5, 1, 2, EventKind::kInsert});
+    s.push({2.5, 0, 1, EventKind::kDelete});
+    return s;
+}
+
+TEST(EdgeStream, RejectsDecreasingTimestamps) {
+    EdgeStream s;
+    s.push({1.0, 0, 1, EventKind::kInsert});
+    EXPECT_THROW(s.push({0.5, 1, 2, EventKind::kInsert}), katric::assertion_error);
+}
+
+TEST(EdgeStream, BatchesOfGroupsBySizePreservingOrder) {
+    const auto s = three_events();
+    const auto batches = s.batches_of(2);
+    ASSERT_EQ(batches.size(), 2u);
+    EXPECT_EQ(batches[0].events.size(), 2u);
+    EXPECT_EQ(batches[1].events.size(), 1u);
+    EXPECT_EQ(batches[0].events[0].u, 0u);
+    EXPECT_EQ(batches[1].events[0].kind, EventKind::kDelete);
+    EXPECT_DOUBLE_EQ(batches[0].begin_time, 0.0);
+    EXPECT_DOUBLE_EQ(batches[1].begin_time, 2.5);
+}
+
+TEST(EdgeStream, WindowBatchingSkipsEmptyWindows) {
+    const auto s = three_events();
+    const auto batches = s.batches_by_window(1.0);
+    // Events at 0.0 and 0.5 share window [0,1); 2.5 lands in [2,3) — the
+    // empty [1,2) window produces no batch.
+    ASSERT_EQ(batches.size(), 2u);
+    EXPECT_EQ(batches[0].events.size(), 2u);
+    EXPECT_EQ(batches[1].events.size(), 1u);
+    EXPECT_DOUBLE_EQ(batches[1].begin_time, 2.0);
+    EXPECT_DOUBLE_EQ(batches[1].end_time, 3.0);
+}
+
+TEST(EdgeStream, AllEventsLandInExactlyOneBatch) {
+    const auto base = gen::generate_gnm(100, 400, 17);
+    const auto s = make_churn_stream(base, 500, 0.4, 99);
+    for (const std::size_t size : {1u, 7u, 100u, 1000u}) {
+        std::size_t total = 0;
+        for (const auto& batch : s.batches_of(size)) { total += batch.events.size(); }
+        EXPECT_EQ(total, s.size());
+    }
+    std::size_t total = 0;
+    for (const auto& batch : s.batches_by_window(0.0137)) { total += batch.events.size(); }
+    EXPECT_EQ(total, s.size());
+}
+
+TEST(ChurnStream, DeterministicInSeed) {
+    const auto base = gen::generate_gnm(60, 200, 5);
+    const auto a = make_churn_stream(base, 200, 0.3, 42);
+    const auto b = make_churn_stream(base, 200, 0.3, 42);
+    const auto c = make_churn_stream(base, 200, 0.3, 43);
+    ASSERT_EQ(a.size(), b.size());
+    bool identical = true;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        identical = identical && a.events()[i].u == b.events()[i].u
+                    && a.events()[i].v == b.events()[i].v
+                    && a.events()[i].kind == b.events()[i].kind;
+    }
+    EXPECT_TRUE(identical);
+    bool differs = c.size() != a.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+        differs = a.events()[i].u != c.events()[i].u || a.events()[i].v != c.events()[i].v
+                  || a.events()[i].kind != c.events()[i].kind;
+    }
+    EXPECT_TRUE(differs) << "different seeds should give different streams";
+}
+
+TEST(ChurnStream, MixesInsertsAndDeletesCanonically) {
+    const auto base = gen::generate_gnm(80, 320, 11);
+    const auto s = make_churn_stream(base, 400, 0.5, 7);
+    std::size_t inserts = 0;
+    std::size_t deletes = 0;
+    for (const auto& event : s.events()) {
+        EXPECT_LT(event.u, 80u);
+        EXPECT_LT(event.v, 80u);
+        EXPECT_LT(event.u, event.v);  // canonical, no self-loops
+        (event.kind == EventKind::kInsert ? inserts : deletes)++;
+    }
+    EXPECT_GT(inserts, 100u);
+    EXPECT_GT(deletes, 100u);
+}
+
+}  // namespace
+}  // namespace katric::stream

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/runner.hpp"
+#include "gen/gnm.hpp"
+#include "gen/rgg2d.hpp"
+#include "gen/rmat.hpp"
+#include "seq/edge_iterator.hpp"
+#include "stream/stream_runner.hpp"
+#include "support/test_graphs.hpp"
+#include "util/assert.hpp"
+
+namespace katric::stream {
+namespace {
+
+graph::CsrGraph make_base(const std::string& family) {
+    if (family == "gnm") { return gen::generate_gnm(300, 1800, 42); }
+    if (family == "rmat") { return gen::generate_rmat(8, 1536, 9); }
+    if (family == "rgg2d") {
+        return gen::generate_rgg2d(300, gen::rgg2d_radius_for_degree(300, 10.0), 7);
+    }
+    KATRIC_THROW("unknown family " << family);
+}
+
+/// The subsystem's core property: after every batch of a randomized
+/// insert/delete stream, the incrementally maintained count equals a fresh
+/// static recount of the materialized graph.
+using PropertyParam = std::tuple<std::string /*family*/, core::PartitionStrategy, Rank>;
+
+class IncrementalMatchesRecountTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(IncrementalMatchesRecountTest, EveryBatchAgreesWithStaticCount) {
+    const auto [family, partition, p] = GetParam();
+    const auto base = make_base(family);
+
+    StreamRunSpec spec;
+    spec.num_ranks = p;
+    spec.partition = partition;
+
+    const auto stream = make_churn_stream(base, 240, 0.45, 1234);
+    const auto batches = stream.batches_of(30);
+
+    auto views = distribute_dynamic(base, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    const auto initial = core::count_triangles(base, spec.static_spec());
+    ASSERT_FALSE(initial.oom);
+    IncrementalCounter counter(sim, views, spec.options, spec.indirect, initial.triangles);
+
+    for (const auto& batch : batches) {
+        const auto stats = counter.apply_batch(batch);
+        const auto current = materialize_global(views);
+        // Fresh static recount through the full distributed pipeline.
+        const auto recount = core::count_triangles(current, spec.static_spec());
+        ASSERT_FALSE(recount.oom);
+        ASSERT_EQ(counter.triangles(), recount.triangles)
+            << "batch " << stats.batch_index << " (" << stats.net_inserts << " ins, "
+            << stats.net_deletes << " del)";
+        EXPECT_EQ(stats.triangles, counter.triangles());
+    }
+}
+
+std::string property_name(const ::testing::TestParamInfo<PropertyParam>& info) {
+    const auto [family, partition, p] = info.param;
+    const std::string strategy =
+        partition == core::PartitionStrategy::kUniformVertices ? "uniform" : "balanced";
+    return family + "_" + strategy + "_p" + std::to_string(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratorsPartitionsRanks, IncrementalMatchesRecountTest,
+    ::testing::Combine(::testing::Values("gnm", "rmat", "rgg2d"),
+                       ::testing::Values(core::PartitionStrategy::kUniformVertices,
+                                         core::PartitionStrategy::kBalancedEdges),
+                       ::testing::Values<Rank>(1, 4, 7)),
+    property_name);
+
+/// End-to-end runner checks: final count, per-batch bookkeeping, observer.
+TEST(CountTrianglesStreaming, RunnerMatchesFinalRecountAndReportsBatches) {
+    const auto base = gen::generate_gnm(256, 1536, 3);
+    StreamRunSpec spec;
+    spec.num_ranks = 6;
+    const auto stream = make_churn_stream(base, 300, 0.4, 55);
+    const auto batches = stream.batches_of(50);
+
+    std::size_t observed = 0;
+    const auto result = count_triangles_streaming(
+        base, batches, spec, [&](const BatchStats& stats) {
+            EXPECT_EQ(stats.batch_index, observed);
+            ++observed;
+        });
+    EXPECT_EQ(observed, batches.size());
+    ASSERT_EQ(result.batches.size(), batches.size());
+
+    // Replay the stream on fresh views to rebuild the final graph.
+    auto views = distribute_dynamic(base, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    IncrementalCounter counter(sim, views, spec.options, spec.indirect,
+                               result.initial.triangles);
+    for (const auto& batch : batches) { counter.apply_batch(batch); }
+    const auto final_graph = materialize_global(views);
+    EXPECT_EQ(result.triangles, seq::count_edge_iterator(final_graph).triangles);
+
+    // Deltas must chain: initial + Σ delta = final.
+    std::int64_t running = static_cast<std::int64_t>(result.initial.triangles);
+    for (const auto& stats : result.batches) {
+        running += stats.delta;
+        EXPECT_EQ(static_cast<std::uint64_t>(running), stats.triangles);
+    }
+    EXPECT_EQ(static_cast<std::uint64_t>(running), result.triangles);
+    EXPECT_GT(result.stream_seconds, 0.0);
+}
+
+TEST(IncrementalCounting, IndirectRoutingStaysExact) {
+    const auto base = gen::generate_rgg2d(256, gen::rgg2d_radius_for_degree(256, 9.0), 21);
+    StreamRunSpec spec;
+    spec.num_ranks = 9;  // 3×3 grid
+    spec.indirect = true;
+    const auto stream = make_churn_stream(base, 200, 0.45, 77);
+    const auto batches = stream.batches_of(25);
+
+    auto views = distribute_dynamic(base, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    const auto initial = core::count_triangles(base, spec.static_spec());
+    IncrementalCounter counter(sim, views, spec.options, spec.indirect, initial.triangles);
+    for (const auto& batch : batches) {
+        counter.apply_batch(batch);
+        EXPECT_EQ(counter.triangles(),
+                  seq::count_edge_iterator(materialize_global(views)).triangles);
+    }
+}
+
+TEST(IncrementalCounting, PathologicalThresholdForcesManyFlushesButStaysExact) {
+    const auto base = gen::generate_gnm(200, 1200, 13);
+    StreamRunSpec spec;
+    spec.num_ranks = 8;
+    spec.options.buffer_threshold_words = 8;  // pathological δ
+    const auto stream = make_churn_stream(base, 150, 0.5, 31);
+    const auto result = count_triangles_streaming(base, stream.batches_of(25), spec);
+
+    auto views = distribute_dynamic(base, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    IncrementalCounter counter(sim, views, spec.options, spec.indirect,
+                               result.initial.triangles);
+    for (const auto& batch : stream.batches_of(25)) { counter.apply_batch(batch); }
+    EXPECT_EQ(result.triangles,
+              seq::count_edge_iterator(materialize_global(views)).triangles);
+}
+
+TEST(IncrementalCounting, NoOpEventsFoldAway) {
+    const auto base = katric::test::complete_graph(8);  // 56 triangles
+    StreamRunSpec spec;
+    spec.num_ranks = 3;
+    auto views = distribute_dynamic(base, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    IncrementalCounter counter(sim, views, spec.options, spec.indirect, 56);
+
+    EdgeBatch batch;
+    batch.events.push_back({0.0, 0, 1, EventKind::kInsert});  // re-insert: no-op
+    batch.events.push_back({0.1, 2, 5, EventKind::kDelete});
+    batch.events.push_back({0.2, 2, 5, EventKind::kInsert});  // cancels the delete
+    batch.events.push_back({0.3, 3, 3, EventKind::kInsert});  // self-loop: dropped
+    const auto stats = counter.apply_batch(batch);
+    EXPECT_EQ(stats.net_inserts, 0u);
+    EXPECT_EQ(stats.net_deletes, 0u);
+    EXPECT_EQ(stats.delta, 0);
+    EXPECT_EQ(counter.triangles(), 56u);
+    EXPECT_EQ(stats.messages_sent, 0u);  // nothing to do, nothing sent
+}
+
+TEST(IncrementalCounting, InsertThenDeleteWithinOneBatchIsTransparent) {
+    const auto base = katric::test::path_graph(10);
+    StreamRunSpec spec;
+    spec.num_ranks = 4;
+    auto views = distribute_dynamic(base, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    IncrementalCounter counter(sim, views, spec.options, spec.indirect, 0);
+
+    EdgeBatch batch;
+    batch.events.push_back({0.0, 0, 2, EventKind::kInsert});  // closes {0,1,2}
+    batch.events.push_back({0.1, 0, 2, EventKind::kDelete});  // …and reopens it
+    batch.events.push_back({0.2, 4, 6, EventKind::kInsert});  // closes {4,5,6}
+    const auto stats = counter.apply_batch(batch);
+    EXPECT_EQ(stats.net_inserts, 1u);
+    EXPECT_EQ(stats.net_deletes, 0u);
+    EXPECT_EQ(counter.triangles(), 1u);
+}
+
+TEST(IncrementalCounting, DeletingEveryEdgeReachesZero) {
+    const auto base = katric::test::complete_graph(10);  // 120 triangles
+    StreamRunSpec spec;
+    spec.num_ranks = 5;
+    auto views = distribute_dynamic(base, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    IncrementalCounter counter(sim, views, spec.options, spec.indirect, 120);
+
+    EdgeStream stream;
+    double t = 0.0;
+    for (VertexId u = 0; u < 10; ++u) {
+        for (VertexId v = u + 1; v < 10; ++v) {
+            stream.push({t, u, v, EventKind::kDelete});
+            t += 0.001;
+        }
+    }
+    for (const auto& batch : stream.batches_of(9)) {
+        counter.apply_batch(batch);
+        EXPECT_EQ(counter.triangles(),
+                  seq::count_edge_iterator(materialize_global(views)).triangles);
+    }
+    EXPECT_EQ(counter.triangles(), 0u);
+    for (const auto& view : views) { EXPECT_EQ(view.num_local_half_edges(), 0u); }
+}
+
+TEST(IncrementalCounting, MultiChangedEdgeTrianglesAreCorrectedExactly) {
+    // A fresh triangle arriving whole in one batch: all three edges inserted
+    // together, so every intersection sees k ∈ {2,3} — the multiplicity
+    // correction path, not the common k=1 path.
+    const auto base = graph::build_undirected(graph::EdgeList{}, 9);
+    StreamRunSpec spec;
+    spec.num_ranks = 3;
+    spec.partition = core::PartitionStrategy::kUniformVertices;  // edgeless input
+    auto views = distribute_dynamic(base, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    IncrementalCounter counter(sim, views, spec.options, spec.indirect, 0);
+
+    EdgeBatch whole_triangle;
+    whole_triangle.events.push_back({0.0, 0, 4, EventKind::kInsert});
+    whole_triangle.events.push_back({0.1, 4, 8, EventKind::kInsert});
+    whole_triangle.events.push_back({0.2, 0, 8, EventKind::kInsert});
+    const auto stats = counter.apply_batch(whole_triangle);
+    EXPECT_EQ(stats.delta, 1);
+    EXPECT_EQ(counter.triangles(), 1u);
+
+    // And the same triangle leaving whole.
+    EdgeBatch teardown;
+    teardown.events.push_back({1.0, 0, 4, EventKind::kDelete});
+    teardown.events.push_back({1.1, 4, 8, EventKind::kDelete});
+    teardown.events.push_back({1.2, 0, 8, EventKind::kDelete});
+    EXPECT_EQ(counter.apply_batch(teardown).delta, -1);
+    EXPECT_EQ(counter.triangles(), 0u);
+}
+
+}  // namespace
+}  // namespace katric::stream
