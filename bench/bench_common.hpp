@@ -1,9 +1,11 @@
 #pragma once
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/runner.hpp"
@@ -61,5 +63,74 @@ inline std::string time_or_oom(const core::CountResult& result) {
     out << std::scientific << std::setprecision(3) << result.total_time;
     return out.str();
 }
+
+/// Minimal JSON emitter for CI artifacts: an array of flat objects, one per
+/// bench row, written when the user passes `--json <path>`. Deliberately
+/// tiny — numbers and strings only, no nesting — so workflow runs can
+/// upload machine-readable results without a serialization dependency.
+class JsonReport {
+public:
+    JsonReport& begin_row() {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    JsonReport& field(const std::string& key, const std::string& value) {
+        std::ostringstream out;
+        out << '"';
+        for (const char c : value) {
+            if (c == '"' || c == '\\') { out << '\\'; }
+            out << c;
+        }
+        out << '"';
+        return raw(key, out.str());
+    }
+
+    JsonReport& field(const std::string& key, double value) {
+        std::ostringstream out;
+        out << std::setprecision(17) << value;
+        return raw(key, out.str());
+    }
+
+    JsonReport& field(const std::string& key, std::uint64_t value) {
+        return raw(key, std::to_string(value));
+    }
+
+    JsonReport& field(const std::string& key, std::int64_t value) {
+        return raw(key, std::to_string(value));
+    }
+
+    [[nodiscard]] std::string to_string() const {
+        std::ostringstream out;
+        out << "[\n";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            out << "  {";
+            for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+                out << '"' << rows_[i][j].first << "\": " << rows_[i][j].second;
+                if (j + 1 < rows_[i].size()) { out << ", "; }
+            }
+            out << (i + 1 < rows_.size() ? "},\n" : "}\n");
+        }
+        out << "]\n";
+        return out.str();
+    }
+
+    /// Writes the report; empty path is a no-op (JSON output not requested).
+    void write(const std::string& path) const {
+        if (path.empty()) { return; }
+        std::ofstream out(path);
+        KATRIC_ASSERT_MSG(out.good(), "cannot open JSON output path " << path);
+        out << to_string();
+    }
+
+private:
+    JsonReport& raw(const std::string& key, std::string rendered) {
+        KATRIC_ASSERT_MSG(!rows_.empty(), "field() before begin_row()");
+        rows_.back().emplace_back(key, std::move(rendered));
+        return *this;
+    }
+
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 }  // namespace katric::bench

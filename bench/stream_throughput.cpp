@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
     cli.option("delete-fraction", "0.4", "fraction of delete events in the churn");
     cli.option("indirect", "0", "route stream traffic via the grid proxy (0|1)");
     cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    cli.option("json", "", "write per-batch results as a JSON array to this path");
     if (!cli.parse(argc, argv)) { return 0; }
 
     const auto network = bench::parse_network(cli.get_string("network"));
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
 
     Table table({"batch", "net ins", "net del", "triangles", "incr time (s)",
                  "incr words", "recount time (s)", "recount words", "speedup"});
+    bench::JsonReport report;
     double incremental_total = 0.0;
     double recount_total = 0.0;
     for (const auto& batch : batches) {
@@ -66,10 +68,28 @@ int main(int argc, char** argv) {
         const auto current = stream::materialize_global(views);
         const auto recount = core::count_triangles(current, spec.static_spec());
         KATRIC_ASSERT(!recount.oom);
-        KATRIC_ASSERT_MSG(recount.triangles == stats.triangles,
-                          "incremental and recount disagree");
+        if (recount.triangles != stats.triangles) {
+            // The bench doubles as the CI correctness smoke: a divergence
+            // must fail the workflow, not just print a surprising table.
+            // The partial JSON still gets written — the rows up to here are
+            // what localizes the regression.
+            std::cerr << "FAIL: batch " << stats.batch_index << " incremental count "
+                      << stats.triangles << " != full recount " << recount.triangles
+                      << "\n";
+            report.write(cli.get_string("json"));
+            return 1;
+        }
         incremental_total += stats.seconds;
         recount_total += recount.total_time;
+        report.begin_row()
+            .field("batch", static_cast<std::uint64_t>(stats.batch_index))
+            .field("net_inserts", static_cast<std::uint64_t>(stats.net_inserts))
+            .field("net_deletes", static_cast<std::uint64_t>(stats.net_deletes))
+            .field("triangles", stats.triangles)
+            .field("incremental_seconds", stats.seconds)
+            .field("incremental_words", stats.words_sent)
+            .field("recount_seconds", recount.total_time)
+            .field("recount_words", recount.total_words_sent);
         table.row()
             .cell(static_cast<std::uint64_t>(stats.batch_index))
             .cell(static_cast<std::uint64_t>(stats.net_inserts))
@@ -82,6 +102,7 @@ int main(int argc, char** argv) {
             .cell(stats.seconds > 0.0 ? recount.total_time / stats.seconds : 0.0, 1);
     }
     table.print(std::cout);
+    report.write(cli.get_string("json"));
     std::cout << "\ntotals: incremental " << incremental_total << " s vs recount "
               << recount_total << " s (" << recount_total / incremental_total
               << "× overall)\n"

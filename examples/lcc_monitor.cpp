@@ -1,0 +1,89 @@
+// Streaming LCC monitor: maintain per-vertex local clustering coefficients
+// over a live edge stream and flag the vertices whose neighborhoods change
+// the most per window. A real deployment watches for exactly this — a
+// vertex whose LCC collapses is a hub whose community is dissolving, one
+// whose LCC spikes is joining a tight cluster (spam rings, fraud cliques).
+// Here the stream is synthetic churn over a random geometric graph.
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "core/dist_lcc.hpp"
+#include "gen/rgg2d.hpp"
+#include "stream/stream_runner.hpp"
+
+int main() {
+    using namespace katric;
+
+    // 1. A starting graph and a churn stream: 1200 timestamped events, 40%
+    //    deletions, grouped into 100 ms windows.
+    const graph::VertexId n = 1 << 10;
+    const auto base = gen::generate_rgg2d_local(
+        n, gen::rgg2d_radius_for_degree(n, 16.0), /*seed=*/7);
+    const auto churn = stream::make_churn_stream(base, 1200, 0.4, /*seed=*/21);
+    const auto batches = churn.batches_by_window(0.1);
+
+    stream::StreamRunSpec spec;
+    spec.num_ranks = 8;
+
+    // 2. The static LCC pass seeds per-vertex Δ; then the incremental pair
+    //    (counter + LCC tracker) maintains both the global count and every
+    //    LCC(v) per batch.
+    auto views = stream::distribute_dynamic(base, spec);
+    net::Simulator sim(spec.num_ranks, spec.network);
+    const auto initial = core::compute_distributed_lcc(base, spec.static_spec());
+    stream::IncrementalCounter counter(sim, views, spec.options, spec.indirect,
+                                       initial.count.triangles);
+    stream::IncrementalLcc lcc(sim, views, spec.options, spec.indirect, initial.delta);
+    lcc.attach(counter);
+
+    std::cout << "streaming LCC monitor: n=" << base.num_vertices()
+              << " m=" << base.num_edges() << ", " << churn.size() << " events in "
+              << batches.size() << " windows, p=" << spec.num_ranks << "\n\n";
+    std::cout << std::left << std::setw(8) << "window" << std::setw(9) << "+edges"
+              << std::setw(9) << "-edges" << std::setw(12) << "triangles"
+              << std::setw(10) << "avg LCC" << std::setw(22) << "biggest mover"
+              << "latency (ms)\n";
+
+    // 3. Ingest window by window; after each Δ flush the full LCC vector is
+    //    current, so the monitor can rank movers immediately.
+    auto previous = lcc.lcc();
+    for (const auto& batch : batches) {
+        const auto stats = counter.apply_batch(batch);
+        const double flush_seconds = lcc.finish_batch();
+        const auto current = lcc.lcc();
+
+        double sum = 0.0;
+        graph::VertexId mover = 0;
+        double biggest = 0.0;
+        for (graph::VertexId v = 0; v < current.size(); ++v) {
+            sum += current[v];
+            const double change = std::abs(current[v] - previous[v]);
+            if (change > biggest) {
+                biggest = change;
+                mover = v;
+            }
+        }
+        std::ostringstream mover_text;
+        mover_text << "v" << mover << " (" << std::showpos << std::fixed
+                   << std::setprecision(3) << current[mover] - previous[mover] << ")";
+        std::cout << std::left << std::setw(8) << stats.batch_index << std::setw(9)
+                  << stats.net_inserts << std::setw(9) << stats.net_deletes
+                  << std::setw(12) << stats.triangles << std::setw(10) << std::fixed
+                  << std::setprecision(4) << sum / static_cast<double>(current.size())
+                  << std::setw(22) << (biggest > 0.0 ? mover_text.str() : "—")
+                  << std::setprecision(3) << (stats.seconds + flush_seconds) * 1e3
+                  << std::defaultfloat << "\n";
+        previous = current;
+    }
+
+    std::cout << "\nfinal: " << counter.triangles() << " triangles after "
+              << counter.batches_applied() << " windows, " << sim.time()
+              << " s simulated\n"
+              << "(per-window cost = incremental count + one Δ-flush phase; a full "
+                 "compute_distributed_lcc would pay the whole pipeline per window — "
+                 "see bench_stream_lcc)\n";
+    return 0;
+}

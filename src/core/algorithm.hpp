@@ -93,6 +93,8 @@ inline constexpr int kTagWedge = 2;
 inline constexpr int kTagDelta = 3;
 /// Tag of the streaming subsystem's epoch-stamped queues (src/stream/).
 inline constexpr int kTagStream = 4;
+/// Tag of the streaming LCC Δ-flush queues (src/stream/incremental_lcc).
+inline constexpr int kTagStreamLcc = 5;
 
 /// Intersection that charges its comparison cost to the PE's clock.
 inline std::uint64_t charged_intersect(net::RankHandle& self,

@@ -1,13 +1,68 @@
 #include "core/dist_lcc.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "net/collectives.hpp"
+#include "net/encoding.hpp"
 #include "net/metrics.hpp"
+#include "seq/lcc.hpp"
 #include "util/assert.hpp"
 
 namespace katric::core {
+
+LccDeltaState::LccDeltaState(graph::Partition1D partition)
+    : partition_(std::move(partition)) {
+    const Rank p = partition_.num_ranks();
+    local_.resize(p);
+    ghost_.resize(p);
+    for (Rank r = 0; r < p; ++r) { local_[r].assign(partition_.size(r), 0); }
+}
+
+void LccDeltaState::credit(Rank finder, VertexId v, std::int64_t amount) {
+    if (partition_.is_local(v, finder)) {
+        local_[finder][v - partition_.begin(finder)] += amount;
+    } else {
+        ghost_[finder][v] += amount;
+    }
+}
+
+std::vector<std::pair<VertexId, std::int64_t>> LccDeltaState::drain_ghosts(Rank r) {
+    std::vector<std::pair<VertexId, std::int64_t>> pairs(ghost_[r].begin(),
+                                                         ghost_[r].end());
+    ghost_[r].clear();
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+}
+
+void LccDeltaState::absorb(Rank owner, VertexId v, std::int64_t amount) {
+    KATRIC_ASSERT_MSG(partition_.is_local(v, owner),
+                      "ghost Δ flushed to a non-owner rank");
+    local_[owner][v - partition_.begin(owner)] += amount;
+}
+
+bool LccDeltaState::ghosts_empty() const noexcept {
+    for (const auto& map : ghost_) {
+        if (!map.empty()) { return false; }
+    }
+    return true;
+}
+
+std::int64_t LccDeltaState::local(Rank owner, VertexId v) const {
+    KATRIC_ASSERT(partition_.is_local(v, owner));
+    return local_[owner][v - partition_.begin(owner)];
+}
+
+std::vector<std::int64_t> LccDeltaState::assemble() const {
+    std::vector<std::int64_t> global(partition_.num_vertices(), 0);
+    for (Rank r = 0; r < partition_.num_ranks(); ++r) {
+        for (VertexId i = 0; i < partition_.size(r); ++i) {
+            KATRIC_ASSERT_MSG(local_[r][i] >= 0, "negative Δ accumulator at vertex "
+                                                     << partition_.begin(r) + i);
+            global[partition_.begin(r) + i] = local_[r][i];
+        }
+    }
+    return global;
+}
 
 LccResult compute_distributed_lcc(const graph::CsrGraph& global, const RunSpec& spec) {
     const Rank p = spec.num_ranks;
@@ -15,38 +70,25 @@ LccResult compute_distributed_lcc(const graph::CsrGraph& global, const RunSpec& 
     auto views = graph::distribute(global, partition);
     net::Simulator sim(p, spec.network);
 
-    // Per-PE Δ state: an array for local vertices, a hash map for ghosts
-    // (ghost triangles are sparse relative to the local range).
-    std::vector<std::vector<std::uint64_t>> delta_local(p);
-    std::vector<std::unordered_map<VertexId, std::uint64_t>> delta_ghost(p);
-    for (Rank r = 0; r < p; ++r) { delta_local[r].assign(partition.size(r), 0); }
-
+    LccDeltaState state(partition);
     const TriangleSink sink = [&](Rank finder, VertexId v, VertexId u, VertexId w) {
-        for (const VertexId x : {v, u, w}) {
-            if (partition.is_local(x, finder)) {
-                ++delta_local[finder][x - partition.begin(finder)];
-            } else {
-                ++delta_ghost[finder][x];
-            }
-        }
+        for (const VertexId x : {v, u, w}) { state.credit(finder, x, 1); }
     };
 
     LccResult result;
     result.count = dispatch_algorithm(sim, views, spec, &sink);
 
-    // Postprocessing: push ghost Δ values to their owners (pairs (g, Δ)),
-    // sorted for deterministic payloads.
+    // Postprocessing: push ghost Δ values to their owners (pairs of
+    // (g, zigzag Δ)), sorted for deterministic payloads.
     std::vector<std::vector<net::WordVec>> sends(p, std::vector<net::WordVec>(p));
     sim.run_phase("postprocess", [&](net::RankHandle& self) {
         const Rank r = self.rank();
-        std::vector<std::pair<VertexId, std::uint64_t>> pairs(delta_ghost[r].begin(),
-                                                              delta_ghost[r].end());
-        std::sort(pairs.begin(), pairs.end());
+        const auto pairs = state.drain_ghosts(r);
         self.charge_ops(pairs.size());
-        for (const auto& [ghost, count] : pairs) {
+        for (const auto& [ghost, amount] : pairs) {
             auto& buffer = sends[r][partition.rank_of(ghost)];
             buffer.push_back(ghost);
-            buffer.push_back(count);
+            buffer.push_back(net::encode_signed(amount));
         }
     }, {});
     auto received = net::all_to_all(sim, std::move(sends), /*sparse=*/true, "postprocess");
@@ -56,30 +98,19 @@ LccResult compute_distributed_lcc(const graph::CsrGraph& global, const RunSpec& 
             const auto& payload = received[r][src];
             KATRIC_ASSERT(payload.size() % 2 == 0);
             for (std::size_t i = 0; i < payload.size(); i += 2) {
-                KATRIC_ASSERT(partition.is_local(payload[i], r));
-                delta_local[r][payload[i] - partition.begin(r)] += payload[i + 1];
+                state.absorb(r, payload[i], net::decode_signed(payload[i + 1]));
                 self.charge_ops(1);
             }
         }
     }, {});
+    KATRIC_ASSERT(state.ghosts_empty());
     result.postprocess_time = net::phase_time(sim.phases(), "postprocess");
     result.count.total_time = sim.time();
 
     // Host-side assembly of the global result (I/O, not simulated work).
-    result.delta.assign(global.num_vertices(), 0);
-    for (Rank r = 0; r < p; ++r) {
-        for (VertexId i = 0; i < partition.size(r); ++i) {
-            result.delta[partition.begin(r) + i] = delta_local[r][i];
-        }
-    }
-    result.lcc.assign(global.num_vertices(), 0.0);
-    for (VertexId v = 0; v < global.num_vertices(); ++v) {
-        const auto d = global.degree(v);
-        if (d >= 2) {
-            result.lcc[v] = 2.0 * static_cast<double>(result.delta[v])
-                            / (static_cast<double>(d) * static_cast<double>(d - 1));
-        }
-    }
+    const auto signed_delta = state.assemble();
+    result.delta.assign(signed_delta.begin(), signed_delta.end());
+    result.lcc = seq::lcc_from_triangle_counts(global, result.delta);
     return result;
 }
 

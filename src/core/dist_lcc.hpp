@@ -1,11 +1,63 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/runner.hpp"
 
 namespace katric::core {
+
+/// Per-rank Δ(v) accumulators shared by the static LCC postprocess and the
+/// streaming incremental-LCC path (Section IV-E's attribution discipline):
+/// a dense signed array for every rank's local vertices plus a sparse
+/// signed map for ghost contributions awaiting their owner. Values are in
+/// caller-chosen units — whole triangles for the static path, sixths of a
+/// triangle for the streaming multiplicity-corrected path. Only the
+/// transport differs between the two users: compute_distributed_lcc drains
+/// the ghosts through one postprocess all-to-all, stream::IncrementalLcc
+/// through an epoch-stamped message-queue exchange per batch.
+class LccDeltaState {
+public:
+    LccDeltaState() = default;
+    explicit LccDeltaState(graph::Partition1D partition);
+
+    [[nodiscard]] const graph::Partition1D& partition() const noexcept {
+        return partition_;
+    }
+
+    /// Credits `amount` to Δ(v) as observed at `finder`: the dense local
+    /// slot when finder owns v, finder's ghost map otherwise.
+    void credit(Rank finder, VertexId v, std::int64_t amount);
+
+    /// Drains rank r's ghost contributions as (vertex, amount) pairs sorted
+    /// by vertex — the deterministic payload order of both flush transports.
+    [[nodiscard]] std::vector<std::pair<VertexId, std::int64_t>> drain_ghosts(Rank r);
+
+    /// Owner-side fold of one flushed contribution.
+    void absorb(Rank owner, VertexId v, std::int64_t amount);
+
+    /// Post-flush invariant: every ghost contribution reached its owner.
+    [[nodiscard]] bool ghosts_empty() const noexcept;
+
+    /// Owner-side value of one local vertex / all local vertices of r.
+    [[nodiscard]] std::int64_t local(Rank owner, VertexId v) const;
+    [[nodiscard]] std::span<const std::int64_t> local_values(Rank r) const {
+        return local_[r];
+    }
+
+    /// Host-side assembly of the global per-vertex vector. Asserts that no
+    /// accumulator is negative (a correct attribution never undercounts a
+    /// vertex below zero once all units are accounted).
+    [[nodiscard]] std::vector<std::int64_t> assemble() const;
+
+private:
+    graph::Partition1D partition_;
+    std::vector<std::vector<std::int64_t>> local_;
+    std::vector<std::unordered_map<VertexId, std::int64_t>> ghost_;
+};
 
 /// Distributed local-clustering-coefficient computation (Section IV-E).
 /// The counting algorithm reports every triangle from exactly one incident

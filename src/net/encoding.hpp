@@ -29,4 +29,17 @@ void decode_sorted(std::span<const std::uint64_t> words, std::size_t count,
 /// Exact number of words encode_sorted would append (for sizing decisions).
 [[nodiscard]] std::size_t encoded_words(std::span<const std::uint64_t> values);
 
+/// ZigZag mapping for the signed per-vertex delta records of the streaming
+/// LCC flush: the sign moves into the LSB, so small-magnitude deltas of
+/// either sign encode to small words (−1 → 1, 1 → 2, −2 → 3, …) and stay
+/// friendly to any downstream varint packing.
+[[nodiscard]] constexpr std::uint64_t encode_signed(std::int64_t value) noexcept {
+    return (static_cast<std::uint64_t>(value) << 1)
+           ^ static_cast<std::uint64_t>(value >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t decode_signed(std::uint64_t word) noexcept {
+    return static_cast<std::int64_t>((word >> 1) ^ (0 - (word & 1)));
+}
+
 }  // namespace katric::net

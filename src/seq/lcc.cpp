@@ -26,6 +26,13 @@ std::vector<double> local_clustering_coefficients(const CsrGraph& undirected) {
     return lcc_from_triangle_counts(undirected, per_vertex_triangles(undirected));
 }
 
+LccOracle compute_lcc_oracle(const CsrGraph& undirected) {
+    LccOracle oracle;
+    oracle.delta = per_vertex_triangles(undirected);
+    oracle.lcc = lcc_from_triangle_counts(undirected, oracle.delta);
+    return oracle;
+}
+
 double average_lcc(const CsrGraph& undirected) {
     const auto lcc = local_clustering_coefficients(undirected);
     if (lcc.empty()) { return 0.0; }

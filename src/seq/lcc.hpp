@@ -25,4 +25,13 @@ namespace katric::seq {
 /// sanity-check proxy instances against their family (web ≫ road).
 [[nodiscard]] double average_lcc(const graph::CsrGraph& undirected);
 
+/// Δ and LCC of a static graph in one call — the single-machine reference
+/// oracle the distributed and streaming paths are property-tested against.
+struct LccOracle {
+    std::vector<std::uint64_t> delta;
+    std::vector<double> lcc;
+};
+
+[[nodiscard]] LccOracle compute_lcc_oracle(const graph::CsrGraph& undirected);
+
 }  // namespace katric::seq

@@ -37,28 +37,31 @@ constexpr std::uint64_t kChangedFlag = std::uint64_t{1} << 63;
 
 }  // namespace
 
+std::unique_ptr<net::Router> make_stream_router(Rank num_ranks, bool indirect) {
+    if (indirect) { return std::make_unique<net::GridRouter>(num_ranks); }
+    return std::make_unique<net::DirectRouter>();
+}
+
+std::uint64_t stream_queue_threshold(const core::AlgorithmOptions& options,
+                                     const DynamicDistGraph& view) {
+    return options.buffer_threshold_words != 0
+               ? options.buffer_threshold_words
+               : std::max<std::uint64_t>(1024, view.num_local_half_edges());
+}
+
 IncrementalCounter::IncrementalCounter(net::Simulator& sim,
                                        std::vector<DynamicDistGraph>& views,
                                        const core::AlgorithmOptions& options,
                                        bool indirect, std::uint64_t initial_triangles)
     : sim_(&sim), views_(&views), options_(options), triangles_(initial_triangles) {
     KATRIC_ASSERT(static_cast<Rank>(views.size()) == sim.num_ranks());
-    if (indirect) {
-        router_ = std::make_unique<net::GridRouter>(sim.num_ranks());
-    } else {
-        router_ = std::make_unique<net::DirectRouter>();
-    }
+    router_ = make_stream_router(sim.num_ranks(), indirect);
     queues_.reserve(views.size());
     for (const auto& view : views) {
-        // δ ∈ O(|E_i|): sized from the initial per-PE input, the streaming
-        // analogue of core::auto_threshold. The queue is long-lived across
-        // batches; epochs, not reconstruction, mark the boundaries.
-        const std::uint64_t threshold =
-            options.buffer_threshold_words != 0
-                ? options.buffer_threshold_words
-                : std::max<std::uint64_t>(1024, view.num_local_half_edges());
-        queues_.emplace_back(threshold, *router_, core::kTagStream,
-                             /*epoch_stamped=*/true);
+        // The queue is long-lived across batches; epochs, not
+        // reconstruction, mark the boundaries.
+        queues_.emplace_back(stream_queue_threshold(options, view), *router_,
+                             core::kTagStream, /*epoch_stamped=*/true);
     }
     sixths_.assign(views.size(), 0);
 }
@@ -156,7 +159,7 @@ void IncrementalCounter::post_edge_work(net::RankHandle& self, const Edge& edge)
 }
 
 void IncrementalCounter::intersect_and_accumulate(net::RankHandle& self,
-                                                  graph::VertexId /*a*/,
+                                                  graph::VertexId a,
                                                   graph::VertexId b,
                                                   std::span<const std::uint64_t> flagged_a) {
     const auto& view = (*views_)[self.rank()];
@@ -178,6 +181,10 @@ void IncrementalCounter::intersect_and_accumulate(net::RankHandle& self,
             const std::uint64_t k = 1 + ((flagged_a[i] & kChangedFlag) != 0 ? 1 : 0)
                                     + (edge_changed(b, wa) ? 1 : 0);
             gained += 6 / k;  // k ∈ {1,2,3} ⇒ exact: 6, 3, 2
+            if (sink_) {
+                const auto sixths = phase_sign_ * static_cast<std::int64_t>(6 / k);
+                for (const graph::VertexId x : {a, b, wa}) { sink_(self, x, sixths); }
+            }
             ++i;
             ++j;
         }
@@ -260,6 +267,7 @@ BatchStats IncrementalCounter::apply_batch(const EdgeBatch& batch) {
     if (!net.deletes.empty()) {
         start_epoch(++epoch_);
         current_changed_ = &deleted;
+        phase_sign_ = -1;
         sim_->run_phase(
             "stream/delete",
             [&](net::RankHandle& self) {
@@ -281,6 +289,7 @@ BatchStats IncrementalCounter::apply_batch(const EdgeBatch& batch) {
     if (!net.deletes.empty() || !net.inserts.empty()) {
         start_epoch(++epoch_);
         current_changed_ = &inserted;
+        phase_sign_ = 1;
         sim_->run_phase(
             "stream/apply",
             [&](net::RankHandle& self) {

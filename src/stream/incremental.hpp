@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 #include <utility>
@@ -26,9 +27,30 @@ struct BatchStats {
     std::int64_t delta = 0;           ///< triangle-count change
     std::uint64_t triangles = 0;      ///< global count after the batch
     double seconds = 0.0;             ///< simulated seconds for the batch's phases
+    double lcc_seconds = 0.0;         ///< simulated seconds of the Δ ghost flush
+                                      ///< (0 unless LCC maintenance is attached)
     std::uint64_t messages_sent = 0;  ///< total over PEs, this batch only
     std::uint64_t words_sent = 0;     ///< total over PEs, this batch only
 };
+
+/// Router + δ policy shared by the counter's and the LCC tracker's queues:
+/// grid indirection when requested, and δ ∈ O(|E_i|) sized from the per-PE
+/// input (the streaming analogue of core::auto_threshold) unless the
+/// options pin an explicit threshold.
+[[nodiscard]] std::unique_ptr<net::Router> make_stream_router(Rank num_ranks,
+                                                              bool indirect);
+[[nodiscard]] std::uint64_t stream_queue_threshold(const core::AlgorithmOptions& options,
+                                                   const DynamicDistGraph& view);
+
+/// Signed per-vertex triangle attribution hook: invoked at the finding rank
+/// once per (triangle, changed-edge) find for each of the triangle's three
+/// vertices, with the same 6/k-sixths weight that flows into the global
+/// count — negated for delete-superstep finds. Summed over a triangle's k
+/// finds, every incident vertex receives exactly ±6 sixths, so consumers
+/// that aggregate by owner recover exact signed per-vertex Δ counts.
+using StreamTriangleSink =
+    std::function<void(net::RankHandle& self, graph::VertexId vertex,
+                       std::int64_t signed_sixths)>;
 
 /// Incremental distributed triangle-count maintenance (Tangwongsan, Pavan &
 /// Tirthapura's batched streaming model on this repo's simulated machine).
@@ -75,6 +97,10 @@ public:
     [[nodiscard]] std::uint64_t triangles() const noexcept { return triangles_; }
     [[nodiscard]] std::size_t batches_applied() const noexcept { return batch_index_; }
 
+    /// Installs (or clears, with an empty function) the per-vertex
+    /// attribution hook; IncrementalLcc::attach is the intended caller.
+    void set_triangle_sink(StreamTriangleSink sink) { sink_ = std::move(sink); }
+
 private:
     using EdgeKey = std::pair<std::uint64_t, std::uint64_t>;
     using EdgeSet = std::unordered_set<EdgeKey, PairHash>;
@@ -110,6 +136,8 @@ private:
     std::unique_ptr<net::Router> router_;
     std::vector<net::MessageQueue> queues_;
     std::vector<std::uint64_t> sixths_;  // per-rank, units of 1/6 triangle
+    StreamTriangleSink sink_;            // optional per-vertex attribution
+    std::int64_t phase_sign_ = 1;        // −1 in "stream/delete", +1 in "stream/apply"
 
     /// Effective changed-edge set of the phase in flight (deletions during
     /// "stream/delete", insertions during "stream/apply"). Stored once for

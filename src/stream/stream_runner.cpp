@@ -1,5 +1,8 @@
 #include "stream/stream_runner.hpp"
 
+#include <memory>
+
+#include "core/dist_lcc.hpp"
 #include "util/assert.hpp"
 
 namespace katric::stream {
@@ -21,21 +24,41 @@ StreamResult count_triangles_streaming(const graph::CsrGraph& initial,
                                        const BatchObserver& observer) {
     KATRIC_ASSERT(spec.num_ranks >= 1);
     StreamResult result;
-    result.initial = core::count_triangles(initial, spec.static_spec());
+    std::vector<std::uint64_t> initial_delta;
+    if (spec.maintain_lcc) {
+        // The LCC-enabled static pass supplies both the initial count and
+        // the per-vertex Δ seed in one run.
+        auto initial_lcc = core::compute_distributed_lcc(initial, spec.static_spec());
+        result.initial = initial_lcc.count;
+        initial_delta = std::move(initial_lcc.delta);
+    } else {
+        result.initial = core::count_triangles(initial, spec.static_spec());
+    }
     KATRIC_ASSERT_MSG(!result.initial.oom, "initial static count ran out of memory");
 
     auto views = distribute_dynamic(initial, spec);
     net::Simulator sim(spec.num_ranks, spec.network);
     IncrementalCounter counter(sim, views, spec.options, spec.indirect,
                                result.initial.triangles);
+    std::unique_ptr<IncrementalLcc> lcc;
+    if (spec.maintain_lcc) {
+        lcc = std::make_unique<IncrementalLcc>(sim, views, spec.options, spec.indirect,
+                                               initial_delta);
+        lcc->attach(counter);
+    }
     result.batches.reserve(batches.size());
     for (const auto& batch : batches) {
         auto stats = counter.apply_batch(batch);
+        if (lcc) { stats.lcc_seconds = lcc->finish_batch(); }
         if (observer) { observer(stats); }
         result.batches.push_back(std::move(stats));
     }
     result.triangles = counter.triangles();
     result.stream_seconds = sim.time();
+    if (lcc) {
+        result.delta = lcc->delta();
+        result.lcc = lcc->lcc();
+    }
     return result;
 }
 

@@ -7,6 +7,7 @@
 #include "stream/dynamic_graph.hpp"
 #include "stream/edge_stream.hpp"
 #include "stream/incremental.hpp"
+#include "stream/incremental_lcc.hpp"
 
 namespace katric::stream {
 
@@ -22,6 +23,12 @@ struct StreamRunSpec {
     core::PartitionStrategy partition = core::PartitionStrategy::kBalancedEdges;
     /// Route stream traffic through the grid proxy (Section IV-B).
     bool indirect = false;
+    /// Maintain per-vertex Δ and LCC alongside the global count (an
+    /// IncrementalLcc rides the counter; each batch pays one extra
+    /// Δ-flush phase, reported in BatchStats::lcc_seconds). The initial
+    /// static pass runs core::compute_distributed_lcc, so
+    /// initial_algorithm must support a triangle sink.
+    bool maintain_lcc = false;
 
     /// The equivalent static RunSpec (initial count, full recounts).
     [[nodiscard]] core::RunSpec static_spec() const {
@@ -38,6 +45,10 @@ struct StreamResult {
     std::vector<BatchStats> batches;  ///< one entry per ingested batch
     std::uint64_t triangles = 0;      ///< final global count
     double stream_seconds = 0.0;      ///< simulated seconds across all batches
+
+    /// Final per-vertex state, populated only when spec.maintain_lcc.
+    std::vector<std::uint64_t> delta;  ///< Δ(v) after the last batch
+    std::vector<double> lcc;           ///< LCC(v) after the last batch
 };
 
 /// The streaming entry point — the dynamic sibling of

@@ -66,6 +66,55 @@ TEST(DistLcc, PostprocessingIsAccounted) {
     EXPECT_GE(result.count.total_time, result.postprocess_time);
 }
 
+TEST(LccDeltaState, LocalCreditsLandDirectlyGhostsNeedAFlush) {
+    // 3 ranks over 9 vertices: rank r owns [3r, 3r+3).
+    LccDeltaState state(graph::Partition1D::uniform(9, 3));
+
+    state.credit(0, 1, 2);  // local at rank 0
+    state.credit(0, 4, 5);  // ghost of rank 1, seen at rank 0
+    state.credit(2, 4, 1);  // ghost of rank 1, seen at rank 2
+    state.credit(1, 4, 3);  // local at rank 1
+
+    EXPECT_EQ(state.local(0, 1), 2);
+    EXPECT_EQ(state.local(1, 4), 3);  // ghost credits not yet visible
+    EXPECT_FALSE(state.ghosts_empty());
+
+    for (Rank r = 0; r < 3; ++r) {
+        for (const auto& [vertex, amount] : state.drain_ghosts(r)) {
+            state.absorb(state.partition().rank_of(vertex), vertex, amount);
+        }
+    }
+    EXPECT_TRUE(state.ghosts_empty());
+    EXPECT_EQ(state.local(1, 4), 9);
+
+    const auto global = state.assemble();
+    const std::vector<std::int64_t> expected{0, 2, 0, 0, 9, 0, 0, 0, 0};
+    EXPECT_EQ(global, expected);
+}
+
+TEST(LccDeltaState, SignedCreditsCancelAndDrainDeterministically) {
+    LccDeltaState state(graph::Partition1D::uniform(8, 2));
+    // Rank 0 sees ghost 6 gain a triangle and lose it again — the streaming
+    // delete/insert pattern; the flushed record carries the net 0.
+    state.credit(0, 6, 6);
+    state.credit(0, 6, -6);
+    state.credit(0, 7, -3);
+    state.credit(0, 5, 2);
+
+    const auto pairs = state.drain_ghosts(0);
+    ASSERT_EQ(pairs.size(), 3u);  // sorted by vertex, including the zero entry
+    EXPECT_EQ(pairs[0], (std::pair<VertexId, std::int64_t>{5, 2}));
+    EXPECT_EQ(pairs[1], (std::pair<VertexId, std::int64_t>{6, 0}));
+    EXPECT_EQ(pairs[2], (std::pair<VertexId, std::int64_t>{7, -3}));
+    EXPECT_TRUE(state.ghosts_empty());
+}
+
+TEST(LccDeltaState, NegativeResidueIsRejectedAtAssembly) {
+    LccDeltaState state(graph::Partition1D::uniform(4, 2));
+    state.credit(0, 0, -1);
+    EXPECT_THROW((void)state.assemble(), katric::assertion_error);
+}
+
 TEST(DistLcc, BaselineAlgorithmsRejected) {
     const auto g = katric::test::triangle_graph();
     RunSpec spec;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -28,6 +29,42 @@ TEST(Encoding, RoundTripHandCases) {
         std::vector<std::uint64_t> back;
         decode_sorted(words, values.size(), back);
         EXPECT_EQ(back, values);
+    }
+}
+
+TEST(SignedEncoding, RoundTripHandCases) {
+    for (const std::int64_t value :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{2},
+          std::int64_t{-2}, std::int64_t{6}, std::int64_t{-6}, std::int64_t{1} << 40,
+          -(std::int64_t{1} << 40), std::numeric_limits<std::int64_t>::max(),
+          std::numeric_limits<std::int64_t>::min()}) {
+        EXPECT_EQ(decode_signed(encode_signed(value)), value) << value;
+    }
+}
+
+TEST(SignedEncoding, SmallMagnitudesEncodeSmall) {
+    // The point of the zigzag mapping: |value| ≤ k occupies the 2k+1 lowest
+    // codes, so per-vertex deltas of either sign stay varint-friendly.
+    EXPECT_EQ(encode_signed(0), 0u);
+    EXPECT_EQ(encode_signed(-1), 1u);
+    EXPECT_EQ(encode_signed(1), 2u);
+    EXPECT_EQ(encode_signed(-2), 3u);
+    EXPECT_EQ(encode_signed(2), 4u);
+    for (std::int64_t magnitude = 1; magnitude < 1000; magnitude += 37) {
+        EXPECT_LT(encode_signed(magnitude),
+                  static_cast<std::uint64_t>(2 * magnitude + 1));
+        EXPECT_LT(encode_signed(-magnitude),
+                  static_cast<std::uint64_t>(2 * magnitude + 1));
+    }
+}
+
+TEST(SignedEncoding, RoundTripFuzz) {
+    Xoshiro256 rng(13);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const auto word = rng();
+        const auto value = static_cast<std::int64_t>(word);
+        EXPECT_EQ(decode_signed(encode_signed(value)), value);
+        EXPECT_EQ(encode_signed(decode_signed(word)), word);
     }
 }
 

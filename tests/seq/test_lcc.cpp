@@ -62,5 +62,14 @@ TEST(Lcc, FromPrecomputedCountsMatches) {
     EXPECT_EQ(direct, via_counts);
 }
 
+TEST(Lcc, OracleBundlesDeltaAndLccConsistently) {
+    for (const auto& fc : katric::test::family_cases()) {
+        SCOPED_TRACE(fc.name);
+        const auto oracle = compute_lcc_oracle(fc.graph);
+        EXPECT_EQ(oracle.delta, per_vertex_triangles(fc.graph));
+        EXPECT_EQ(oracle.lcc, lcc_from_triangle_counts(fc.graph, oracle.delta));
+    }
+}
+
 }  // namespace
 }  // namespace katric::seq
