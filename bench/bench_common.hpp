@@ -39,6 +39,24 @@ inline std::string default_algorithms_csv() {
     return "DITRIC,DITRIC2,CETRIC,CETRIC2,HavoqGT-style,TriC-style";
 }
 
+/// Registers the intersection-kernel options shared by the benches:
+/// `--intersect adaptive|merge|binary|hybrid|galloping|simd|bitmap` and
+/// `--hub-threshold N` (0 = automatic, from the per-rank degree profile).
+inline void add_intersect_options(CliParser& cli) {
+    cli.option("intersect", "merge",
+               "intersection kernel (adaptive|merge|binary|hybrid|galloping|simd|"
+               "bitmap)");
+    cli.option("hub-threshold", "0",
+               "hub bitmap degree threshold for adaptive/bitmap kernels (0 = auto)");
+}
+
+/// Applies the parsed intersection options onto an AlgorithmOptions.
+inline void apply_intersect_options(const CliParser& cli,
+                                    core::AlgorithmOptions& options) {
+    options.intersect = seq::parse_intersect_kind(cli.get_string("intersect"));
+    options.hub_threshold = cli.get_uint("hub-threshold");
+}
+
 /// Network preset parsing for `--network supermuc|cloud`.
 inline net::NetworkConfig parse_network(const std::string& name) {
     if (name == "supermuc") { return net::NetworkConfig::supermuc_like(); }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
     cli.option("cores", "48,96", "total core budgets (= ranks x threads)");
     cli.option("threads", "1,3,6,12,24,48", "threads per rank");
     cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    bench::add_intersect_options(cli);
     if (!cli.parse(argc, argv)) { return 0; }
 
     const auto network = bench::parse_network(cli.get_string("network"));
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
             spec.num_ranks = static_cast<graph::Rank>(ranks);
             spec.network = network;
             spec.options.threads = static_cast<int>(threads);
+            bench::apply_intersect_options(cli, spec.options);
             const auto result = core::count_triangles(g, spec);
             table.row()
                 .cell(cores)
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
         spec.num_ranks = ranks;
         spec.network = network;
         spec.options.threads = static_cast<int>(threads);
+        bench::apply_intersect_options(cli, spec.options);
         const auto result = core::count_triangles(g, spec);
         if (local_base == 0.0) { local_base = result.local_time; }
         fixed_ranks.row()

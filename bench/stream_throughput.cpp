@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     cli.option("indirect", "0", "route stream traffic via the grid proxy (0|1)");
     cli.option("network", "supermuc", "network preset (supermuc|cloud)");
     cli.option("json", "", "write per-batch results as a JSON array to this path");
+    bench::add_intersect_options(cli);
     if (!cli.parse(argc, argv)) { return 0; }
 
     const auto network = bench::parse_network(cli.get_string("network"));
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
     spec.num_ranks = p;
     spec.network = network;
     spec.indirect = cli.get_uint("indirect") != 0;
+    bench::apply_intersect_options(cli, spec.options);
 
     const auto churn =
         stream::make_churn_stream(base, events, cli.get_double("delete-fraction"), 99);

@@ -30,7 +30,18 @@ const std::vector<Algorithm>& all_algorithms() {
     return algorithms;
 }
 
-void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views) {
+graph::Degree resolve_hub_threshold(const AlgorithmOptions& options,
+                                    const DistGraph& view) {
+    if (options.hub_threshold != 0) { return options.hub_threshold; }
+    // Mean *oriented* row length: the stored half-edges split across the
+    // out-rows of local and ghost vertices, each keeping roughly half.
+    const std::uint64_t rows = view.num_local() + view.num_ghosts();
+    const std::uint64_t avg = rows == 0 ? 0 : view.num_local_half_edges() / (2 * rows);
+    return seq::auto_hub_threshold(avg);
+}
+
+void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
+                       const AlgorithmOptions& options) {
     const Rank p = sim.num_ranks();
     KATRIC_ASSERT(views.size() == p);
 
@@ -85,6 +96,14 @@ void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views) {
         // memory, simply rewiring incoming cut edges").
         view.build_oriented();
         ops += 3 * view.num_local_half_edges();
+        if (uses_hub_bitmaps(options.intersect)) {
+            // Materializing the hub bitmaps is preprocessing work too —
+            // selection scan plus one bit-set per indexed element.
+            seq::HubBitmapIndex::Config config;
+            config.degree_threshold = resolve_hub_threshold(options, view);
+            config.universe = view.partition().num_vertices();
+            ops += view.build_hub_bitmaps(config);
+        }
         self.charge_ops(ops);
     }, {});
 }

@@ -9,6 +9,7 @@
 #include "net/indirection.hpp"
 #include "net/message_queue.hpp"
 #include "net/simulator.hpp"
+#include "seq/adaptive_intersect.hpp"
 #include "seq/intersection.hpp"
 
 namespace katric::core {
@@ -36,6 +37,11 @@ struct AlgorithmOptions {
     /// max(1024, |E_i|) per PE, the paper's O(|E_i|) linear-memory setting.
     std::uint64_t buffer_threshold_words = 0;
     seq::IntersectKind intersect = seq::IntersectKind::kMerge;
+    /// Degree threshold for the hub bitmap index (kAdaptive/kBitmap kernels
+    /// only). 0 = automatic: max(8, 4 × the rank's mean oriented row
+    /// length), recomputed per rank from its local view — the graph_stats
+    /// intuition that hubs are the far tail of the degree distribution.
+    graph::Degree hub_threshold = 0;
     /// Hybrid mode: threads per MPI rank for the local phase (Section IV-D);
     /// 1 = plain MPI variant.
     int threads = 1;
@@ -96,21 +102,38 @@ inline constexpr int kTagStream = 4;
 /// Tag of the streaming LCC Δ-flush queues (src/stream/incremental_lcc).
 inline constexpr int kTagStreamLcc = 5;
 
-/// Intersection that charges its comparison cost to the PE's clock.
+/// Intersection that charges its measured kernel cost to the PE's clock.
+/// Pass operand vertex IDs when known so the dispatcher can route hub rows
+/// through their bitmaps; kInvalidVertex skips the hub lookup.
 inline std::uint64_t charged_intersect(net::RankHandle& self,
                                        std::span<const VertexId> a,
                                        std::span<const VertexId> b,
-                                       seq::IntersectKind kind) {
-    const auto r = seq::intersect(kind, a, b);
+                                       const seq::AdaptiveIntersect& isect,
+                                       VertexId a_id = graph::kInvalidVertex,
+                                       VertexId b_id = graph::kInvalidVertex) {
+    const auto r = isect.count(a, b, a_id, b_id);
     self.charge_ops(r.ops);
     return r.count;
 }
 
+/// True when `kind` wants the per-rank hub bitmap index materialized during
+/// preprocessing.
+[[nodiscard]] constexpr bool uses_hub_bitmaps(seq::IntersectKind kind) noexcept {
+    return kind == seq::IntersectKind::kBitmap || kind == seq::IntersectKind::kAdaptive;
+}
+
+/// Effective hub-degree threshold for one rank's view (see
+/// AlgorithmOptions::hub_threshold).
+[[nodiscard]] graph::Degree resolve_hub_threshold(const AlgorithmOptions& options,
+                                                  const DistGraph& view);
+
 /// Runs the preprocessing of Section IV-D on the simulator: the dense
 /// all-to-all ghost-degree exchange followed by building the degree-oriented
-/// (and, for CETRIC, expanded/contracted) adjacency structures, charging
-/// the corresponding linear work. Phase name: "preprocessing".
-void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views);
+/// (and, for CETRIC, expanded/contracted) adjacency structures — plus, for
+/// the bitmap-aware kernels, each rank's hub bitmap index — charging the
+/// corresponding linear work. Phase name: "preprocessing".
+void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
+                       const AlgorithmOptions& options);
 
 /// Per-PE automatic buffer threshold δ (Section IV-A): O(|E_i|).
 [[nodiscard]] std::uint64_t auto_threshold(const DistGraph& view,

@@ -32,25 +32,26 @@ AmqResult count_triangles_cetric_amq(const graph::CsrGraph& global, const RunSpe
 
     AmqResult result;
 
-    run_preprocessing(sim, views);
+    run_preprocessing(sim, views, spec.options);
 
     // --- exact local phase (identical to CETRIC's) -----------------------
     std::vector<std::uint64_t> local_counts(p, 0);
     sim.run_phase("local", [&](net::RankHandle& self) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
-        auto process = [&](std::span<const VertexId> a_v) {
+        const seq::AdaptiveIntersect isect(spec.options.intersect, view.hub_index());
+        auto process = [&](VertexId v, std::span<const VertexId> a_v) {
             for (VertexId u : a_v) {
                 local_counts[r] +=
-                    charged_intersect(self, a_v, view.a_set(u), spec.options.intersect);
+                    charged_intersect(self, a_v, view.a_set(u), isect, v, u);
             }
         };
         for (VertexId v = view.first_local(); v < view.first_local() + view.num_local();
              ++v) {
-            process(view.out_neighbors(v));
+            process(v, view.out_neighbors(v));
         }
         for (std::size_t g = 0; g < view.num_ghosts(); ++g) {
-            process(view.ghost_out_neighbors(g));
+            process(view.ghost_id(g), view.ghost_out_neighbors(g));
         }
     }, {});
 
@@ -70,6 +71,7 @@ AmqResult count_triangles_cetric_amq(const graph::CsrGraph& global, const RunSpe
     auto deliver = [&](net::RankHandle& self, std::span<const std::uint64_t> record) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
+        const seq::AdaptiveIntersect isect(spec.options.intersect, view.hub_index());
         KATRIC_ASSERT(record.size() >= 2);
         const VertexId v = record[0];
         const std::uint64_t kind = record[1];
@@ -81,7 +83,7 @@ AmqResult count_triangles_cetric_amq(const graph::CsrGraph& global, const RunSpe
             const auto a_v = record.subspan(2);
             for (const VertexId u : view.ghost_out_neighbors(*gi)) {
                 estimates[r] += static_cast<double>(charged_intersect(
-                    self, a_v, view.contracted_out_neighbors(u), spec.options.intersect));
+                    self, a_v, view.contracted_out_neighbors(u), isect, v, u));
             }
             return;
         }

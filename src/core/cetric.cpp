@@ -12,16 +12,18 @@ namespace katric::core {
 namespace {
 
 std::uint64_t intersect_for(net::RankHandle& self, std::span<const VertexId> a,
-                            std::span<const VertexId> b, const AlgorithmOptions& options,
+                            std::span<const VertexId> b,
+                            const seq::AdaptiveIntersect& isect,
                             const TriangleSink* sink, VertexId v, VertexId u,
-                            std::vector<VertexId>& scratch, int parallel_threads) {
+                            int parallel_threads) {
     if (sink == nullptr) {
-        const auto r = seq::intersect(options.intersect, a, b);
+        const auto r = isect.count(a, b, v, u);
         charge_parallel_ops(self, r.ops, parallel_threads);
         return r.count;
     }
+    auto& scratch = seq::collect_scratch();
     scratch.clear();
-    const auto r = seq::intersect_merge_collect(a, b, scratch);
+    const auto r = isect.collect(a, b, scratch, v, u);
     charge_parallel_ops(self, r.ops, parallel_threads);
     for (const VertexId w : scratch) { (*sink)(self.rank(), v, u, w); }
     return r.count;
@@ -36,29 +38,29 @@ CountResult run_cetric(net::Simulator& sim, std::vector<DistGraph>& views,
     KATRIC_ASSERT(views.size() == p);
     CountResult result;
 
-    run_preprocessing(sim, views);
+    run_preprocessing(sim, views, options);
 
     std::vector<std::uint64_t> local_counts(p, 0);
     std::vector<std::uint64_t> global_counts(p, 0);
-    std::vector<VertexId> scratch;
 
     // --- local phase: expanded graph V_i ∪ ∂V_i (Alg. 3 lines 5–7) -------
     // Finds all type-1 and type-2 triangles with zero communication.
     sim.run_phase("local", [&](net::RankHandle& self) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
+        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index());
         ThreadBinner binner(options.threads);
         const bool hybrid = options.threads > 1 && sink == nullptr;
         auto process = [&](VertexId v, std::span<const VertexId> a_v) {
             for (VertexId u : a_v) {
                 const auto a_u = view.a_set(u);
                 if (hybrid) {
-                    const auto res = seq::intersect(options.intersect, a_v, a_u);
+                    const auto res = isect.count(a_v, a_u, v, u);
                     binner.add_task(res.ops);
                     local_counts[r] += res.count;
                 } else {
                     local_counts[r] +=
-                        intersect_for(self, a_v, a_u, options, sink, v, u, scratch, 1);
+                        intersect_for(self, a_v, a_u, isect, sink, v, u, 1);
                 }
             }
         };
@@ -98,6 +100,7 @@ CountResult run_cetric(net::Simulator& sim, std::vector<DistGraph>& views,
     auto deliver = [&](net::RankHandle& self, std::span<const std::uint64_t> record) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
+        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index());
         KATRIC_ASSERT(!record.empty());
         const VertexId v = record[0];
         std::span<const VertexId> a_v;
@@ -113,8 +116,8 @@ CountResult run_cetric(net::Simulator& sim, std::vector<DistGraph>& views,
         for (const VertexId u : a_v) {
             if (!view.is_local(u)) { continue; }
             global_counts[r] +=
-                intersect_for(self, a_v, view.contracted_out_neighbors(u), options, sink,
-                              v, u, scratch, options.threads);
+                intersect_for(self, a_v, view.contracted_out_neighbors(u), isect, sink,
+                              v, u, options.threads);
         }
     };
 

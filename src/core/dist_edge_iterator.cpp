@@ -13,18 +13,21 @@ namespace katric::core {
 
 namespace {
 
-/// Count-or-collect intersection: with a sink, enumerate closing vertices.
+/// Count-or-collect intersection: with a sink, enumerate closing vertices
+/// (via the shared per-thread scratch — no per-call vector churn).
 std::uint64_t intersect_for(net::RankHandle& self, std::span<const VertexId> a,
-                            std::span<const VertexId> b, const AlgorithmOptions& options,
+                            std::span<const VertexId> b,
+                            const seq::AdaptiveIntersect& isect,
                             const TriangleSink* sink, VertexId v, VertexId u,
-                            std::vector<VertexId>& scratch, int parallel_threads) {
+                            int parallel_threads) {
     if (sink == nullptr) {
-        const auto r = seq::intersect(options.intersect, a, b);
+        const auto r = isect.count(a, b, v, u);
         charge_parallel_ops(self, r.ops, parallel_threads);
         return r.count;
     }
+    auto& scratch = seq::collect_scratch();
     scratch.clear();
-    const auto r = seq::intersect_merge_collect(a, b, scratch);
+    const auto r = isect.collect(a, b, scratch, v, u);
     charge_parallel_ops(self, r.ops, parallel_threads);
     for (const VertexId w : scratch) { (*sink)(self.rank(), v, u, w); }
     return r.count;
@@ -39,16 +42,16 @@ CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views
     KATRIC_ASSERT(views.size() == p);
     CountResult result;
 
-    run_preprocessing(sim, views);
+    run_preprocessing(sim, views, options);
 
     std::vector<std::uint64_t> local_counts(p, 0);
     std::vector<std::uint64_t> global_counts(p, 0);
-    std::vector<VertexId> scratch;
 
     // --- local phase: edges with both endpoints local -------------------
     sim.run_phase("local", [&](net::RankHandle& self) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
+        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index());
         ThreadBinner binner(options.threads);
         const bool hybrid = options.threads > 1 && sink == nullptr;
         for (VertexId v = view.first_local(); v < view.first_local() + view.num_local();
@@ -57,13 +60,12 @@ CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views
             for (VertexId u : out_v) {
                 if (!view.is_local(u)) { continue; }
                 if (hybrid) {
-                    const auto res =
-                        seq::intersect(options.intersect, out_v, view.out_neighbors(u));
+                    const auto res = isect.count(out_v, view.out_neighbors(u), v, u);
                     binner.add_task(res.ops);
                     local_counts[r] += res.count;
                 } else {
                     local_counts[r] += intersect_for(self, out_v, view.out_neighbors(u),
-                                                     options, sink, v, u, scratch, 1);
+                                                     isect, sink, v, u, 1);
                 }
             }
         }
@@ -99,6 +101,7 @@ CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views
         const Rank r = self.rank();
         if (detect) { detector.note_received(r); }
         const DistGraph& view = views[r];
+        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index());
         KATRIC_ASSERT(!record.empty());
         const VertexId v = record[0];
         std::span<const VertexId> a_v;
@@ -113,8 +116,8 @@ CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views
         }
         for (const VertexId u : a_v) {
             if (!view.is_local(u)) { continue; }
-            global_counts[r] += intersect_for(self, a_v, view.out_neighbors(u), options,
-                                              sink, v, u, scratch, options.threads);
+            global_counts[r] += intersect_for(self, a_v, view.out_neighbors(u), isect,
+                                              sink, v, u, options.threads);
         }
     };
 

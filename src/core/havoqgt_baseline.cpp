@@ -27,7 +27,11 @@ CountResult run_havoqgt_style(net::Simulator& sim, std::vector<DistGraph>& views
     KATRIC_ASSERT(views.size() == p);
     CountResult result;
 
-    run_preprocessing(sim, views);
+    // The wedge-query baseline never set-intersects, so a hub bitmap index
+    // would be charged dead work; preprocess as if on the merge kernel.
+    AlgorithmOptions prep_options = options;
+    prep_options.intersect = seq::IntersectKind::kMerge;
+    run_preprocessing(sim, views, prep_options);
 
     std::vector<std::uint64_t> counts(p, 0);
     // HavoqGT aggregates messages at compute-node level before rerouting

@@ -29,6 +29,10 @@ CountResult run_tric_style(net::Simulator& sim, std::vector<DistGraph>& views,
     std::vector<std::uint64_t> local_counts(p, 0);
     std::vector<std::uint64_t> global_counts(p, 0);
 
+    // TriC never runs the preprocessing phase, so no hub index exists; the
+    // dispatcher still honors the size-adaptive kernels.
+    const seq::AdaptiveIntersect isect(options.intersect);
+
     // --- local pairs ------------------------------------------------------
     sim.run_phase("local", [&](net::RankHandle& self) {
         const Rank r = self.rank();
@@ -39,7 +43,7 @@ CountResult run_tric_style(net::Simulator& sim, std::vector<DistGraph>& views,
             for (VertexId u : out_v) {
                 if (!view.is_local(u)) { continue; }
                 local_counts[r] +=
-                    charged_intersect(self, out_v, id_out(view, u), options.intersect);
+                    charged_intersect(self, out_v, id_out(view, u), isect, v, u);
             }
         }
     }, {});
@@ -93,7 +97,8 @@ CountResult run_tric_style(net::Simulator& sim, std::vector<DistGraph>& views,
                 for (const VertexId u : a_v) {
                     if (!view.is_local(u)) { continue; }
                     global_counts[r] +=
-                        charged_intersect(self, a_v, id_out(view, u), options.intersect);
+                        charged_intersect(self, a_v, id_out(view, u), isect,
+                                          graph::kInvalidVertex, u);
                 }
                 index += 2 + length;
             }

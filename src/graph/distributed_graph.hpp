@@ -4,10 +4,13 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/partition.hpp"
 #include "graph/types.hpp"
+#include "seq/bitmap_index.hpp"
 
 namespace katric::graph {
 
@@ -113,6 +116,17 @@ public:
     /// after contraction; determines the global-phase communication volume.
     [[nodiscard]] EdgeId contracted_size() const;
 
+    // --- hub bitmap index (adaptive/bitmap kernels) -----------------------
+    /// Materializes this rank's hub bitmap index over the oriented rows the
+    /// counting phases intersect against — A(v) for locals, the rewired
+    /// A(g) for ghosts. Returns the elementary ops spent (for simulator
+    /// charging). Requires build_oriented(). Idempotent per config.
+    std::uint64_t build_hub_bitmaps(seq::HubBitmapIndex::Config config);
+    /// nullptr until build_hub_bitmaps() ran.
+    [[nodiscard]] const seq::HubBitmapIndex* hub_index() const noexcept {
+        return hub_index_.get();
+    }
+
 private:
     [[nodiscard]] std::size_t local_index(VertexId v) const;
 
@@ -136,6 +150,10 @@ private:
     std::vector<VertexId> ghost_out_targets_;
     std::vector<EdgeId> contracted_offsets_;
     std::vector<VertexId> contracted_targets_;
+
+    // shared_ptr so copied views (tests clone them freely) stay cheap; the
+    // index is rebuilt per run by run_preprocessing anyway.
+    std::shared_ptr<seq::HubBitmapIndex> hub_index_;
 };
 
 /// Builds every rank's view of a global graph — the bench/test entry point

@@ -1,0 +1,91 @@
+#include "seq/adaptive_intersect.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace katric::seq {
+
+namespace {
+
+/// Resolves which side (if any) can be served from the hub index. Returns
+/// the intersection result, or nullopt when neither row is covered.
+std::optional<IntersectResult> try_bitmap(const HubBitmapIndex* hubs,
+                                          std::span<const graph::VertexId> a,
+                                          std::span<const graph::VertexId> b,
+                                          graph::VertexId a_id, graph::VertexId b_id,
+                                          std::vector<graph::VertexId>* out) {
+    if (hubs == nullptr || hubs->empty()) { return std::nullopt; }
+    const bool a_hub = a_id != graph::kInvalidVertex && hubs->covers(a_id, a);
+    const bool b_hub = b_id != graph::kInvalidVertex && hubs->covers(b_id, b);
+    if (a_hub && b_hub && out == nullptr) {
+        // Word-AND + popcount, unless probing the smaller row through the
+        // other's bitmap is cheaper (sparse rows in a large universe).
+        const std::uint64_t probe_cost = std::min(a.size(), b.size());
+        if (hubs->words_per_row() <= probe_cost) {
+            return hubs->intersect_hub_hub(a_id, b_id);
+        }
+    }
+    if (b_hub && !(a_hub && a.size() > b.size())) {
+        // Probe the (typically smaller) non-hub side through b's bitmap.
+        return out == nullptr ? hubs->intersect_count(b_id, a)
+                              : hubs->intersect_collect(b_id, a, *out);
+    }
+    if (a_hub) {
+        return out == nullptr ? hubs->intersect_count(a_id, b)
+                              : hubs->intersect_collect(a_id, b, *out);
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+IntersectResult AdaptiveIntersect::count(std::span<const graph::VertexId> a,
+                                         std::span<const graph::VertexId> b,
+                                         graph::VertexId a_id,
+                                         graph::VertexId b_id) const {
+    switch (kind_) {
+        case IntersectKind::kMerge: return intersect_merge(a, b);
+        case IntersectKind::kBinary: return intersect_binary(a, b);
+        case IntersectKind::kHybrid: return intersect_hybrid(a, b);
+        case IntersectKind::kGalloping: return intersect_simd_galloping(a, b);
+        case IntersectKind::kSimd: return intersect_simd_merge(a, b);
+        case IntersectKind::kBitmap:
+            // No hub coverage: degrade exactly like the span-only
+            // seq::intersect() entry point, so the named kernel charges the
+            // same ops on every call path.
+            [[fallthrough]];
+        case IntersectKind::kAdaptive:
+            if (auto r = try_bitmap(hubs_, a, b, a_id, b_id, nullptr)) { return *r; }
+            if (probe_search_pays_off(a.size(), b.size())) {
+                return intersect_simd_galloping(a, b);
+            }
+            return intersect_simd_merge(a, b);
+    }
+    return {};
+}
+
+IntersectResult AdaptiveIntersect::collect(std::span<const graph::VertexId> a,
+                                           std::span<const graph::VertexId> b,
+                                           std::vector<graph::VertexId>& out,
+                                           graph::VertexId a_id,
+                                           graph::VertexId b_id) const {
+    switch (kind_) {
+        case IntersectKind::kMerge:
+        case IntersectKind::kBinary:
+        case IntersectKind::kHybrid: return intersect_merge_collect(a, b, out);
+        case IntersectKind::kGalloping:
+            return intersect_simd_galloping_collect(a, b, out);
+        case IntersectKind::kSimd: return intersect_simd_merge_collect(a, b, out);
+        case IntersectKind::kBitmap:
+            [[fallthrough]];  // no hub coverage degrades like kAdaptive
+        case IntersectKind::kAdaptive:
+            if (auto r = try_bitmap(hubs_, a, b, a_id, b_id, &out)) { return *r; }
+            if (probe_search_pays_off(a.size(), b.size())) {
+                return intersect_simd_galloping_collect(a, b, out);
+            }
+            return intersect_simd_merge_collect(a, b, out);
+    }
+    return {};
+}
+
+}  // namespace katric::seq

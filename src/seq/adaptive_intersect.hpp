@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "seq/bitmap_index.hpp"
+#include "seq/intersection.hpp"
+#include "seq/intersection_simd.hpp"
+
+namespace katric::seq {
+
+/// Per-intersection kernel dispatcher — the one object the counting paths
+/// talk to instead of raw IntersectKind plumbing. Given the two operand
+/// spans (and, when known, their vertex IDs for hub lookup), it picks:
+///
+///   kind        | decision
+///   ------------+------------------------------------------------------
+///   merge       | scalar merge, always
+///   binary      | per-element binary probes of the larger side
+///   hybrid      | size-ratio choice between merge and binary (paper-era)
+///   galloping   | cursor galloping (SIMD front scan when available)
+///   simd        | AVX2 block merge (scalar merge when unavailable)
+///   bitmap      | identical to adaptive (hub bitmap where indexed, the
+///               | size-adaptive choice elsewhere) — kept as a separate
+///               | CLI name so runs can document the intent
+///   adaptive    | hub bitmap if indexed; else galloping when
+///               | probe_search_pays_off(|a|,|b|); else SIMD block merge
+///
+/// For the bitmap paths, hub∩hub additionally compares the word-AND cost
+/// against probing the smaller row and takes the cheaper one. All kernels
+/// return exactly the same count/elements; only the measured `ops` — and
+/// therefore the simulated compute charge — differ.
+class AdaptiveIntersect {
+public:
+    AdaptiveIntersect() = default;
+    explicit AdaptiveIntersect(IntersectKind kind,
+                               const HubBitmapIndex* hubs = nullptr) noexcept
+        : kind_(kind), hubs_(hubs) {}
+
+    [[nodiscard]] IntersectKind kind() const noexcept { return kind_; }
+    [[nodiscard]] const HubBitmapIndex* hubs() const noexcept { return hubs_; }
+
+    /// Count-only intersection. Pass the operands' vertex IDs when known —
+    /// kInvalidVertex (the default) skips hub lookup for that side.
+    [[nodiscard]] IntersectResult count(
+        std::span<const graph::VertexId> a, std::span<const graph::VertexId> b,
+        graph::VertexId a_id = graph::kInvalidVertex,
+        graph::VertexId b_id = graph::kInvalidVertex) const;
+
+    /// Collect variant: appends the common elements to `out` in ascending
+    /// order (the merge-collect contract, honored by every kernel).
+    IntersectResult collect(std::span<const graph::VertexId> a,
+                            std::span<const graph::VertexId> b,
+                            std::vector<graph::VertexId>& out,
+                            graph::VertexId a_id = graph::kInvalidVertex,
+                            graph::VertexId b_id = graph::kInvalidVertex) const;
+
+private:
+    IntersectKind kind_ = IntersectKind::kMerge;
+    const HubBitmapIndex* hubs_ = nullptr;
+};
+
+}  // namespace katric::seq

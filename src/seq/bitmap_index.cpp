@@ -1,0 +1,196 @@
+#include "seq/bitmap_index.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace katric::seq {
+
+namespace {
+
+constexpr std::uint64_t kWordBits = 64;
+
+}  // namespace
+
+std::uint64_t HubBitmapIndex::build(const Config& config,
+                                    std::span<const graph::VertexId> candidates,
+                                    const RowProvider& rows) {
+    clear();
+    config_ = config;
+    if (config.degree_threshold == 0 || config.max_hubs == 0 || config.universe == 0) {
+        return 0;
+    }
+    words_per_row_ = katric::div_ceil(config.universe, kWordBits);
+
+    // Selection: one degree scan over the candidates, then top-k by degree
+    // among qualifiers. nth_element keeps this O(candidates).
+    std::uint64_t ops = candidates.size();
+    std::vector<std::pair<graph::Degree, graph::VertexId>> qualified;
+    for (const graph::VertexId id : candidates) {
+        const auto row = rows(id);
+        if (row.size() >= config.degree_threshold) {
+            qualified.emplace_back(static_cast<graph::Degree>(row.size()), id);
+        }
+    }
+    if (qualified.size() > config.max_hubs) {
+        std::nth_element(qualified.begin(),
+                         qualified.begin() + static_cast<std::ptrdiff_t>(config.max_hubs),
+                         qualified.end(), std::greater<>());
+        qualified.resize(config.max_hubs);
+    }
+    // Deterministic slot layout regardless of nth_element's tie handling.
+    std::sort(qualified.begin(), qualified.end(),
+              [](const auto& x, const auto& y) { return x.second < y.second; });
+
+    bits_.assign(qualified.size() * words_per_row_, 0);
+    std::size_t next = 0;
+    for (const auto& [degree, id] : qualified) {
+        const auto row = rows(id);
+        Slot slot;
+        slot.index = next++;
+        slot.data = row.data();
+        slot.size = row.size();
+        write_row(slot.index, row);
+        slots_.emplace(id, slot);
+        ops += row.size();
+    }
+    return ops;
+}
+
+void HubBitmapIndex::write_row(std::size_t slot_index,
+                               std::span<const graph::VertexId> row) {
+    std::uint64_t* words = bits_.data() + slot_index * words_per_row_;
+    std::fill(words, words + words_per_row_, 0);
+    for (const graph::VertexId v : row) {
+        KATRIC_ASSERT_MSG(v < config_.universe, "hub row element " << v
+                                                    << " outside bitmap universe "
+                                                    << config_.universe);
+        words[v / kWordBits] |= std::uint64_t{1} << (v % kWordBits);
+    }
+}
+
+const HubBitmapIndex::Slot* HubBitmapIndex::find(graph::VertexId id) const noexcept {
+    const auto it = slots_.find(id);
+    return it == slots_.end() ? nullptr : &it->second;
+}
+
+bool HubBitmapIndex::covers(graph::VertexId id,
+                            std::span<const graph::VertexId> row) const noexcept {
+    const Slot* slot = find(id);
+    return slot != nullptr && slot->data == row.data() && slot->size == row.size();
+}
+
+bool HubBitmapIndex::test(const Slot& slot, graph::VertexId v) const noexcept {
+    if (v >= config_.universe) { return false; }
+    const std::uint64_t word = bits_[slot.index * words_per_row_ + v / kWordBits];
+    return (word >> (v % kWordBits)) & 1;
+}
+
+bool HubBitmapIndex::probe(graph::VertexId hub, graph::VertexId v) const {
+    const Slot* slot = find(hub);
+    KATRIC_ASSERT_MSG(slot != nullptr, "probe against non-hub " << hub);
+    return test(*slot, v);
+}
+
+IntersectResult HubBitmapIndex::intersect_count(
+    graph::VertexId hub, std::span<const graph::VertexId> probe) const {
+    const Slot* slot = find(hub);
+    KATRIC_ASSERT_MSG(slot != nullptr, "intersect_count against non-hub " << hub);
+    IntersectResult result;
+    result.ops = probe.size();
+    for (const graph::VertexId v : probe) {
+        if (test(*slot, v)) { ++result.count; }
+    }
+    return result;
+}
+
+IntersectResult HubBitmapIndex::intersect_collect(
+    graph::VertexId hub, std::span<const graph::VertexId> probe,
+    std::vector<graph::VertexId>& out) const {
+    const Slot* slot = find(hub);
+    KATRIC_ASSERT_MSG(slot != nullptr, "intersect_collect against non-hub " << hub);
+    IntersectResult result;
+    result.ops = probe.size();
+    for (const graph::VertexId v : probe) {
+        if (test(*slot, v)) {
+            ++result.count;
+            out.push_back(v);
+        }
+    }
+    return result;
+}
+
+IntersectResult HubBitmapIndex::intersect_hub_hub(graph::VertexId h1,
+                                                  graph::VertexId h2) const {
+    const Slot* s1 = find(h1);
+    const Slot* s2 = find(h2);
+    KATRIC_ASSERT_MSG(s1 != nullptr && s2 != nullptr,
+                      "intersect_hub_hub needs two indexed hubs");
+    const std::uint64_t* w1 = bits_.data() + s1->index * words_per_row_;
+    const std::uint64_t* w2 = bits_.data() + s2->index * words_per_row_;
+    IntersectResult result;
+    result.ops = words_per_row_;
+    for (std::uint64_t w = 0; w < words_per_row_; ++w) {
+        result.count += static_cast<std::uint64_t>(std::popcount(w1[w] & w2[w]));
+    }
+    return result;
+}
+
+void HubBitmapIndex::mark_dirty(graph::VertexId v) { dirty_.push_back(v); }
+
+std::uint64_t HubBitmapIndex::rebuild_dirty(const RowProvider& rows) {
+    if (config_.degree_threshold == 0 || words_per_row_ == 0) {
+        // Never configured — nothing is indexed, nothing can go stale.
+        dirty_.clear();
+        return 0;
+    }
+    if (dirty_.empty()) { return 0; }
+    std::sort(dirty_.begin(), dirty_.end());
+    dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+    std::uint64_t ops = dirty_.size();
+    for (const graph::VertexId v : dirty_) {
+        const auto row = rows(v);
+        const bool qualifies = row.size() >= config_.degree_threshold;
+        auto it = slots_.find(v);
+        if (it == slots_.end()) {
+            if (!qualifies || slots_.size() >= config_.max_hubs) { continue; }
+            Slot slot;
+            if (!free_slots_.empty()) {
+                slot.index = free_slots_.back();
+                free_slots_.pop_back();
+            } else {
+                slot.index = bits_.size() / words_per_row_;
+                bits_.resize(bits_.size() + words_per_row_, 0);
+            }
+            it = slots_.emplace(v, slot).first;
+        } else if (!qualifies) {
+            free_slots_.push_back(it->second.index);
+            // Zero the recycled row now so a future occupant starts clean.
+            std::fill_n(bits_.begin()
+                            + static_cast<std::ptrdiff_t>(it->second.index
+                                                          * words_per_row_),
+                        words_per_row_, 0);
+            slots_.erase(it);
+            continue;
+        }
+        write_row(it->second.index, row);
+        it->second.data = row.data();
+        it->second.size = row.size();
+        ops += row.size();
+    }
+    dirty_.clear();
+    return ops;
+}
+
+void HubBitmapIndex::clear() {
+    config_ = {};
+    words_per_row_ = 0;
+    slots_.clear();
+    free_slots_.clear();
+    bits_.clear();
+    dirty_.clear();
+}
+
+}  // namespace katric::seq

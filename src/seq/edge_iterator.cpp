@@ -1,6 +1,7 @@
 #include "seq/edge_iterator.hpp"
 
 #include "graph/orientation.hpp"
+#include "seq/adaptive_intersect.hpp"
 #include "util/assert.hpp"
 
 namespace katric::seq {
@@ -58,15 +59,17 @@ SeqCountResult count_wedge_check(const CsrGraph& undirected) {
     return result;
 }
 
-std::vector<std::uint64_t> per_vertex_triangles(const CsrGraph& undirected) {
+std::vector<std::uint64_t> per_vertex_triangles(const CsrGraph& undirected,
+                                                IntersectKind kind) {
     const CsrGraph oriented = graph::orient_by_degree(undirected);
+    const AdaptiveIntersect isect(kind);
     std::vector<std::uint64_t> delta(undirected.num_vertices(), 0);
-    std::vector<VertexId> closing;
+    auto& closing = collect_scratch();
     for (VertexId v = 0; v < oriented.num_vertices(); ++v) {
         const auto out_v = oriented.neighbors(v);
         for (VertexId u : out_v) {
             closing.clear();
-            intersect_merge_collect(out_v, oriented.neighbors(u), closing);
+            isect.collect(out_v, oriented.neighbors(u), closing, v, u);
             delta[v] += closing.size();
             delta[u] += closing.size();
             for (VertexId w : closing) { ++delta[w]; }

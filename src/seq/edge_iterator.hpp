@@ -34,8 +34,9 @@ struct SeqCountResult {
 [[nodiscard]] SeqCountResult count_wedge_check(const graph::CsrGraph& undirected);
 
 /// Δ(v) for every vertex: number of triangles incident to v. Basis of the
-/// local clustering coefficient.
+/// local clustering coefficient. `kind` selects the closing-vertex collect
+/// kernel (merge/galloping/SIMD families; every kind yields identical Δ).
 [[nodiscard]] std::vector<std::uint64_t> per_vertex_triangles(
-    const graph::CsrGraph& undirected);
+    const graph::CsrGraph& undirected, IntersectKind kind = IntersectKind::kMerge);
 
 }  // namespace katric::seq

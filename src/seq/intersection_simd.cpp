@@ -1,0 +1,224 @@
+#include "seq/intersection_simd.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
+#if defined(KATRIC_ENABLE_SIMD) && (defined(__x86_64__) || defined(_M_X64)) \
+    && (defined(__GNUC__) || defined(__clang__))
+#define KATRIC_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define KATRIC_SIMD_X86 0
+#endif
+
+namespace katric::seq {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+bool cpu_has_avx2() noexcept {
+#if KATRIC_SIMD_X86
+    // Cached once: cpuid is not free and the answer never changes. The
+    // KATRIC_FORCE_SCALAR env var is the headless/CI override.
+    static const bool supported = [] {
+        if (const char* env = std::getenv("KATRIC_FORCE_SCALAR");
+            env != nullptr && env[0] != '\0' && env[0] != '0') {
+            return false;
+        }
+        return __builtin_cpu_supports("avx2") != 0;
+    }();
+    return supported;
+#else
+    return false;
+#endif
+}
+
+#if KATRIC_SIMD_X86
+
+/// 4-bit lane mask (bit k set ⇔ lane k of `match` is all-ones).
+__attribute__((target("avx2"))) inline int lane_mask(__m256i match) noexcept {
+    return _mm256_movemask_pd(_mm256_castsi256_pd(match));
+}
+
+/// All-pairs equality of two 4×64 blocks: bit k of the result is set iff
+/// va's lane k equals *some* lane of vb (three lane rotations cover every
+/// pairing). Sorted duplicate-free inputs guarantee at most one partner per
+/// lane, so the popcount of the mask is the number of matching pairs.
+__attribute__((target("avx2"))) inline int block_match_mask(__m256i va,
+                                                            __m256i vb) noexcept {
+    __m256i match = _mm256_cmpeq_epi64(va, vb);
+    __m256i rot = _mm256_permute4x64_epi64(vb, _MM_SHUFFLE(0, 3, 2, 1));
+    match = _mm256_or_si256(match, _mm256_cmpeq_epi64(va, rot));
+    rot = _mm256_permute4x64_epi64(vb, _MM_SHUFFLE(1, 0, 3, 2));
+    match = _mm256_or_si256(match, _mm256_cmpeq_epi64(va, rot));
+    rot = _mm256_permute4x64_epi64(vb, _MM_SHUFFLE(2, 1, 0, 3));
+    match = _mm256_or_si256(match, _mm256_cmpeq_epi64(va, rot));
+    return lane_mask(match);
+}
+
+/// Block merge over full 4-lane blocks; the caller finishes the scalar tail
+/// from the returned (i, j). Every (a-block, b-block) cell on the staircase
+/// is visited exactly once, so counting matches per cell never double
+/// counts, and lane-order emission keeps collect output ascending.
+template <typename OnMatchMask>
+__attribute__((target("avx2"))) void block_merge_avx2(
+    std::span<const graph::VertexId> a, std::span<const graph::VertexId> b,
+    std::size_t& i, std::size_t& j, IntersectResult& result, OnMatchMask&& on_mask) {
+    while (i + 4 <= a.size() && j + 4 <= b.size()) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.data() + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.data() + j));
+        const int mask = block_match_mask(va, vb);
+        result.ops += kSimdMergeBlockOps;
+        if (mask != 0) {
+            result.count += static_cast<std::uint64_t>(std::popcount(
+                static_cast<unsigned>(mask)));
+            on_mask(i, mask);
+        }
+        const graph::VertexId a_max = a[i + 3];
+        const graph::VertexId b_max = b[j + 3];
+        if (a_max <= b_max) { i += 4; }
+        if (b_max <= a_max) { j += 4; }
+    }
+}
+
+/// One 4-lane window compare at `pos`: returns how many of the four
+/// elements are < needle (0…4). Sorted input makes the lane mask a
+/// contiguous low-bit run, so popcount is the in-window lower bound.
+/// AVX2 only has a *signed* 64-bit compare; XOR-ing both sides with the
+/// sign bit maps unsigned order onto signed order, so IDs with bit 63 set
+/// (e.g. flag-annotated words) still compare exactly like the scalar
+/// kernels.
+__attribute__((target("avx2"))) inline unsigned window_less_count(
+    const graph::VertexId* data, graph::VertexId needle) noexcept {
+    const __m256i sign = _mm256_set1_epi64x(static_cast<long long>(1ull << 63));
+    const __m256i window = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data)), sign);
+    const __m256i pivot =
+        _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(needle)), sign);
+    const int less = lane_mask(_mm256_cmpgt_epi64(pivot, window));
+    return static_cast<unsigned>(std::popcount(static_cast<unsigned>(less)));
+}
+
+#endif  // KATRIC_SIMD_X86
+
+void scalar_merge_tail(std::span<const graph::VertexId> a,
+                       std::span<const graph::VertexId> b, std::size_t i,
+                       std::size_t j, IntersectResult& result,
+                       std::vector<graph::VertexId>* out) {
+    while (i < a.size() && j < b.size()) {
+        ++result.ops;
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            ++result.count;
+            if (out != nullptr) { out->push_back(a[i]); }
+            ++i;
+            ++j;
+        }
+    }
+}
+
+IntersectResult simd_merge_impl(std::span<const graph::VertexId> a,
+                                std::span<const graph::VertexId> b,
+                                std::vector<graph::VertexId>* out) {
+#if KATRIC_SIMD_X86
+    IntersectResult result;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    if (out == nullptr) {
+        block_merge_avx2(a, b, i, j, result, [](std::size_t, int) {});
+    } else {
+        block_merge_avx2(a, b, i, j, result, [&](std::size_t base, int mask) {
+            for (unsigned lane = 0; lane < 4; ++lane) {
+                if ((mask & (1 << lane)) != 0) { out->push_back(a[base + lane]); }
+            }
+        });
+    }
+    scalar_merge_tail(a, b, i, j, result, out);
+    return result;
+#else
+    IntersectResult result;
+    scalar_merge_tail(a, b, 0, 0, result, out);
+    return result;
+#endif
+}
+
+IntersectResult simd_galloping_impl(std::span<const graph::VertexId> small,
+                                    std::span<const graph::VertexId> large,
+                                    std::vector<graph::VertexId>* out) {
+    IntersectResult result;
+#if KATRIC_SIMD_X86
+    std::size_t pos = 0;
+    for (const graph::VertexId x : small) {
+        if (pos + 4 <= large.size()) {
+            ++result.ops;
+            const unsigned less = window_less_count(large.data() + pos, x);
+            if (less < 4) {
+                pos += less;
+            } else {
+                pos = gallop_lower_bound(large, pos + 4, x, result.ops);
+            }
+        } else {
+            pos = gallop_lower_bound(large, pos, x, result.ops);
+        }
+        if (pos == large.size()) { break; }
+        ++result.ops;
+        if (large[pos] == x) {
+            ++result.count;
+            if (out != nullptr) { out->push_back(x); }
+            ++pos;
+        }
+    }
+#else
+    (void)small;
+    (void)large;
+    (void)out;
+#endif
+    return result;
+}
+
+}  // namespace
+
+bool simd_available() noexcept {
+    return cpu_has_avx2() && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+void force_scalar_simd(bool force) noexcept {
+    g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+IntersectResult intersect_simd_merge(std::span<const graph::VertexId> a,
+                                     std::span<const graph::VertexId> b) noexcept {
+    if (!simd_available()) { return intersect_merge(a, b); }
+    return simd_merge_impl(a, b, nullptr);
+}
+
+IntersectResult intersect_simd_merge_collect(std::span<const graph::VertexId> a,
+                                             std::span<const graph::VertexId> b,
+                                             std::vector<graph::VertexId>& out) {
+    if (!simd_available()) { return intersect_merge_collect(a, b, out); }
+    return simd_merge_impl(a, b, &out);
+}
+
+IntersectResult intersect_simd_galloping(std::span<const graph::VertexId> a,
+                                         std::span<const graph::VertexId> b) noexcept {
+    if (!simd_available()) { return intersect_galloping(a, b); }
+    if (a.size() > b.size()) { return intersect_simd_galloping(b, a); }
+    return simd_galloping_impl(a, b, nullptr);
+}
+
+IntersectResult intersect_simd_galloping_collect(std::span<const graph::VertexId> a,
+                                                 std::span<const graph::VertexId> b,
+                                                 std::vector<graph::VertexId>& out) {
+    if (!simd_available()) { return intersect_galloping_collect(a, b, out); }
+    const bool a_small = a.size() <= b.size();
+    return simd_galloping_impl(a_small ? a : b, a_small ? b : a, &out);
+}
+
+}  // namespace katric::seq

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hpp"
+#include "seq/intersection.hpp"
 
 namespace katric::seq {
 
@@ -15,7 +16,7 @@ namespace katric::seq {
 /// comparison in this repository use the same formula.) Vertices with
 /// d_v < 2 have LCC 0.
 [[nodiscard]] std::vector<double> local_clustering_coefficients(
-    const graph::CsrGraph& undirected);
+    const graph::CsrGraph& undirected, IntersectKind kind = IntersectKind::kMerge);
 
 /// Same from precomputed Δ values.
 [[nodiscard]] std::vector<double> lcc_from_triangle_counts(

@@ -50,11 +50,15 @@ bool DynamicDistGraph::has_edge(VertexId local_u, VertexId v) const {
 bool DynamicDistGraph::insert_half_edge(VertexId local_u, VertexId v) {
     KATRIC_ASSERT_MSG(local_u != v, "self-loops are not representable");
     KATRIC_ASSERT(v < partition_.num_vertices());
-    return adjacency_.insert(local_index(local_u), v);
+    const bool applied = adjacency_.insert(local_index(local_u), v);
+    if (applied && hub_index_) { hub_index_->mark_dirty(local_u); }
+    return applied;
 }
 
 bool DynamicDistGraph::erase_half_edge(VertexId local_u, VertexId v) {
-    return adjacency_.erase(local_index(local_u), v);
+    const bool applied = adjacency_.erase(local_index(local_u), v);
+    if (applied && hub_index_) { hub_index_->mark_dirty(local_u); }
+    return applied;
 }
 
 std::optional<Degree> DynamicDistGraph::ghost_degree(VertexId v) const {
@@ -78,6 +82,27 @@ std::vector<Rank> DynamicDistGraph::neighbor_ranks(VertexId local_v) const {
         }
     }
     return ranks;
+}
+
+std::uint64_t DynamicDistGraph::enable_hub_bitmaps(Degree degree_threshold,
+                                                   std::size_t max_hubs) {
+    hub_index_ = std::make_unique<seq::HubBitmapIndex>();
+    seq::HubBitmapIndex::Config config;
+    config.degree_threshold = degree_threshold;
+    config.max_hubs = max_hubs;
+    config.universe = partition_.num_vertices();
+    std::vector<VertexId> candidates;
+    candidates.reserve(num_local());
+    for (VertexId v = first_local(); v < first_local() + num_local(); ++v) {
+        candidates.push_back(v);
+    }
+    return hub_index_->build(config, candidates,
+                             [this](VertexId id) { return neighbors(id); });
+}
+
+std::uint64_t DynamicDistGraph::rebuild_dirty_hubs() {
+    if (!hub_index_) { return 0; }
+    return hub_index_->rebuild_dirty([this](VertexId id) { return neighbors(id); });
 }
 
 CsrGraph materialize_global(const std::vector<DynamicDistGraph>& views) {

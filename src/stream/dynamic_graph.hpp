@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "graph/mutable_adjacency.hpp"
 #include "graph/partition.hpp"
 #include "graph/types.hpp"
+#include "seq/bitmap_index.hpp"
 
 namespace katric::stream {
 
@@ -77,6 +79,21 @@ public:
         return adjacency_;
     }
 
+    // --- hub bitmaps (adaptive/bitmap streaming kernels) ------------------
+    /// Turns on hub bitmap maintenance over the local rows and builds the
+    /// initial index. From here on every insert/erase_half_edge marks its
+    /// row dirty; rebuild_dirty_hubs() re-materializes exactly the dirty
+    /// rows. Returns the build ops (for simulator charging).
+    std::uint64_t enable_hub_bitmaps(Degree degree_threshold,
+                                     std::size_t max_hubs = 256);
+    /// nullptr until enable_hub_bitmaps() ran.
+    [[nodiscard]] const seq::HubBitmapIndex* hub_index() const noexcept {
+        return hub_index_.get();
+    }
+    /// Dirty-set refresh after a batch's adjacency deltas; returns charged
+    /// ops. No-op (0) when hub bitmaps are disabled or nothing changed.
+    std::uint64_t rebuild_dirty_hubs();
+
 private:
     [[nodiscard]] std::size_t local_index(VertexId v) const;
 
@@ -84,6 +101,7 @@ private:
     Rank rank_ = 0;
     graph::MutableAdjacency adjacency_;
     std::unordered_map<VertexId, Degree> ghost_degrees_;
+    std::unique_ptr<seq::HubBitmapIndex> hub_index_;
 };
 
 /// Reassembles the current global graph from every rank's local rows — each

@@ -64,6 +64,23 @@ IncrementalCounter::IncrementalCounter(net::Simulator& sim,
                              core::kTagStream, /*epoch_stamped=*/true);
     }
     sixths_.assign(views.size(), 0);
+    if (core::uses_hub_bitmaps(options.intersect)) {
+        // Initial hub index — the streaming analogue of the bitmap build
+        // inside static preprocessing, charged as its own one-time phase.
+        // Streaming rows are full undirected neighborhoods, so the auto
+        // threshold uses the full mean degree rather than the oriented
+        // half.
+        sim.run_phase("stream/hub-index", [&](net::RankHandle& self) {
+            auto& view = views[self.rank()];
+            const std::uint64_t rows = view.num_local();
+            const std::uint64_t avg =
+                rows == 0 ? 0 : view.num_local_half_edges() / rows;
+            const auto threshold = options.hub_threshold != 0
+                                       ? options.hub_threshold
+                                       : seq::auto_hub_threshold(avg);
+            self.charge_ops(view.enable_hub_bitmaps(threshold));
+        }, {});
+    }
 }
 
 IncrementalCounter::NetEffect IncrementalCounter::fold_batch(const EdgeBatch& batch) const {
@@ -164,10 +181,61 @@ void IncrementalCounter::intersect_and_accumulate(net::RankHandle& self,
                                                   std::span<const std::uint64_t> flagged_a) {
     const auto& view = (*views_)[self.rank()];
     const auto row_b = view.neighbors(b);
-    self.charge_ops(flagged_a.size() + row_b.size());  // merge cost
+    std::uint64_t gained = 0;
+    // Triangle {a, b, wa}: k = changed edges among its three sides; {a,b}
+    // itself is changed by construction. Every kernel below reports the
+    // same matches in the same (ascending wa) order — only the charged
+    // cost differs.
+    const auto found = [&](graph::VertexId wa, bool a_side_changed) {
+        const std::uint64_t k = 1 + (a_side_changed ? 1 : 0)
+                                + (edge_changed(b, wa) ? 1 : 0);
+        gained += 6 / k;  // k ∈ {1,2,3} ⇒ exact: 6, 3, 2
+        if (sink_) {
+            const auto sixths = phase_sign_ * static_cast<std::int64_t>(6 / k);
+            for (const graph::VertexId x : {a, b, wa}) { sink_(self, x, sixths); }
+        }
+    };
+
+    const auto kind = options_.intersect;
+    const auto* hubs = view.hub_index();
+    if (core::uses_hub_bitmaps(kind) && hubs != nullptr && hubs->covers(b, row_b)) {
+        // Hub path: one bit probe per shipped neighbor instead of a merge
+        // over b's (large) row.
+        self.charge_ops(flagged_a.size());
+        for (const std::uint64_t word : flagged_a) {
+            const graph::VertexId wa = word & ~kChangedFlag;
+            if (hubs->probe(b, wa)) { found(wa, (word & kChangedFlag) != 0); }
+        }
+        sixths_[self.rank()] += gained;
+        return;
+    }
+    if ((kind == seq::IntersectKind::kAdaptive
+         || kind == seq::IntersectKind::kGalloping)
+        && flagged_a.size() <= row_b.size()
+        && seq::probe_search_pays_off(flagged_a.size(), row_b.size())) {
+        // Galloping path: walk the (small) shipped row, gallop the local
+        // one. The a-side flags ride along; masking restores the IDs.
+        std::uint64_t ops = 0;
+        std::size_t pos = 0;
+        for (const std::uint64_t word : flagged_a) {
+            const graph::VertexId wa = word & ~kChangedFlag;
+            pos = seq::gallop_lower_bound(row_b, pos, wa, ops);
+            if (pos == row_b.size()) { break; }
+            ++ops;
+            if (row_b[pos] == wa) {
+                found(wa, (word & kChangedFlag) != 0);
+                ++pos;
+            }
+        }
+        self.charge_ops(ops);
+        sixths_[self.rank()] += gained;
+        return;
+    }
+    // Merge path (every remaining kind): the flag bit sits above any valid
+    // vertex ID, so masking per element keeps the scan order intact.
+    self.charge_ops(flagged_a.size() + row_b.size());
     std::size_t i = 0;
     std::size_t j = 0;
-    std::uint64_t gained = 0;
     while (i < flagged_a.size() && j < row_b.size()) {
         const graph::VertexId wa = flagged_a[i] & ~kChangedFlag;
         const graph::VertexId wb = row_b[j];
@@ -176,15 +244,7 @@ void IncrementalCounter::intersect_and_accumulate(net::RankHandle& self,
         } else if (wb < wa) {
             ++j;
         } else {
-            // Triangle {a, b, wa}: k = changed edges among its three sides;
-            // {a,b} itself is changed by construction.
-            const std::uint64_t k = 1 + ((flagged_a[i] & kChangedFlag) != 0 ? 1 : 0)
-                                    + (edge_changed(b, wa) ? 1 : 0);
-            gained += 6 / k;  // k ∈ {1,2,3} ⇒ exact: 6, 3, 2
-            if (sink_) {
-                const auto sixths = phase_sign_ * static_cast<std::int64_t>(6 / k);
-                for (const graph::VertexId x : {a, b, wa}) { sink_(self, x, sixths); }
-            }
+            found(wa, (flagged_a[i] & kChangedFlag) != 0);
             ++i;
             ++j;
         }
@@ -307,6 +367,11 @@ BatchStats IncrementalCounter::apply_batch(const EdgeBatch& batch) {
                 };
                 for (const auto& e : net.deletes) { apply(e, false); }
                 for (const auto& e : net.inserts) { apply(e, true); }
+                // Hub bitmaps must be fresh before any insertion counting —
+                // local intersections below and deliveries from other ranks
+                // (all starts run before any delivery). Dirty-set rebuild:
+                // only rows this batch touched are re-materialized.
+                self.charge_ops(view.rebuild_dirty_hubs());
 
                 std::sort(touched.begin(), touched.end());
                 touched.erase(std::unique(touched.begin(), touched.end()), touched.end());

@@ -99,13 +99,42 @@ TEST(DistributedCorrectness, UniformAndEdgeBalancedPartitionsAgree) {
 TEST(DistributedCorrectness, IntersectionKernelChoiceIsTransparent) {
     const auto g = gen::generate_rhg(512, 8.0, 2.8, 3);
     const auto expected = seq::count_edge_iterator(g).triangles;
-    for (const auto kind : {seq::IntersectKind::kMerge, seq::IntersectKind::kBinary,
-                            seq::IntersectKind::kHybrid}) {
+    for (const auto kind : seq::all_intersect_kinds()) {
         RunSpec spec;
         spec.algorithm = Algorithm::kDitric;
         spec.num_ranks = 6;
         spec.options.intersect = kind;
-        EXPECT_EQ(count_triangles(g, spec).triangles, expected);
+        // A tiny threshold makes nearly every row a hub, so the bitmap
+        // kernels really fire instead of quietly falling back.
+        spec.options.hub_threshold = 2;
+        EXPECT_EQ(count_triangles(g, spec).triangles, expected)
+            << seq::intersect_kind_name(kind);
+    }
+}
+
+TEST(DistributedCorrectness, AdaptiveMatchesMergeBitIdenticallyAcrossAlgorithms) {
+    // The acceptance property of the kernel subsystem: --intersect=adaptive
+    // must be invisible in every counting result, per phase, for every
+    // algorithm that builds hub bitmaps (preprocessing family) and the
+    // baselines that never do.
+    const auto g = gen::generate_rmat(9, 4096, 31);  // skewed: real hubs
+    for (const Algorithm algorithm : all_algorithms()) {
+        RunSpec merge_spec;
+        merge_spec.algorithm = algorithm;
+        merge_spec.num_ranks = 7;
+        merge_spec.options.intersect = seq::IntersectKind::kMerge;
+        RunSpec adaptive_spec = merge_spec;
+        adaptive_spec.options.intersect = seq::IntersectKind::kAdaptive;
+        adaptive_spec.options.hub_threshold = 4;
+        const auto expected = count_triangles(g, merge_spec);
+        const auto actual = count_triangles(g, adaptive_spec);
+        ASSERT_FALSE(expected.oom);
+        ASSERT_FALSE(actual.oom);
+        EXPECT_EQ(actual.triangles, expected.triangles) << algorithm_name(algorithm);
+        EXPECT_EQ(actual.local_phase_triangles, expected.local_phase_triangles)
+            << algorithm_name(algorithm);
+        EXPECT_EQ(actual.global_phase_triangles, expected.global_phase_triangles)
+            << algorithm_name(algorithm);
     }
 }
 

@@ -57,16 +57,20 @@ TEST_P(FuzzTest, RandomScenarioStaysExact) {
     if (rng.next_bool(0.3)) {
         spec.options.buffer_threshold_words = 1 + rng.next_bounded(256);
     }
-    spec.options.intersect =
-        std::array{seq::IntersectKind::kMerge, seq::IntersectKind::kBinary,
-                   seq::IntersectKind::kHybrid}[rng.next_bounded(3)];
+    const auto& kinds = seq::all_intersect_kinds();
+    spec.options.intersect = kinds[rng.next_bounded(kinds.size())];
+    if (rng.next_bool(0.5)) {
+        spec.options.hub_threshold = 1 + rng.next_bounded(16);
+    }
     if (rng.next_bool(0.25)) { spec.options.threads = 1 + static_cast<int>(rng.next_bounded(8)); }
 
     SCOPED_TRACE(testing::Message()
                  << algorithm_name(spec.algorithm) << " p=" << spec.num_ranks
                  << " n=" << g.num_vertices() << " m=" << g.num_edges()
                  << " delta=" << spec.options.buffer_threshold_words
-                 << " threads=" << spec.options.threads);
+                 << " threads=" << spec.options.threads
+                 << " intersect=" << seq::intersect_kind_name(spec.options.intersect)
+                 << " hub_threshold=" << spec.options.hub_threshold);
     const auto result = count_triangles(g, spec);
     ASSERT_FALSE(result.oom);
     EXPECT_EQ(result.triangles, expected);

@@ -26,18 +26,25 @@ graph::CsrGraph make_base(const std::string& family) {
 
 /// The subsystem's core property: after every batch of a randomized
 /// insert/delete stream, the incrementally maintained count equals a fresh
-/// static recount of the materialized graph.
-using PropertyParam = std::tuple<std::string /*family*/, core::PartitionStrategy, Rank>;
+/// static recount of the materialized graph — on the paper's merge kernel
+/// and on the adaptive kernel (hub bitmaps + dirty invalidation live).
+using PropertyParam = std::tuple<std::string /*family*/, core::PartitionStrategy, Rank,
+                                 seq::IntersectKind>;
 
 class IncrementalMatchesRecountTest : public ::testing::TestWithParam<PropertyParam> {};
 
 TEST_P(IncrementalMatchesRecountTest, EveryBatchAgreesWithStaticCount) {
-    const auto [family, partition, p] = GetParam();
+    const auto [family, partition, p, kind] = GetParam();
     const auto base = make_base(family);
 
     StreamRunSpec spec;
     spec.num_ranks = p;
     spec.partition = partition;
+    spec.options.intersect = kind;
+    // A tiny threshold turns most rows into hubs, so the bitmap path (and
+    // its per-batch dirty invalidation) is exercised on every intersection,
+    // not just on the degree tail.
+    if (core::uses_hub_bitmaps(kind)) { spec.options.hub_threshold = 2; }
 
     const auto stream = make_churn_stream(base, 240, 0.45, 1234);
     const auto batches = stream.batches_of(30);
@@ -62,10 +69,11 @@ TEST_P(IncrementalMatchesRecountTest, EveryBatchAgreesWithStaticCount) {
 }
 
 std::string property_name(const ::testing::TestParamInfo<PropertyParam>& info) {
-    const auto [family, partition, p] = info.param;
+    const auto [family, partition, p, kind] = info.param;
     const std::string strategy =
         partition == core::PartitionStrategy::kUniformVertices ? "uniform" : "balanced";
-    return family + "_" + strategy + "_p" + std::to_string(p);
+    return family + "_" + strategy + "_p" + std::to_string(p) + "_"
+           + seq::intersect_kind_name(kind);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -73,7 +81,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("gnm", "rmat", "rgg2d"),
                        ::testing::Values(core::PartitionStrategy::kUniformVertices,
                                          core::PartitionStrategy::kBalancedEdges),
-                       ::testing::Values<Rank>(1, 4, 7)),
+                       ::testing::Values<Rank>(1, 4, 7),
+                       ::testing::Values(seq::IntersectKind::kMerge,
+                                         seq::IntersectKind::kAdaptive)),
     property_name);
 
 /// End-to-end runner checks: final count, per-batch bookkeeping, observer.

@@ -77,28 +77,33 @@ void expect_lcc_tracks_recompute(const graph::CsrGraph& base,
 
 /// The tentpole property: after every batch of a randomized insert/delete
 /// stream, the incrementally maintained per-vertex Δ and LCC vectors equal
-/// a full compute_distributed_lcc of the materialized graph.
-using PropertyParam = std::tuple<std::string /*family*/, core::PartitionStrategy, Rank>;
+/// a full compute_distributed_lcc of the materialized graph — under the
+/// merge kernel and under adaptive dispatch (hub bitmaps + collect paths).
+using PropertyParam = std::tuple<std::string /*family*/, core::PartitionStrategy, Rank,
+                                 seq::IntersectKind>;
 
 class StreamingLccMatchesFullTest : public ::testing::TestWithParam<PropertyParam> {};
 
 TEST_P(StreamingLccMatchesFullTest, EveryBatchAgreesWithDistributedLcc) {
-    const auto [family, partition, p] = GetParam();
+    const auto [family, partition, p, kind] = GetParam();
     const auto base = make_base(family);
 
     StreamRunSpec spec;
     spec.num_ranks = p;
     spec.partition = partition;
+    spec.options.intersect = kind;
+    if (core::uses_hub_bitmaps(kind)) { spec.options.hub_threshold = 2; }
 
     const auto stream = make_churn_stream(base, 240, 0.45, 4321);
     expect_lcc_tracks_recompute(base, stream.batches_of(30), spec);
 }
 
 std::string property_name(const ::testing::TestParamInfo<PropertyParam>& info) {
-    const auto [family, partition, p] = info.param;
+    const auto [family, partition, p, kind] = info.param;
     const std::string strategy =
         partition == core::PartitionStrategy::kUniformVertices ? "uniform" : "balanced";
-    return family + "_" + strategy + "_p" + std::to_string(p);
+    return family + "_" + strategy + "_p" + std::to_string(p) + "_"
+           + seq::intersect_kind_name(kind);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -106,7 +111,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("gnm", "rmat", "rgg2d"),
                        ::testing::Values(core::PartitionStrategy::kUniformVertices,
                                          core::PartitionStrategy::kBalancedEdges),
-                       ::testing::Values<Rank>(1, 4, 7)),
+                       ::testing::Values<Rank>(1, 4, 7),
+                       ::testing::Values(seq::IntersectKind::kMerge,
+                                         seq::IntersectKind::kAdaptive)),
     property_name);
 
 TEST(StreamingLccEdgeCases, IsolatedAndDegreeOneVerticesReportZero) {
