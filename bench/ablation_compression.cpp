@@ -14,49 +14,62 @@ int main(int argc, char** argv) {
     CliParser cli("bench_ablation_compression",
                   "neighborhood compression vs volume and time");
     cli.option("log-n", "13", "log2 of vertex count (RGG2D, avg degree 16)");
-    cli.option("p", "16", "simulated PEs");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    Config defaults;
+    defaults.num_ranks = 16;
+    bench::add_engine_options(cli, defaults);
     if (!cli.parse(argc, argv)) { return 0; }
 
-    const auto network = bench::parse_network(cli.get_string("network"));
-    bench::print_header("Ablation: delta-varint record compression", network);
+    const auto base = bench::engine_config(cli);
+    bench::print_header("Ablation: delta-varint record compression", base);
     const graph::VertexId n = graph::VertexId{1} << cli.get_uint("log-n");
     const auto spatial =
         gen::generate_rgg2d_local(n, gen::rgg2d_radius_for_degree(n, 16.0), 3);
     const auto shuffled =
         graph::apply_permutation(spatial, graph::random_permutation(n, 99));
 
+    JsonWriter json;
     Table table({"order", "algo", "compressed", "time (s)", "total volume",
                  "volume saved (%)"});
     for (const auto* entry : {&spatial, &shuffled}) {
         const std::string order = entry == &spatial ? "spatial" : "shuffled";
-        for (const auto algorithm : {core::Algorithm::kDitric, core::Algorithm::kCetric}) {
-            std::uint64_t plain_volume = 0;
-            for (const bool compressed : {false, true}) {
-                core::RunSpec spec;
-                spec.algorithm = algorithm;
-                spec.num_ranks = static_cast<graph::Rank>(cli.get_uint("p"));
-                spec.network = network;
-                spec.options.compress_neighborhoods = compressed;
-                const auto result = core::count_triangles(*entry, spec);
-                if (!compressed) { plain_volume = result.total_words_sent; }
+        std::uint64_t plain_volume[2] = {0, 0};
+        for (const bool compressed : {false, true}) {
+            Config config = base;
+            config.options.compress_neighborhoods = compressed;
+            // One build per (order, compression); both algorithms reuse it.
+            Engine engine(*entry, config);
+            int algo_index = 0;
+            for (const auto algorithm :
+                 {core::Algorithm::kDitric, core::Algorithm::kCetric}) {
+                const auto report = engine.count(algorithm);
+                if (!compressed) {
+                    plain_volume[algo_index] = report.count.total_words_sent;
+                }
+                json.begin_row()
+                    .field("order", order)
+                    .field("compressed", std::uint64_t{compressed ? 1u : 0u})
+                    .report_fields(report);
                 table.row()
                     .cell(order)
                     .cell(core::algorithm_name(algorithm))
                     .cell(compressed ? "yes" : "no")
-                    .cell(result.total_time, 5)
-                    .cell(result.total_words_sent)
-                    .cell(compressed && plain_volume > 0
+                    .cell(report.count.total_time, 5)
+                    .cell(report.count.total_words_sent)
+                    .cell(compressed && plain_volume[algo_index] > 0
                               ? 100.0
                                     * (1.0
-                                       - static_cast<double>(result.total_words_sent)
-                                             / static_cast<double>(plain_volume))
+                                       - static_cast<double>(
+                                             report.count.total_words_sent)
+                                             / static_cast<double>(
+                                                 plain_volume[algo_index]))
                               : 0.0,
                           1);
+                ++algo_index;
             }
         }
     }
     table.print(std::cout);
+    json.write(cli.get_string("json"));
     std::cout << "\nExpected shape: large savings where IDs have locality (small "
                  "deltas), modest savings on shuffled IDs; compression composes with "
                  "contraction.\n";

@@ -61,9 +61,9 @@ int main(int argc, char** argv) {
     CliParser cli("bench_ablation_indirection",
                   "direct vs grid routing on synthetic traffic");
     cli.option("ps", "16,64,256,1024", "PE counts");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    bench::add_engine_options(cli);
     if (!cli.parse(argc, argv)) { return 0; }
-    const auto config = bench::parse_network(cli.get_string("network"));
+    const auto config = bench::engine_config(cli).network;
     bench::print_header("Ablation: grid indirection on traffic patterns", config);
 
     for (const std::string pattern_name : {"all-to-one", "uniform"}) {

@@ -1,57 +1,61 @@
 // Section IV-E extension: approximate triangle counting. Sweeps the AMQ
 // (Bloom) target false-positive rate and compares estimate error against
 // communication volume, next to the DOULION and colorful-sampling baselines
-// that use the exact distributed counter as a black box.
+// that use the exact distributed counter as a black box. The exact run and
+// the whole FPR sweep share one Engine build.
 
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/approx.hpp"
 #include "gen/rgg2d.hpp"
-#include "seq/edge_iterator.hpp"
 
 int main(int argc, char** argv) {
     using namespace katric;
     CliParser cli("bench_approx_amq", "Section IV-E — approximate counting trade-offs");
     cli.option("log-n", "12", "log2 of vertex count (RGG2D, avg degree 16)");
-    cli.option("p", "16", "simulated PEs");
-    cli.option("fprs", "", "unused placeholder (fixed sweep)");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    Config defaults;
+    defaults.algorithm = core::Algorithm::kCetric;
+    defaults.num_ranks = 16;
+    bench::add_engine_options(cli, defaults);
     if (!cli.parse(argc, argv)) { return 0; }
 
-    const auto network = bench::parse_network(cli.get_string("network"));
+    const auto config = bench::engine_config(cli);
     bench::print_header("Approximate counting: CETRIC-AMQ vs sampling baselines",
-                        network);
+                        config);
     const graph::VertexId n = graph::VertexId{1} << cli.get_uint("log-n");
     const auto g = gen::generate_rgg2d_local(n, gen::rgg2d_radius_for_degree(n, 16.0), 7);
-    const auto p = static_cast<graph::Rank>(cli.get_uint("p"));
 
-    core::RunSpec spec;
-    spec.algorithm = core::Algorithm::kCetric;
-    spec.num_ranks = p;
-    spec.network = network;
-    const auto exact = core::count_triangles(g, spec);
-    const auto exact_count = static_cast<double>(exact.triangles);
+    // One build serves the exact reference and the entire AMQ sweep.
+    Engine engine(g, config);
+    const auto exact = engine.count();
+    const auto exact_count = static_cast<double>(exact.count.triangles);
     std::cout << "instance: RGG2D n=" << n << " m=" << g.num_edges()
-              << "  exact triangles=" << exact.triangles
-              << "  exact global volume=" << exact.total_words_sent << " words\n\n";
+              << "  exact triangles=" << exact.count.triangles
+              << "  exact global volume=" << exact.count.total_words_sent
+              << " words\n\n";
 
+    JsonWriter json;
+    json.begin_row().field("method", std::string("exact")).report_fields(exact);
     Table amq_table({"target FPR", "estimate", "rel err (%)", "total volume (words)",
                      "volume vs exact (%)"});
     for (const double fpr : {0.2, 0.1, 0.05, 0.02, 0.01, 0.001}) {
-        core::AmqOptions amq;
+        core::AmqOptions amq = config.amq;
         amq.target_fpr = fpr;
-        const auto approx = core::count_triangles_cetric_amq(g, spec, amq);
+        const auto approx = engine.approx_count(amq);
+        json.begin_row()
+            .field("method", std::string("amq"))
+            .field("fpr", fpr)
+            .report_fields(approx);
         amq_table.row()
             .cell(fpr, 3)
             .cell(approx.estimated_triangles, 1)
             .cell(100.0 * std::abs(approx.estimated_triangles - exact_count)
                       / exact_count,
                   3)
-            .cell(approx.metrics.total_words_sent)
-            .cell(100.0 * static_cast<double>(approx.metrics.total_words_sent)
-                      / static_cast<double>(exact.total_words_sent),
+            .cell(approx.count.total_words_sent)
+            .cell(100.0 * static_cast<double>(approx.count.total_words_sent)
+                      / static_cast<double>(exact.count.total_words_sent),
                   1);
     }
     std::cout << "CETRIC-AMQ (type-1/2 exact, type-3 via Bloom + truthful estimator):\n";
@@ -60,10 +64,12 @@ int main(int argc, char** argv) {
     Table sampling({"method", "parameter", "estimate", "rel err (%)",
                     "sparsified m / m (%)"});
     for (const double keep : {0.5, 0.25, 0.1}) {
+        // Sampling rebuilds the graph, so these runs cannot share the build.
         const auto sparse = core::sparsify_doulion(g, keep, 99);
-        const auto run = core::count_triangles(sparse, spec);
+        Engine sparse_engine(sparse, config);
+        const auto run = sparse_engine.count();
         const double estimate =
-            static_cast<double>(run.triangles) * core::doulion_scale(keep);
+            static_cast<double>(run.count.triangles) * core::doulion_scale(keep);
         sampling.row()
             .cell("DOULION")
             .cell(keep, 2)
@@ -75,9 +81,10 @@ int main(int argc, char** argv) {
     }
     for (const std::uint64_t colors : {2ull, 4ull, 8ull}) {
         const auto sparse = core::sparsify_colorful(g, colors, 99);
-        const auto run = core::count_triangles(sparse, spec);
+        Engine sparse_engine(sparse, config);
+        const auto run = sparse_engine.count();
         const double estimate =
-            static_cast<double>(run.triangles) * core::colorful_scale(colors);
+            static_cast<double>(run.count.triangles) * core::colorful_scale(colors);
         sampling.row()
             .cell("colorful")
             .cell(static_cast<std::uint64_t>(colors))
@@ -89,6 +96,7 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nSampling baselines (Section III-B, exact counter as black box):\n";
     sampling.print(std::cout);
+    json.write(cli.get_string("json"));
     std::cout << "\nNote: the AMQ approach also applies to *local* clustering "
                  "coefficients, which the sampling baselines cannot provide.\n";
     return 0;

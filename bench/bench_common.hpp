@@ -1,15 +1,14 @@
 #pragma once
 
-#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <utility>
 #include <vector>
 
-#include "core/runner.hpp"
-#include "net/network_config.hpp"
+#include "config.hpp"
+#include "engine.hpp"
+#include "report.hpp"
 #include "util/assert.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -22,14 +21,9 @@ inline std::vector<core::Algorithm> parse_algorithms(const std::string& csv) {
     std::string token;
     std::stringstream stream(csv);
     while (std::getline(stream, token, ',')) {
-        bool found = false;
-        for (const auto algorithm : core::all_algorithms()) {
-            if (core::algorithm_name(algorithm) == token) {
-                result.push_back(algorithm);
-                found = true;
-            }
-        }
-        if (!found) { KATRIC_THROW("unknown algorithm '" << token << "'"); }
+        const auto algorithm = core::parse_algorithm(token);
+        if (!algorithm) { KATRIC_THROW("unknown algorithm '" << token << "'"); }
+        result.push_back(*algorithm);
     }
     KATRIC_ASSERT_MSG(!result.empty(), "empty algorithm list");
     return result;
@@ -39,30 +33,23 @@ inline std::string default_algorithms_csv() {
     return "DITRIC,DITRIC2,CETRIC,CETRIC2,HavoqGT-style,TriC-style";
 }
 
-/// Registers the intersection-kernel options shared by the benches:
-/// `--intersect adaptive|merge|binary|hybrid|galloping|simd|bitmap` and
-/// `--hub-threshold N` (0 = automatic, from the per-rank degree profile).
-inline void add_intersect_options(CliParser& cli) {
-    cli.option("intersect", "merge",
-               "intersection kernel (adaptive|merge|binary|hybrid|galloping|simd|"
-               "bitmap)");
-    cli.option("hub-threshold", "0",
-               "hub bitmap degree threshold for adaptive/bitmap kernels (0 = auto)");
+/// The one shared flag registrar (no per-bench copies): declares every
+/// katric::Config flag — `--algorithm`, `--ranks`, `--network`,
+/// `--intersect`, `--hub-threshold`, the machine-model overrides, the
+/// streaming and AMQ knobs — plus the bench-side `--json` artifact path.
+/// Benches pass their own defaults (e.g. 16 ranks) through `defaults`.
+inline void add_engine_options(CliParser& cli, const Config& defaults = {}) {
+    Config::register_cli(cli, defaults);
+    cli.option("json", "", "write results as a JSON array to this path");
 }
 
-/// Applies the parsed intersection options onto an AlgorithmOptions.
-inline void apply_intersect_options(const CliParser& cli,
-                                    core::AlgorithmOptions& options) {
-    options.intersect = seq::parse_intersect_kind(cli.get_string("intersect"));
-    options.hub_threshold = cli.get_uint("hub-threshold");
+/// `--json` alone, for benches with no Engine underneath (micro kernels).
+inline void add_json_option(CliParser& cli) {
+    cli.option("json", "", "write results as a JSON array to this path");
 }
 
-/// Network preset parsing for `--network supermuc|cloud`.
-inline net::NetworkConfig parse_network(const std::string& name) {
-    if (name == "supermuc") { return net::NetworkConfig::supermuc_like(); }
-    if (name == "cloud") { return net::NetworkConfig::cloud_like(); }
-    KATRIC_THROW("unknown network preset '" << name << "' (supermuc|cloud)");
-}
+/// The parsed Config behind add_engine_options.
+inline Config engine_config(const CliParser& cli) { return Config::from_args(cli); }
 
 /// Every bench prints its machine-model constants so results are
 /// self-describing (DESIGN.md §1).
@@ -71,6 +58,10 @@ inline void print_header(const std::string& what, const net::NetworkConfig& conf
               << "machine model: " << config.describe() << '\n'
               << "time = simulated seconds on the modeled machine; msgs/volume are exact"
               << "\n\n";
+}
+
+inline void print_header(const std::string& what, const Config& config) {
+    print_header(what, config.network);
 }
 
 /// "OOM" or a fixed-precision number — the paper marks failed runs instead
@@ -82,73 +73,10 @@ inline std::string time_or_oom(const core::CountResult& result) {
     return out.str();
 }
 
-/// Minimal JSON emitter for CI artifacts: an array of flat objects, one per
-/// bench row, written when the user passes `--json <path>`. Deliberately
-/// tiny — numbers and strings only, no nesting — so workflow runs can
-/// upload machine-readable results without a serialization dependency.
-class JsonReport {
-public:
-    JsonReport& begin_row() {
-        rows_.emplace_back();
-        return *this;
-    }
+inline std::string time_or_oom(const Report& report) { return time_or_oom(report.count); }
 
-    JsonReport& field(const std::string& key, const std::string& value) {
-        std::ostringstream out;
-        out << '"';
-        for (const char c : value) {
-            if (c == '"' || c == '\\') { out << '\\'; }
-            out << c;
-        }
-        out << '"';
-        return raw(key, out.str());
-    }
-
-    JsonReport& field(const std::string& key, double value) {
-        std::ostringstream out;
-        out << std::setprecision(17) << value;
-        return raw(key, out.str());
-    }
-
-    JsonReport& field(const std::string& key, std::uint64_t value) {
-        return raw(key, std::to_string(value));
-    }
-
-    JsonReport& field(const std::string& key, std::int64_t value) {
-        return raw(key, std::to_string(value));
-    }
-
-    [[nodiscard]] std::string to_string() const {
-        std::ostringstream out;
-        out << "[\n";
-        for (std::size_t i = 0; i < rows_.size(); ++i) {
-            out << "  {";
-            for (std::size_t j = 0; j < rows_[i].size(); ++j) {
-                out << '"' << rows_[i][j].first << "\": " << rows_[i][j].second;
-                if (j + 1 < rows_[i].size()) { out << ", "; }
-            }
-            out << (i + 1 < rows_.size() ? "},\n" : "}\n");
-        }
-        out << "]\n";
-        return out.str();
-    }
-
-    /// Writes the report; empty path is a no-op (JSON output not requested).
-    void write(const std::string& path) const {
-        if (path.empty()) { return; }
-        std::ofstream out(path);
-        KATRIC_ASSERT_MSG(out.good(), "cannot open JSON output path " << path);
-        out << to_string();
-    }
-
-private:
-    JsonReport& raw(const std::string& key, std::string rendered) {
-        KATRIC_ASSERT_MSG(!rows_.empty(), "field() before begin_row()");
-        rows_.back().emplace_back(key, std::move(rendered));
-        return *this;
-    }
-
-    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
-};
+/// The single JSON emitter lives in the library now (katric::JsonWriter /
+/// Report::to_json); the old bench-local JsonReport name stays as an alias.
+using JsonReport = katric::JsonWriter;
 
 }  // namespace katric::bench

@@ -1,0 +1,162 @@
+// Engine amortization bench: the facade's reason to exist, measured. A
+// k-algorithm comparison sweep (the fig5–fig8 workload) pays the expensive
+// pipeline head — partitioning + per-rank view construction — once on a
+// shared katric::Engine, versus once per run through the one-shot entry
+// points: 1 build pass vs k, with the host wall-clock difference reported.
+// A second section runs the mixed query workload (count, LCC, enumeration,
+// approximation) against one build.
+//
+// Doubles as the CI equivalence gate: every Engine result must be
+// bit-identical (count, simulated time, volume) to its one-shot twin, or
+// the bench exits non-zero. Snapshot: bench/BENCH_engine.json.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gen/rgg2d.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+    using namespace katric;
+    CliParser cli("bench_engine_amortization",
+                  "one Engine build vs k one-shot rebuilds on an algorithm sweep");
+    cli.option("log-n", "13", "log2 of vertex count (RGG2D, avg degree 16)");
+    cli.option("algos", bench::default_algorithms_csv(), "algorithms to sweep");
+    cli.option("reps", "3", "sweep repetitions (wall clocks take the best)");
+    cli.flag("smoke", "CI preset: small instance, one repetition");
+    Config defaults;
+    defaults.num_ranks = 16;
+    bench::add_engine_options(cli, defaults);
+    if (!cli.parse(argc, argv)) { return 0; }
+
+    const auto config = bench::engine_config(cli);
+    const bool smoke = cli.get_flag("smoke");
+    const auto algorithms = bench::parse_algorithms(cli.get_string("algos"));
+    const auto reps = smoke ? std::uint64_t{1} : cli.get_uint("reps");
+    const graph::VertexId n = graph::VertexId{1}
+                              << (smoke ? std::uint64_t{11} : cli.get_uint("log-n"));
+    bench::print_header("Engine amortization: 1 build vs k rebuilds", config);
+
+    const auto g =
+        gen::generate_rgg2d_local(n, gen::rgg2d_radius_for_degree(n, 16.0), 29);
+    const auto k = algorithms.size();
+    std::cout << "instance: RGG2D n=" << n << " m=" << g.num_edges()
+              << ", p=" << config.num_ranks << ", k=" << k << " algorithms, " << reps
+              << " rep(s)\n\n";
+
+    // --- the sweep, both ways -------------------------------------------
+    double engine_wall = -1.0;
+    double oneshot_wall = -1.0;
+    double build_wall = -1.0;
+    std::vector<Report> engine_reports;
+    std::vector<core::CountResult> oneshot_results;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+        WallTimer timer;
+        Engine engine(g, config);
+        const double build_seconds = timer.elapsed_seconds();
+        std::vector<Report> reports;
+        reports.reserve(k);
+        for (const auto algorithm : algorithms) {
+            reports.push_back(engine.count(algorithm));
+        }
+        const double elapsed = timer.elapsed_seconds();
+        if (engine_wall < 0.0 || elapsed < engine_wall) {
+            engine_wall = elapsed;
+            build_wall = build_seconds;
+            engine_reports = std::move(reports);
+        }
+
+        timer.restart();
+        std::vector<core::CountResult> results;
+        results.reserve(k);
+        for (const auto algorithm : algorithms) {
+            auto spec = config.run_spec();
+            spec.algorithm = algorithm;
+            results.push_back(core::count_triangles(g, spec));
+        }
+        const double oneshot_elapsed = timer.elapsed_seconds();
+        if (oneshot_wall < 0.0 || oneshot_elapsed < oneshot_wall) {
+            oneshot_wall = oneshot_elapsed;
+            oneshot_results = std::move(results);
+        }
+    }
+
+    // --- equivalence gate ------------------------------------------------
+    Table table({"algo", "triangles", "sim time (s)", "volume (words)", "one-shot =="});
+    bool identical = true;
+    for (std::size_t i = 0; i < k; ++i) {
+        const auto& engine_run = engine_reports[i].count;
+        const auto& oneshot_run = oneshot_results[i];
+        const bool match =
+            engine_run.triangles == oneshot_run.triangles
+            && engine_run.total_time == oneshot_run.total_time
+            && engine_run.total_words_sent == oneshot_run.total_words_sent
+            && engine_run.max_messages_sent == oneshot_run.max_messages_sent;
+        identical = identical && match;
+        table.row()
+            .cell(core::algorithm_name(algorithms[i]))
+            .cell(engine_run.triangles)
+            .cell(engine_run.total_time, 5)
+            .cell(engine_run.total_words_sent)
+            .cell(match ? "yes" : "DIVERGED");
+    }
+    table.print(std::cout);
+    if (!identical) {
+        std::cerr << "\nFAIL: an Engine result diverged from its one-shot twin\n";
+        return 1;
+    }
+
+    const double saved = oneshot_wall - engine_wall;
+    std::cout << "\nbuild passes:   engine sweep 1, one-shot sweep " << k << '\n'
+              << "wall clock:     engine sweep " << engine_wall * 1e3
+              << " ms (build " << build_wall * 1e3 << " ms), one-shot sweep "
+              << oneshot_wall * 1e3 << " ms\n"
+              << "amortization:   " << saved * 1e3 << " ms saved ("
+              << 100.0 * saved / oneshot_wall << "% of the sweep) by skipping "
+              << k - 1 << " rebuilds\n";
+
+    // --- mixed query workload against the same build ---------------------
+    WallTimer mixed_timer;
+    Engine engine(g, config);
+    const auto count = engine.count(core::Algorithm::kCetric);
+    const auto lcc = engine.lcc(core::Algorithm::kCetric);
+    const auto enumerated = engine.enumerate();
+    const auto approx = engine.approx_count();
+    const double mixed_wall = mixed_timer.elapsed_seconds();
+    const bool mixed_ok = count.ok() && lcc.ok() && enumerated.ok() && approx.ok()
+                          && lcc.count.triangles == count.count.triangles
+                          && enumerated.triangles.size() == enumerated.count.triangles;
+    std::cout << "\nmixed workload (count + LCC + enumerate + approx, one build): "
+              << mixed_wall * 1e3 << " ms, " << engine.queries_run()
+              << " queries on " << engine.build_passes() << " build pass\n";
+    if (!mixed_ok) {
+        std::cerr << "FAIL: mixed-workload invariants violated\n";
+        return 1;
+    }
+
+    JsonWriter json;
+    json.begin_row()
+        .field("mode", std::string("engine-sweep"))
+        .field("algorithms", static_cast<std::uint64_t>(k))
+        .field("build_passes", std::uint64_t{1})
+        .field("wall_seconds", engine_wall)
+        .field("build_seconds", build_wall);
+    json.begin_row()
+        .field("mode", std::string("oneshot-sweep"))
+        .field("algorithms", static_cast<std::uint64_t>(k))
+        .field("build_passes", static_cast<std::uint64_t>(k))
+        .field("wall_seconds", oneshot_wall);
+    json.begin_row()
+        .field("mode", std::string("amortization"))
+        .field("saved_seconds", saved)
+        .field("saved_percent", 100.0 * saved / oneshot_wall)
+        .field("identical_results", std::uint64_t{identical ? 1u : 0u});
+    json.begin_row()
+        .field("mode", std::string("mixed-workload"))
+        .field("build_passes", std::uint64_t{1})
+        .field("queries", static_cast<std::uint64_t>(4))
+        .field("wall_seconds", mixed_wall);
+    json.write(cli.get_string("json"));
+    return 0;
+}

@@ -15,33 +15,36 @@ int main(int argc, char** argv) {
     cli.option("instance", "friendster", "proxy instance");
     cli.option("scale", "1", "proxy size multiplier");
     cli.option("ps", "2,4,8,16,32,64,128", "core counts to sweep");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    bench::add_engine_options(cli);
     if (!cli.parse(argc, argv)) { return 0; }
 
-    const auto network = bench::parse_network(cli.get_string("network"));
-    bench::print_header("Fig. 2: aggregation on " + cli.get_string("instance"), network);
+    const auto base = bench::engine_config(cli);
+    bench::print_header("Fig. 2: aggregation on " + cli.get_string("instance"), base);
     const auto g = gen::build_proxy(cli.get_string("instance"), cli.get_uint("scale"));
     std::cout << "instance: n=" << g.num_vertices() << " m=" << g.num_edges() << "\n\n";
 
+    JsonWriter json;
     Table table({"cores", "time buffering (s)", "time no buffering (s)", "msgs buffered",
                  "msgs unbuffered"});
     for (const auto p : cli.get_uint_list("ps")) {
-        core::RunSpec spec;
-        spec.num_ranks = static_cast<graph::Rank>(p);
-        spec.network = network;
-        spec.algorithm = core::Algorithm::kDitric;
-        const auto buffered = core::count_triangles(g, spec);
-        spec.algorithm = core::Algorithm::kEdgeIteratorUnbuffered;
-        const auto unbuffered = core::count_triangles(g, spec);
-        KATRIC_ASSERT(buffered.triangles == unbuffered.triangles);
+        Config config = base;
+        config.num_ranks = static_cast<graph::Rank>(p);
+        // Both series run against the same build.
+        Engine engine(g, config);
+        const auto buffered = engine.count(core::Algorithm::kDitric);
+        const auto unbuffered = engine.count(core::Algorithm::kEdgeIteratorUnbuffered);
+        KATRIC_ASSERT(buffered.count.triangles == unbuffered.count.triangles);
+        json.begin_row().field("cores", p).report_fields(buffered);
+        json.begin_row().field("cores", p).report_fields(unbuffered);
         table.row()
             .cell(p)
-            .cell(buffered.total_time, 4)
-            .cell(unbuffered.total_time, 4)
-            .cell(buffered.total_messages_sent)
-            .cell(unbuffered.total_messages_sent);
+            .cell(buffered.count.total_time, 4)
+            .cell(unbuffered.count.total_time, 4)
+            .cell(buffered.count.total_messages_sent)
+            .cell(unbuffered.count.total_messages_sent);
     }
     table.print(std::cout);
+    json.write(cli.get_string("json"));
     std::cout << "\nExpected shape (paper): the no-buffering series degrades with p "
                  "while buffering stays flat/decreasing.\n";
     return 0;

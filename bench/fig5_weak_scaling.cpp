@@ -37,18 +37,18 @@ int main(int argc, char** argv) {
     cli.option("log-n-per-pe", "10", "log2 of vertices per PE for RGG2D/RHG "
                                      "(GNM/RMAT use 4x fewer, as in the paper)");
     cli.option("algos", bench::default_algorithms_csv(), "algorithms to run");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
     cli.option("seed", "42", "generator seed");
     cli.option("mem-factor", "48",
                "per-PE memory budget as a multiple of the per-PE input size "
                "(fixed memory per core, as on SuperMUC-NG)");
+    bench::add_engine_options(cli);
     if (!cli.parse(argc, argv)) { return 0; }
 
-    const auto network = bench::parse_network(cli.get_string("network"));
+    const auto base = bench::engine_config(cli);
     const auto algorithms = bench::parse_algorithms(cli.get_string("algos"));
     const auto log_n = cli.get_uint("log-n-per-pe");
     const auto seed = cli.get_uint("seed");
-    bench::print_header("Fig. 5: weak scaling", network);
+    bench::print_header("Fig. 5: weak scaling", base);
 
     const std::vector<Family> families = {
         {"RGG2D", 0,
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
          }},
     };
 
+    JsonWriter json;
     for (const auto& family : families) {
         const auto pe_log = log_n - family.log_n_per_pe_shift;
         std::cout << "--- " << family.name << "(n/p=2^" << pe_log << ", m=16n) ---\n";
@@ -73,29 +74,37 @@ int main(int argc, char** argv) {
         for (const auto p : cli.get_uint_list("ps")) {
             const VertexId n = (VertexId{1} << pe_log) * p;
             const auto g = family.build(n);
+            Config config = base;
+            config.num_ranks = static_cast<graph::Rank>(p);
+            // Weak scaling on a machine with fixed memory per core: the
+            // budget follows the (constant) per-PE input size.
+            config.network.memory_limit_words =
+                cli.get_uint("mem-factor") * (2 * g.num_edges() + n) / p;
+            // One build per instance; the algorithm sweep reuses it.
+            Engine engine(g, config);
             for (const auto algorithm : algorithms) {
-                core::RunSpec spec;
-                spec.algorithm = algorithm;
-                spec.num_ranks = static_cast<graph::Rank>(p);
-                spec.network = network;
-                // Weak scaling on a machine with fixed memory per core: the
-                // budget follows the (constant) per-PE input size.
-                spec.network.memory_limit_words =
-                    cli.get_uint("mem-factor") * (2 * g.num_edges() + n) / p;
-                const auto result = core::count_triangles(g, spec);
+                const auto report = engine.count(algorithm);
+                json.begin_row()
+                    .field("family", family.name)
+                    .field("cores", p)
+                    .field("n", static_cast<std::uint64_t>(n))
+                    .report_fields(report);
                 table.row()
                     .cell(core::algorithm_name(algorithm))
                     .cell(p)
                     .cell(n)
-                    .cell(bench::time_or_oom(result))
-                    .cell(result.oom ? std::uint64_t{0} : result.max_messages_sent)
-                    .cell(result.oom ? std::uint64_t{0} : result.max_words_sent)
-                    .cell(result.triangles);
+                    .cell(bench::time_or_oom(report))
+                    .cell(report.count.oom ? std::uint64_t{0}
+                                           : report.count.max_messages_sent)
+                    .cell(report.count.oom ? std::uint64_t{0}
+                                           : report.count.max_words_sent)
+                    .cell(report.count.triangles);
             }
         }
         table.print(std::cout);
         std::cout << '\n';
     }
+    json.write(cli.get_string("json"));
     std::cout << "Expected shape (paper): DITRIC*/CETRIC* beat the baselines on "
                  "RGG2D/RHG; CETRIC cuts bottleneck volume on RGG2D but adds local "
                  "work; on GNM contraction does not pay; TriC-style OOMs or degrades "

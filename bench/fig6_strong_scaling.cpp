@@ -16,14 +16,14 @@ int main(int argc, char** argv) {
     cli.option("algos", bench::default_algorithms_csv(), "algorithms to run");
     cli.option("instances", "", "comma list of proxies (default: all eight)");
     cli.option("scale", "1", "proxy size multiplier");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
     cli.option("mem-factor", "52",
                "per-PE memory budget as a multiple of the per-PE input share at "
                "the largest p of the sweep (fixed memory per core: small-p runs "
                "hold more data per PE and may OOM, as TriC does in the paper)");
+    bench::add_engine_options(cli);
     if (!cli.parse(argc, argv)) { return 0; }
 
-    const auto network = bench::parse_network(cli.get_string("network"));
+    const auto base = bench::engine_config(cli);
     const auto algorithms = bench::parse_algorithms(cli.get_string("algos"));
     std::vector<std::string> instances;
     if (cli.get_string("instances").empty()) {
@@ -33,8 +33,9 @@ int main(int argc, char** argv) {
         std::string token;
         while (std::getline(stream, token, ',')) { instances.push_back(token); }
     }
-    bench::print_header("Fig. 6: strong scaling on real-world proxies", network);
+    bench::print_header("Fig. 6: strong scaling on real-world proxies", base);
 
+    JsonWriter json;
     for (const auto& name : instances) {
         const auto g = gen::build_proxy(name, cli.get_uint("scale"));
         std::cout << "--- " << name << " (n=" << g.num_vertices()
@@ -46,25 +47,32 @@ int main(int argc, char** argv) {
         const auto memory_limit =
             cli.get_uint("mem-factor") * (2 * g.num_edges() + g.num_vertices()) / max_p;
         for (const auto p : ps) {
+            Config config = base;
+            config.num_ranks = static_cast<graph::Rank>(p);
+            config.network.memory_limit_words = memory_limit;
+            // One build per (instance, p); the algorithm sweep reuses it.
+            Engine engine(g, config);
             for (const auto algorithm : algorithms) {
-                core::RunSpec spec;
-                spec.algorithm = algorithm;
-                spec.num_ranks = static_cast<graph::Rank>(p);
-                spec.network = network;
-                spec.network.memory_limit_words = memory_limit;
-                const auto result = core::count_triangles(g, spec);
+                const auto report = engine.count(algorithm);
+                json.begin_row()
+                    .field("instance", name)
+                    .field("cores", p)
+                    .report_fields(report);
                 table.row()
                     .cell(core::algorithm_name(algorithm))
                     .cell(p)
-                    .cell(bench::time_or_oom(result))
-                    .cell(result.oom ? std::uint64_t{0} : result.max_messages_sent)
-                    .cell(result.oom ? std::uint64_t{0} : result.max_words_sent)
-                    .cell(result.triangles);
+                    .cell(bench::time_or_oom(report))
+                    .cell(report.count.oom ? std::uint64_t{0}
+                                           : report.count.max_messages_sent)
+                    .cell(report.count.oom ? std::uint64_t{0}
+                                           : report.count.max_words_sent)
+                    .cell(report.count.triangles);
             }
         }
         table.print(std::cout);
         std::cout << '\n';
     }
+    json.write(cli.get_string("json"));
     std::cout << "Expected shape (paper): DITRIC fastest on social proxies with the "
                  "indirect variants overtaking at large p; CETRIC ahead on "
                  "webbase-2001 until the cut grows; TriC-style OOMs on friendster "

@@ -10,20 +10,14 @@
 
 namespace {
 
-katric::core::CountResult best_of(const katric::graph::CsrGraph& g,
-                                  katric::core::Algorithm direct_variant,
-                                  katric::core::Algorithm indirect_variant,
-                                  katric::graph::Rank p,
-                                  const katric::net::NetworkConfig& network,
-                                  std::string& chosen) {
-    katric::core::RunSpec spec;
-    spec.num_ranks = p;
-    spec.network = network;
-    spec.algorithm = direct_variant;
-    const auto direct = katric::core::count_triangles(g, spec);
-    spec.algorithm = indirect_variant;
-    const auto indirect = katric::core::count_triangles(g, spec);
-    if (!direct.oom && (indirect.oom || direct.total_time <= indirect.total_time)) {
+/// Runs both variants on the shared engine and keeps the better one — four
+/// algorithm runs per (instance, p) against a single build.
+katric::Report best_of(katric::Engine& engine, katric::core::Algorithm direct_variant,
+                       katric::core::Algorithm indirect_variant, std::string& chosen) {
+    const auto direct = engine.count(direct_variant);
+    const auto indirect = engine.count(indirect_variant);
+    if (!direct.count.oom
+        && (indirect.count.oom || direct.count.total_time <= indirect.count.total_time)) {
         chosen = katric::core::algorithm_name(direct_variant);
         return direct;
     }
@@ -39,11 +33,11 @@ int main(int argc, char** argv) {
     cli.option("instances", "friendster,webbase-2001,live-journal", "proxies");
     cli.option("ps", "8,16,32,64", "core counts");
     cli.option("scale", "1", "proxy size multiplier");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
+    bench::add_engine_options(cli);
     if (!cli.parse(argc, argv)) { return 0; }
 
-    const auto network = bench::parse_network(cli.get_string("network"));
-    bench::print_header("Fig. 7: phase breakdown (best DITRIC vs best CETRIC)", network);
+    const auto base = bench::engine_config(cli);
+    bench::print_header("Fig. 7: phase breakdown (best DITRIC vs best CETRIC)", base);
 
     std::vector<std::string> instances;
     {
@@ -51,34 +45,41 @@ int main(int argc, char** argv) {
         std::string token;
         while (std::getline(stream, token, ',')) { instances.push_back(token); }
     }
+    JsonWriter json;
     for (const auto& name : instances) {
         const auto g = gen::build_proxy(name, cli.get_uint("scale"));
         std::cout << "--- " << name << " ---\n";
         Table table({"cores", "variant", "preprocessing", "local", "contraction",
                      "global", "total (s)"});
         for (const auto p : cli.get_uint_list("ps")) {
+            Config config = base;
+            config.num_ranks = static_cast<graph::Rank>(p);
+            Engine engine(g, config);
             for (const bool cetric : {false, true}) {
                 std::string chosen;
-                const auto result =
-                    cetric ? best_of(g, core::Algorithm::kCetric,
-                                     core::Algorithm::kCetric2,
-                                     static_cast<graph::Rank>(p), network, chosen)
-                           : best_of(g, core::Algorithm::kDitric,
-                                     core::Algorithm::kDitric2,
-                                     static_cast<graph::Rank>(p), network, chosen);
+                const auto report =
+                    cetric ? best_of(engine, core::Algorithm::kCetric,
+                                     core::Algorithm::kCetric2, chosen)
+                           : best_of(engine, core::Algorithm::kDitric,
+                                     core::Algorithm::kDitric2, chosen);
+                json.begin_row()
+                    .field("instance", name)
+                    .field("cores", p)
+                    .report_fields(report);
                 table.row()
                     .cell(p)
                     .cell(chosen)
-                    .cell(result.preprocessing_time, 5)
-                    .cell(result.local_time, 5)
-                    .cell(result.contraction_time, 5)
-                    .cell(result.global_time, 5)
-                    .cell(result.total_time, 5);
+                    .cell(report.count.preprocessing_time, 5)
+                    .cell(report.count.local_time, 5)
+                    .cell(report.count.contraction_time, 5)
+                    .cell(report.count.global_time, 5)
+                    .cell(report.count.total_time, 5);
             }
         }
         table.print(std::cout);
         std::cout << '\n';
     }
+    json.write(cli.get_string("json"));
     std::cout << "Expected shape (paper): CETRIC halves the global phase on "
                  "live-journal/webbase at the cost of extra preprocessing and local "
                  "work; on friendster the volume reduction is small (no locality).\n";

@@ -15,37 +15,39 @@ int main(int argc, char** argv) {
     cli.option("instance", "orkut", "proxy instance");
     cli.option("scale", "1", "proxy size multiplier");
     cli.option("cores", "48,96", "total core budgets (= ranks x threads)");
-    cli.option("threads", "1,3,6,12,24,48", "threads per rank");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
-    bench::add_intersect_options(cli);
+    cli.option("thread-counts", "1,3,6,12,24,48", "threads per rank to sweep");
+    bench::add_engine_options(cli);
     if (!cli.parse(argc, argv)) { return 0; }
 
-    const auto network = bench::parse_network(cli.get_string("network"));
-    bench::print_header("Fig. 8: hybrid DITRIC2 on " + cli.get_string("instance"),
-                        network);
+    const auto base = bench::engine_config(cli);
+    bench::print_header("Fig. 8: hybrid DITRIC2 on " + cli.get_string("instance"), base);
     const auto g = gen::build_proxy(cli.get_string("instance"), cli.get_uint("scale"));
     std::cout << "instance: n=" << g.num_vertices() << " m=" << g.num_edges() << "\n\n";
 
+    JsonWriter json;
     Table table({"cores", "threads", "ranks", "local time (s)", "total time (s)",
                  "comm volume (words)"});
     for (const auto cores : cli.get_uint_list("cores")) {
-        for (const auto threads : cli.get_uint_list("threads")) {
+        for (const auto threads : cli.get_uint_list("thread-counts")) {
             if (cores % threads != 0) { continue; }
             const auto ranks = cores / threads;
-            core::RunSpec spec;
-            spec.algorithm = core::Algorithm::kDitric2;
-            spec.num_ranks = static_cast<graph::Rank>(ranks);
-            spec.network = network;
-            spec.options.threads = static_cast<int>(threads);
-            bench::apply_intersect_options(cli, spec.options);
-            const auto result = core::count_triangles(g, spec);
+            Config config = base;
+            config.algorithm = core::Algorithm::kDitric2;
+            config.num_ranks = static_cast<graph::Rank>(ranks);
+            config.options.threads = static_cast<int>(threads);
+            Engine engine(g, config);
+            const auto report = engine.count();
+            json.begin_row()
+                .field("cores", cores)
+                .field("threads", threads)
+                .report_fields(report);
             table.row()
                 .cell(cores)
                 .cell(threads)
                 .cell(ranks)
-                .cell(result.local_time, 5)
-                .cell(result.total_time, 5)
-                .cell(result.total_words_sent);
+                .cell(report.count.local_time, 5)
+                .cell(report.count.total_time, 5)
+                .cell(report.count.total_words_sent);
         }
     }
     table.print(std::cout);
@@ -58,23 +60,23 @@ int main(int argc, char** argv) {
                        "total time (s)"});
     const graph::Rank ranks = 8;
     double local_base = 0.0;
-    for (const auto threads : cli.get_uint_list("threads")) {
-        core::RunSpec spec;
-        spec.algorithm = core::Algorithm::kDitric2;
-        spec.num_ranks = ranks;
-        spec.network = network;
-        spec.options.threads = static_cast<int>(threads);
-        bench::apply_intersect_options(cli, spec.options);
-        const auto result = core::count_triangles(g, spec);
-        if (local_base == 0.0) { local_base = result.local_time; }
+    for (const auto threads : cli.get_uint_list("thread-counts")) {
+        Config config = base;
+        config.algorithm = core::Algorithm::kDitric2;
+        config.num_ranks = ranks;
+        config.options.threads = static_cast<int>(threads);
+        Engine engine(g, config);
+        const auto report = engine.count();
+        if (local_base == 0.0) { local_base = report.count.local_time; }
         fixed_ranks.row()
             .cell(static_cast<std::uint64_t>(ranks))
             .cell(threads)
-            .cell(result.local_time, 6)
-            .cell(local_base / result.local_time, 2)
-            .cell(result.total_time, 5);
+            .cell(report.count.local_time, 6)
+            .cell(local_base / report.count.local_time, 2)
+            .cell(report.count.total_time, 5);
     }
     fixed_ranks.print(std::cout);
+    json.write(cli.get_string("json"));
 
     std::cout << "\nExpected shape (paper): local-phase speedup and up to ~84% "
                  "communication-volume reduction with more threads at fixed cores, "

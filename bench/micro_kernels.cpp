@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
     cli.option("gaps", "2,16", "mean ID gaps (density = 1/gap) to sweep");
     cli.option("min-ms", "20", "minimum measured wall time per kernel (ms)");
     cli.option("seed", "42", "RNG seed");
-    cli.option("json", "", "write results as a JSON array to this path");
+    bench::add_json_option(cli);
     cli.flag("smoke", "CI preset: small sizes, short timings");
     cli.flag("scalar", "force the scalar fallbacks (as if AVX2 were absent)");
     if (!cli.parse(argc, argv)) { return 0; }

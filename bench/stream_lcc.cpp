@@ -15,87 +15,72 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/dist_lcc.hpp"
 #include "gen/rgg2d.hpp"
-#include "stream/stream_runner.hpp"
 
 int main(int argc, char** argv) {
     using namespace katric;
     CliParser cli("bench_stream_lcc",
                   "incremental per-vertex LCC maintenance vs full recompute");
     cli.option("log-n", "11", "log2 of vertex count (RGG2D, avg degree 16)");
-    cli.option("p", "16", "simulated PEs");
     cli.option("events", "2048", "stream length (edge events)");
     cli.option("batch", "256", "events per batch");
     cli.option("delete-fraction", "0.4", "fraction of delete events in the churn");
-    cli.option("indirect", "0", "route stream traffic via the grid proxy (0|1)");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
-    cli.option("json", "", "write per-batch results as a JSON array to this path");
-    bench::add_intersect_options(cli);
+    Config defaults;
+    defaults.algorithm = core::Algorithm::kCetric;
+    defaults.num_ranks = 16;
+    defaults.maintain_lcc = true;
+    bench::add_engine_options(cli, defaults);
     if (!cli.parse(argc, argv)) { return 0; }
 
-    const auto network = bench::parse_network(cli.get_string("network"));
-    bench::print_header("Streaming LCC: incremental vs full recompute", network);
+    auto config = bench::engine_config(cli);
+    config.maintain_lcc = true;  // the bench is pointless without it
+    bench::print_header("Streaming LCC: incremental vs full recompute", config);
 
     const graph::VertexId n = graph::VertexId{1} << cli.get_uint("log-n");
     const auto base =
         gen::generate_rgg2d_local(n, gen::rgg2d_radius_for_degree(n, 16.0), 17);
-    const auto p = static_cast<graph::Rank>(cli.get_uint("p"));
     const auto events = cli.get_uint("events");
     const auto batch_size = cli.get_uint("batch");
-
-    stream::StreamRunSpec spec;
-    spec.num_ranks = p;
-    spec.network = network;
-    spec.indirect = cli.get_uint("indirect") != 0;
-    bench::apply_intersect_options(cli, spec.options);
 
     const auto churn =
         stream::make_churn_stream(base, events, cli.get_double("delete-fraction"), 99);
     const auto batches = churn.batches_of(batch_size);
-    std::cout << "instance: RGG2D n=" << n << " m=" << base.num_edges() << ", p=" << p
-              << ", " << events << " events in " << batches.size() << " batches of "
-              << batch_size << "\n\n";
+    std::cout << "instance: RGG2D n=" << n << " m=" << base.num_edges()
+              << ", p=" << config.num_ranks << ", " << events << " events in "
+              << batches.size() << " batches of " << batch_size << "\n\n";
 
-    auto views = stream::distribute_dynamic(base, spec);
-    net::Simulator sim(p, network);
-    const auto initial = core::compute_distributed_lcc(base, spec.static_spec());
-    KATRIC_ASSERT(!initial.count.oom);
-    stream::IncrementalCounter counter(sim, views, spec.options, spec.indirect,
-                                       initial.count.triangles);
-    stream::IncrementalLcc lcc(sim, views, spec.options, spec.indirect, initial.delta);
-    lcc.attach(counter);
-    std::cout << "initial static LCC pass ("
-              << core::algorithm_name(spec.initial_algorithm)
-              << "): " << initial.count.triangles << " triangles in "
-              << initial.count.total_time << " s (postprocess "
-              << initial.postprocess_time << " s)\n\n";
+    // The facade path: the engine's LCC-enabled static pass seeds the
+    // session's Δ vector, and the dynamic views reuse the built partition.
+    Engine engine(base, config);
+    auto session = engine.open_stream();
+    std::cout << "initial static LCC pass (" << core::algorithm_name(config.algorithm)
+              << "): " << session.initial().triangles << " triangles in "
+              << session.initial().total_time << " s\n\n";
 
     Table table({"batch", "net ins", "net del", "avg LCC", "count time (s)",
                  "flush time (s)", "full LCC time (s)", "speedup"});
-    bench::JsonReport report;
+    JsonWriter report;
     double incremental_total = 0.0;
     double full_total = 0.0;
     for (const auto& batch : batches) {
-        const auto stats = counter.apply_batch(batch);
-        const double flush_seconds = lcc.finish_batch();
+        const auto& stats = session.ingest(batch);
 
         // Full alternative: rebuild the current graph and run the static
         // LCC pipeline from scratch on a fresh machine.
-        const auto current = stream::materialize_global(views);
-        const auto full = core::compute_distributed_lcc(current, spec.static_spec());
+        const auto current = session.materialize_global();
+        const auto full = core::compute_distributed_lcc(current, config.run_spec());
         KATRIC_ASSERT(!full.count.oom);
 
         // CI correctness guard: the incremental vectors must be exact. On
         // divergence the partial JSON still gets written — the rows up to
         // the failing batch are exactly what localizes the regression.
-        if (lcc.delta() != full.delta) {
+        if (session.delta() != full.delta) {
             std::cerr << "FAIL: batch " << stats.batch_index
                       << " incremental Δ vector diverged from full recompute\n";
             report.write(cli.get_string("json"));
             return 1;
         }
-        const auto streamed_lcc = lcc.lcc();
+        const auto streamed_lcc = session.lcc();
         for (graph::VertexId v = 0; v < current.num_vertices(); ++v) {
             if (streamed_lcc[v] != full.lcc[v]) {
                 std::cerr << "FAIL: batch " << stats.batch_index << " LCC(" << v
@@ -110,7 +95,7 @@ int main(int argc, char** argv) {
         for (const double value : streamed_lcc) { lcc_sum += value; }
         const double avg_lcc = lcc_sum / static_cast<double>(streamed_lcc.size());
 
-        const double incremental_seconds = stats.seconds + flush_seconds;
+        const double incremental_seconds = stats.seconds + stats.lcc_seconds;
         incremental_total += incremental_seconds;
         full_total += full.count.total_time;
         report.begin_row()
@@ -120,7 +105,7 @@ int main(int argc, char** argv) {
             .field("triangles", stats.triangles)
             .field("avg_lcc", avg_lcc)
             .field("count_seconds", stats.seconds)
-            .field("flush_seconds", flush_seconds)
+            .field("flush_seconds", stats.lcc_seconds)
             .field("full_seconds", full.count.total_time);
         table.row()
             .cell(static_cast<std::uint64_t>(stats.batch_index))
@@ -128,7 +113,7 @@ int main(int argc, char** argv) {
             .cell(static_cast<std::uint64_t>(stats.net_deletes))
             .cell(avg_lcc, 4)
             .cell(stats.seconds, 6)
-            .cell(flush_seconds, 6)
+            .cell(stats.lcc_seconds, 6)
             .cell(full.count.total_time, 6)
             .cell(incremental_seconds > 0.0 ? full.count.total_time / incremental_seconds
                                             : 0.0,

@@ -8,67 +8,57 @@
 
 #include "bench_common.hpp"
 #include "gen/rgg2d.hpp"
-#include "stream/stream_runner.hpp"
 
 int main(int argc, char** argv) {
     using namespace katric;
     CliParser cli("bench_stream_throughput",
                   "incremental maintenance vs full recount per batch");
     cli.option("log-n", "12", "log2 of vertex count (RGG2D, avg degree 16)");
-    cli.option("p", "16", "simulated PEs");
     cli.option("events", "4096", "stream length (edge events)");
     cli.option("batch", "256", "events per batch");
     cli.option("delete-fraction", "0.4", "fraction of delete events in the churn");
-    cli.option("indirect", "0", "route stream traffic via the grid proxy (0|1)");
-    cli.option("network", "supermuc", "network preset (supermuc|cloud)");
-    cli.option("json", "", "write per-batch results as a JSON array to this path");
-    bench::add_intersect_options(cli);
+    Config defaults;
+    defaults.algorithm = core::Algorithm::kCetric;
+    defaults.num_ranks = 16;
+    bench::add_engine_options(cli, defaults);
     if (!cli.parse(argc, argv)) { return 0; }
 
-    const auto network = bench::parse_network(cli.get_string("network"));
-    bench::print_header("Streaming: incremental vs full recount", network);
+    const auto config = bench::engine_config(cli);
+    bench::print_header("Streaming: incremental vs full recount", config);
 
     const graph::VertexId n = graph::VertexId{1} << cli.get_uint("log-n");
     const auto base =
         gen::generate_rgg2d_local(n, gen::rgg2d_radius_for_degree(n, 16.0), 17);
-    const auto p = static_cast<graph::Rank>(cli.get_uint("p"));
     const auto events = cli.get_uint("events");
     const auto batch_size = cli.get_uint("batch");
-
-    stream::StreamRunSpec spec;
-    spec.num_ranks = p;
-    spec.network = network;
-    spec.indirect = cli.get_uint("indirect") != 0;
-    bench::apply_intersect_options(cli, spec.options);
 
     const auto churn =
         stream::make_churn_stream(base, events, cli.get_double("delete-fraction"), 99);
     const auto batches = churn.batches_of(batch_size);
-    std::cout << "instance: RGG2D n=" << n << " m=" << base.num_edges() << ", p=" << p
-              << ", " << events << " events in " << batches.size() << " batches of "
-              << batch_size << "\n\n";
+    std::cout << "instance: RGG2D n=" << n << " m=" << base.num_edges()
+              << ", p=" << config.num_ranks << ", " << events << " events in "
+              << batches.size() << " batches of " << batch_size << "\n\n";
 
-    auto views = stream::distribute_dynamic(base, spec);
-    net::Simulator sim(p, network);
-    const auto initial = core::count_triangles(base, spec.static_spec());
-    KATRIC_ASSERT(!initial.oom);
-    stream::IncrementalCounter counter(sim, views, spec.options, spec.indirect,
-                                       initial.triangles);
-    std::cout << "initial static count (" << core::algorithm_name(spec.initial_algorithm)
-              << "): " << initial.triangles << " triangles in " << initial.total_time
-              << " s\n\n";
+    // The facade path: one build, initial static count, then the dynamic
+    // session promoted from the same partition.
+    Engine engine(base, config);
+    auto session = engine.open_stream();
+    std::cout << "initial static count (" << core::algorithm_name(config.algorithm)
+              << "): " << session.initial().triangles << " triangles in "
+              << session.initial().total_time << " s\n\n";
 
     Table table({"batch", "net ins", "net del", "triangles", "incr time (s)",
                  "incr words", "recount time (s)", "recount words", "speedup"});
-    bench::JsonReport report;
+    JsonWriter report;
     double incremental_total = 0.0;
     double recount_total = 0.0;
     for (const auto& batch : batches) {
-        const auto stats = counter.apply_batch(batch);
+        const auto& stats = session.ingest(batch);
         // Full-recount alternative: rebuild the current graph and run the
-        // static pipeline from scratch on a fresh machine.
-        const auto current = stream::materialize_global(views);
-        const auto recount = core::count_triangles(current, spec.static_spec());
+        // static pipeline from scratch (build included — that is the cost
+        // the session amortizes away).
+        const auto current = session.materialize_global();
+        const auto recount = core::count_triangles(current, config.run_spec());
         KATRIC_ASSERT(!recount.oom);
         if (recount.triangles != stats.triangles) {
             // The bench doubles as the CI correctness smoke: a divergence

@@ -3,16 +3,16 @@
 // the most per window. A real deployment watches for exactly this — a
 // vertex whose LCC collapses is a hub whose community is dissolving, one
 // whose LCC spikes is joining a tight cluster (spam rings, fraud cliques).
-// Here the stream is synthetic churn over a random geometric graph.
+// Here the stream is synthetic churn over a random geometric graph, driven
+// through an Engine stream session with LCC maintenance enabled.
 
 #include <cmath>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
-#include "core/dist_lcc.hpp"
 #include "gen/rgg2d.hpp"
-#include "stream/stream_runner.hpp"
+#include "katric.hpp"
 
 int main() {
     using namespace katric;
@@ -25,23 +25,19 @@ int main() {
     const auto churn = stream::make_churn_stream(base, 1200, 0.4, /*seed=*/21);
     const auto batches = churn.batches_by_window(0.1);
 
-    stream::StreamRunSpec spec;
-    spec.num_ranks = 8;
-
-    // 2. The static LCC pass seeds per-vertex Δ; then the incremental pair
-    //    (counter + LCC tracker) maintains both the global count and every
-    //    LCC(v) per batch.
-    auto views = stream::distribute_dynamic(base, spec);
-    net::Simulator sim(spec.num_ranks, spec.network);
-    const auto initial = core::compute_distributed_lcc(base, spec.static_spec());
-    stream::IncrementalCounter counter(sim, views, spec.options, spec.indirect,
-                                       initial.count.triangles);
-    stream::IncrementalLcc lcc(sim, views, spec.options, spec.indirect, initial.delta);
-    lcc.attach(counter);
+    // 2. maintain_lcc makes the session's static seed pass an LCC run and
+    //    attaches the incremental Δ tracker — per batch, the counter pays
+    //    one extra Δ-flush phase and every LCC(v) stays current.
+    Config config;
+    config.algorithm = core::Algorithm::kCetric;
+    config.num_ranks = 8;
+    config.maintain_lcc = true;
+    Engine engine(base, config);
+    auto session = engine.open_stream();
 
     std::cout << "streaming LCC monitor: n=" << base.num_vertices()
               << " m=" << base.num_edges() << ", " << churn.size() << " events in "
-              << batches.size() << " windows, p=" << spec.num_ranks << "\n\n";
+              << batches.size() << " windows, p=" << config.num_ranks << "\n\n";
     std::cout << std::left << std::setw(8) << "window" << std::setw(9) << "+edges"
               << std::setw(9) << "-edges" << std::setw(12) << "triangles"
               << std::setw(10) << "avg LCC" << std::setw(22) << "biggest mover"
@@ -49,11 +45,10 @@ int main() {
 
     // 3. Ingest window by window; after each Δ flush the full LCC vector is
     //    current, so the monitor can rank movers immediately.
-    auto previous = lcc.lcc();
+    auto previous = session.lcc();
     for (const auto& batch : batches) {
-        const auto stats = counter.apply_batch(batch);
-        const double flush_seconds = lcc.finish_batch();
-        const auto current = lcc.lcc();
+        const auto& stats = session.ingest(batch);
+        const auto current = session.lcc();
 
         double sum = 0.0;
         graph::VertexId mover = 0;
@@ -74,13 +69,14 @@ int main() {
                   << std::setw(12) << stats.triangles << std::setw(10) << std::fixed
                   << std::setprecision(4) << sum / static_cast<double>(current.size())
                   << std::setw(22) << (biggest > 0.0 ? mover_text.str() : "—")
-                  << std::setprecision(3) << (stats.seconds + flush_seconds) * 1e3
+                  << std::setprecision(3) << (stats.seconds + stats.lcc_seconds) * 1e3
                   << std::defaultfloat << "\n";
         previous = current;
     }
 
-    std::cout << "\nfinal: " << counter.triangles() << " triangles after "
-              << counter.batches_applied() << " windows, " << sim.time()
+    const auto report = session.report();
+    std::cout << "\nfinal: " << report.count.triangles << " triangles after "
+              << report.batches.size() << " windows, " << report.stream_seconds
               << " s simulated\n"
               << "(per-window cost = incremental count + one Δ-flush phase; a full "
                  "compute_distributed_lcc would pay the whole pipeline per window — "

@@ -1,19 +1,21 @@
 // Interactive experiment driver: pick any generator or proxy instance, any
 // algorithm, any PE count and machine preset, and get the full metric set.
-// Useful for exploring regimes the canned benches do not cover.
+// Useful for exploring regimes the canned benches do not cover. The whole
+// configuration surface is katric::Config's shared flag set (--algorithm,
+// --ranks, --network, --intersect, ...), plus a --ps sweep that overrides
+// --ranks per run.
 
 #include <iostream>
 
-#include "core/runner.hpp"
 #include "gen/gnm.hpp"
 #include "gen/grid.hpp"
 #include "gen/proxies.hpp"
 #include "gen/rgg2d.hpp"
 #include "gen/rhg.hpp"
 #include "gen/rmat.hpp"
+#include "katric.hpp"
 #include "seq/edge_iterator.hpp"
 #include "util/bits.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -47,52 +49,46 @@ int main(int argc, char** argv) {
     cli.option("instance", "rgg2d",
                "rgg2d|rhg|gnm|rmat|grid or a Table I proxy name (e.g. orkut)");
     cli.option("log-n", "13", "log2 vertex count for generated instances");
-    cli.option("ps", "1,4,16,64", "PE counts to sweep");
-    cli.option("algo", "CETRIC", "algorithm name (see DESIGN.md)");
-    cli.option("network", "supermuc", "supermuc|cloud");
-    cli.option("threads", "1", "threads per rank (hybrid local phase)");
+    cli.option("ps", "1,4,16,64", "PE counts to sweep (overrides --ranks)");
     cli.option("seed", "42", "generator seed");
+    Config defaults;
+    defaults.algorithm = core::Algorithm::kCetric;
+    Config::register_cli(cli, defaults);
     if (!cli.parse(argc, argv)) { return 0; }
 
+    const auto base = Config::from_args(cli);
     const auto g = build_instance(cli.get_string("instance"),
                                   graph::VertexId{1} << cli.get_uint("log-n"),
                                   cli.get_uint("seed"));
     std::cout << "instance " << cli.get_string("instance") << ": n=" << g.num_vertices()
               << " m=" << g.num_edges()
               << "  (sequential count: " << seq::count_edge_iterator(g).triangles
-              << ")\n\n";
-
-    core::Algorithm algorithm = core::Algorithm::kCetric;
-    for (const auto candidate : core::all_algorithms()) {
-        if (core::algorithm_name(candidate) == cli.get_string("algo")) {
-            algorithm = candidate;
-        }
-    }
+              << ")\n"
+              << "config: " << base.describe() << "\n\n";
 
     Table table({"p", "time (s)", "preproc", "local", "contract", "global", "reduce",
                  "max msgs", "bottleneck vol", "peak buf", "triangles"});
     for (const auto p : cli.get_uint_list("ps")) {
-        core::RunSpec spec;
-        spec.algorithm = algorithm;
-        spec.num_ranks = static_cast<graph::Rank>(p);
-        spec.network =
-            cli.get_string("network") == "cloud" ? net::NetworkConfig::cloud_like()
-                                                 : net::NetworkConfig::supermuc_like();
-        spec.options.threads = static_cast<int>(cli.get_uint("threads"));
-        const auto result = core::count_triangles(g, spec);
+        Config config = base;
+        config.num_ranks = static_cast<graph::Rank>(p);
+        Engine engine(g, config);
+        const auto report = engine.count();
         table.row()
             .cell(p)
-            .cell(result.oom ? std::string("OOM") : std::to_string(result.total_time))
-            .cell(result.preprocessing_time, 5)
-            .cell(result.local_time, 5)
-            .cell(result.contraction_time, 5)
-            .cell(result.global_time, 5)
-            .cell(result.reduce_time, 5)
-            .cell(result.max_messages_sent)
-            .cell(result.max_words_sent)
-            .cell(result.max_peak_buffer_words)
-            .cell(result.triangles);
+            .cell(report.count.oom ? std::string("OOM")
+                                   : std::to_string(report.count.total_time))
+            .cell(report.count.preprocessing_time, 5)
+            .cell(report.count.local_time, 5)
+            .cell(report.count.contraction_time, 5)
+            .cell(report.count.global_time, 5)
+            .cell(report.count.reduce_time, 5)
+            .cell(report.count.max_messages_sent)
+            .cell(report.count.max_words_sent)
+            .cell(report.count.max_peak_buffer_words)
+            .cell(report.count.triangles);
     }
     table.print(std::cout);
+    std::cout << "\nreproduce any row: scaling_explorer --instance "
+              << cli.get_string("instance") << " " << base.to_command_line() << "\n";
     return 0;
 }

@@ -10,8 +10,8 @@
 #include <map>
 #include <vector>
 
-#include "core/dist_lcc.hpp"
 #include "gen/proxies.hpp"
+#include "katric.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -22,11 +22,14 @@ int main() {
     std::cout << "web graph: n=" << web.num_vertices() << ", m=" << web.num_edges()
               << "\n";
 
-    // Distributed LCC with CETRIC on 32 simulated PEs.
-    core::RunSpec spec;
-    spec.algorithm = core::Algorithm::kCetric;
-    spec.num_ranks = 32;
-    const auto result = core::compute_distributed_lcc(web, spec);
+    // Distributed LCC with CETRIC on 32 simulated PEs, through the session
+    // facade (a follow-up query — count(), enumerate() — would reuse the
+    // build for free).
+    Config config;
+    config.algorithm = core::Algorithm::kCetric;
+    config.num_ranks = 32;
+    Engine engine(web, config);
+    const auto result = engine.lcc();
     std::cout << "triangles=" << result.count.triangles << ", simulated time "
               << result.count.total_time << " s (incl. " << result.postprocess_time
               << " s Δ-aggregation)\n\n";

@@ -1,15 +1,15 @@
 // Streaming monitor: ingest a synthetic edge stream batch by batch and
 // print a rolling global triangle count plus per-batch latency — the
-// dynamic-graph workload (src/stream/) in ~40 lines. A real deployment
-// would sit in front of a social-graph ingestion pipeline and alert on
-// sudden clustering changes; here the stream is synthetic churn over a
-// random geometric graph.
+// dynamic-graph workload through the session facade in ~40 lines. A real
+// deployment would sit in front of a social-graph ingestion pipeline and
+// alert on sudden clustering changes; here the stream is synthetic churn
+// over a random geometric graph.
 
 #include <iomanip>
 #include <iostream>
 
 #include "gen/rgg2d.hpp"
-#include "stream/stream_runner.hpp"
+#include "katric.hpp"
 
 int main() {
     using namespace katric;
@@ -22,23 +22,25 @@ int main() {
     const auto churn = stream::make_churn_stream(base, 2000, 0.4, /*seed=*/21);
     const auto batches = churn.batches_by_window(0.1);
 
-    // 2. A streaming run spec: same machinery as the static runs — any
-    //    generator, partition strategy, and NetworkConfig plug in.
-    stream::StreamRunSpec spec;
-    spec.num_ranks = 16;
-    spec.network = net::NetworkConfig::supermuc_like();
+    // 2. One Config covers the static and the streaming side; the engine
+    //    builds the distributed state once and the stream session promotes
+    //    it — no second partitioning pass.
+    Config config;
+    config.algorithm = core::Algorithm::kCetric;
+    config.num_ranks = 16;
+    Engine engine(base, config);
 
     std::cout << "streaming monitor: n=" << base.num_vertices()
               << " m=" << base.num_edges() << ", " << churn.size() << " events in "
-              << batches.size() << " windows, p=" << spec.num_ranks << "\n\n";
+              << batches.size() << " windows, p=" << config.num_ranks << "\n\n";
     std::cout << std::left << std::setw(8) << "window" << std::setw(10) << "events"
               << std::setw(10) << "+edges" << std::setw(10) << "-edges" << std::setw(12)
               << "Δtriangles" << std::setw(14) << "triangles" << "latency (ms)\n";
 
     // 3. Ingest. The observer fires after each committed batch — the hook a
     //    monitoring loop would use to publish the rolling count.
-    const auto result = stream::count_triangles_streaming(
-        base, batches, spec, [](const stream::BatchStats& stats) {
+    const Report report = engine.stream(
+        batches, [](const stream::BatchStats& stats) {
             std::cout << std::left << std::setw(8) << stats.batch_index << std::setw(10)
                       << stats.events << std::setw(10) << stats.net_inserts
                       << std::setw(10) << stats.net_deletes << std::setw(12)
@@ -47,11 +49,11 @@ int main() {
                       << std::defaultfloat << "\n";
         });
 
-    std::cout << "\ninitial count: " << result.initial.triangles << " (static "
-              << core::algorithm_name(spec.initial_algorithm) << ", "
-              << result.initial.total_time << " s simulated)\n"
-              << "final count:   " << result.triangles << " after "
-              << result.batches.size() << " batches, " << result.stream_seconds
+    std::cout << "\ninitial count: " << report.initial.triangles << " (static "
+              << core::algorithm_name(config.algorithm) << ", "
+              << report.initial.total_time << " s simulated)\n"
+              << "final count:   " << report.count.triangles << " after "
+              << report.batches.size() << " batches, " << report.stream_seconds
               << " s simulated stream time\n";
     return 0;
 }

@@ -8,8 +8,7 @@
 
 #include "core/dist_input.hpp"
 #include "graph/builder.hpp"
-#include "core/enumerate.hpp"
-#include "core/runner.hpp"
+#include "katric.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -42,7 +41,8 @@ int main() {
               << sim.time() << " s including input\n\n";
 
     // 3. Enumerate (host-side graph reassembly only for the census run) and
-    //    profile the per-PE discovery load.
+    //    profile the per-PE discovery load — an Engine query against the
+    //    reassembled graph.
     graph::EdgeList all;
     for (const auto& view : piped.views) {
         for (graph::VertexId v = view.first_local();
@@ -53,7 +53,8 @@ int main() {
         }
     }
     const auto global = graph::build_undirected(std::move(all), input.n);
-    const auto census = core::enumerate_triangles(global, spec);
+    Engine engine(global, Config::from_run_spec(spec));
+    const auto census = engine.enumerate();
     std::cout << "enumerated " << census.triangles.size()
               << " distinct triangles (exactly-once verified)\n";
     std::cout << "first: {" << census.triangles.front().a << ","

@@ -1,0 +1,309 @@
+#include "config.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace katric {
+
+namespace {
+
+/// Shortest-exact rendering of a double: %.17g round-trips every finite
+/// IEEE-754 value through strtod, which is what the flag round-trip needs.
+std::string format_double(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+std::string format_bool(bool value) { return value ? "1" : "0"; }
+
+/// The sentinel default for the numeric machine-model flags: "take the
+/// value from the --network preset".
+constexpr const char* kFromPreset = "preset";
+
+/// Preset name whose NetworkConfig equals `network`, or empty.
+std::string matching_network_preset(const net::NetworkConfig& network) {
+    if (network == net::NetworkConfig::supermuc_like()) { return "supermuc"; }
+    if (network == net::NetworkConfig::cloud_like()) { return "cloud"; }
+    return "";
+}
+
+}  // namespace
+
+std::string partition_strategy_name(core::PartitionStrategy strategy) {
+    switch (strategy) {
+        case core::PartitionStrategy::kUniformVertices: return "uniform";
+        case core::PartitionStrategy::kBalancedEdges: return "balanced";
+    }
+    KATRIC_THROW("unknown partition strategy");
+}
+
+core::PartitionStrategy parse_partition_strategy(const std::string& name) {
+    if (name == "uniform") { return core::PartitionStrategy::kUniformVertices; }
+    if (name == "balanced") { return core::PartitionStrategy::kBalancedEdges; }
+    KATRIC_THROW("unknown partition strategy '" << name << "' (uniform|balanced)");
+}
+
+net::NetworkConfig parse_network_preset(const std::string& name) {
+    if (name == "supermuc") { return net::NetworkConfig::supermuc_like(); }
+    if (name == "cloud") { return net::NetworkConfig::cloud_like(); }
+    KATRIC_THROW("unknown network preset '" << name << "' (supermuc|cloud)");
+}
+
+core::RunSpec Config::run_spec() const {
+    return core::RunSpec{algorithm, num_ranks, network, options, partition};
+}
+
+stream::StreamRunSpec Config::stream_spec() const {
+    stream::StreamRunSpec spec;
+    spec.initial_algorithm = algorithm;
+    spec.num_ranks = num_ranks;
+    spec.network = network;
+    spec.options = options;
+    spec.partition = partition;
+    spec.indirect = stream_indirect;
+    spec.maintain_lcc = maintain_lcc;
+    return spec;
+}
+
+Config Config::from_run_spec(const core::RunSpec& spec) {
+    Config config;
+    config.algorithm = spec.algorithm;
+    config.num_ranks = spec.num_ranks;
+    config.partition = spec.partition;
+    config.network = spec.network;
+    config.options = spec.options;
+    return config;
+}
+
+Config Config::from_stream_spec(const stream::StreamRunSpec& spec) {
+    Config config = from_run_spec(spec.static_spec());
+    config.stream_indirect = spec.indirect;
+    config.maintain_lcc = spec.maintain_lcc;
+    return config;
+}
+
+void Config::register_cli(CliParser& cli) { register_cli(cli, Config{}); }
+
+void Config::register_cli(CliParser& cli, const Config& defaults) {
+    const auto preset = matching_network_preset(defaults.network);
+    cli.option("algorithm", core::algorithm_name(defaults.algorithm),
+               "counting algorithm (DITRIC|DITRIC2|CETRIC|CETRIC2|TriC-style|"
+               "HavoqGT-style|EdgeIterator-unbuffered)");
+    cli.option("ranks", std::to_string(defaults.num_ranks), "simulated MPI ranks");
+    cli.option("partition", partition_strategy_name(defaults.partition),
+               "1-D partition strategy (balanced|uniform)");
+    cli.option("network", preset.empty() ? "supermuc" : preset,
+               "machine-model preset (supermuc|cloud)");
+    cli.option("alpha", preset.empty() ? format_double(defaults.network.alpha)
+                                       : kFromPreset,
+               "message startup latency in seconds (default: from --network)");
+    cli.option("beta", preset.empty() ? format_double(defaults.network.beta)
+                                      : kFromPreset,
+               "per-word transfer time in seconds (default: from --network)");
+    cli.option("compute-op", preset.empty() ? format_double(defaults.network.compute_op)
+                                            : kFromPreset,
+               "per elementary-operation compute time in seconds "
+               "(default: from --network)");
+    cli.option("memory-limit",
+               preset.empty() ? std::to_string(defaults.network.memory_limit_words)
+                              : kFromPreset,
+               "per-PE buffered-communication budget in words "
+               "(default: from --network)");
+    cli.option("intersect", seq::intersect_kind_name(defaults.options.intersect),
+               "intersection kernel (adaptive|merge|binary|hybrid|galloping|simd|"
+               "bitmap)");
+    cli.option("hub-threshold", std::to_string(defaults.options.hub_threshold),
+               "hub bitmap degree threshold for adaptive/bitmap kernels (0 = auto)");
+    cli.option("buffer-threshold",
+               std::to_string(defaults.options.buffer_threshold_words),
+               "message-queue buffer threshold δ in words (0 = auto O(|E_i|))");
+    cli.option("threads", std::to_string(defaults.options.threads),
+               "threads per rank for the hybrid local phase");
+    cli.option("pes-per-node", std::to_string(defaults.options.pes_per_node),
+               "PEs per compute node (HavoqGT-style two-level router)");
+    cli.option("compress", format_bool(defaults.options.compress_neighborhoods),
+               "delta-varint compression of shipped neighborhoods (0|1)");
+    cli.option("detect-termination",
+               format_bool(defaults.options.detect_termination),
+               "distributed termination detection in the global phase (0|1)");
+    cli.option("indirect", format_bool(defaults.stream_indirect),
+               "route stream traffic via the grid proxy (0|1)");
+    cli.option("maintain-lcc", format_bool(defaults.maintain_lcc),
+               "maintain per-vertex Δ/LCC alongside the streaming count (0|1)");
+    cli.option("amq-fpr", format_double(defaults.amq.target_fpr),
+               "Bloom-filter false-positive-rate target for approx_count");
+    cli.option("amq-truthful", format_bool(defaults.amq.truthful),
+               "apply the false-positive correction to AMQ estimates (0|1)");
+    cli.option("amq-adaptive", format_bool(defaults.amq.adaptive),
+               "ship exact lists when smaller than the Bloom filter (0|1)");
+    cli.option("amq-seed", std::to_string(defaults.amq.seed), "AMQ hash seed");
+}
+
+Config Config::from_args(const CliParser& cli) {
+    Config config;
+    const auto algorithm = core::parse_algorithm(cli.get_string("algorithm"));
+    KATRIC_ASSERT_MSG(algorithm.has_value(),
+                      "unknown algorithm '" << cli.get_string("algorithm") << "'");
+    config.algorithm = *algorithm;
+    config.num_ranks = static_cast<graph::Rank>(cli.get_uint("ranks"));
+    KATRIC_ASSERT_MSG(config.num_ranks >= 1, "--ranks must be at least 1");
+    config.partition = parse_partition_strategy(cli.get_string("partition"));
+    config.network = parse_network_preset(cli.get_string("network"));
+    // Machine-parameter precedence: an explicitly passed numeric flag wins;
+    // otherwise an explicitly passed --network preset wins; otherwise the
+    // registered defaults apply (which are numeric literals when register_cli
+    // was handed a hand-tuned network, and the "preset" sentinel otherwise).
+    const bool network_explicit = cli.was_set("network");
+    const auto numeric_applies = [&](const std::string& flag) {
+        if (cli.was_set(flag)) { return true; }
+        return !network_explicit && cli.get_string(flag) != kFromPreset;
+    };
+    if (numeric_applies("alpha")) { config.network.alpha = cli.get_double("alpha"); }
+    if (numeric_applies("beta")) { config.network.beta = cli.get_double("beta"); }
+    if (numeric_applies("compute-op")) {
+        config.network.compute_op = cli.get_double("compute-op");
+    }
+    if (numeric_applies("memory-limit")) {
+        config.network.memory_limit_words = cli.get_uint("memory-limit");
+    }
+    config.options.intersect = seq::parse_intersect_kind(cli.get_string("intersect"));
+    config.options.hub_threshold =
+        static_cast<graph::Degree>(cli.get_uint("hub-threshold"));
+    config.options.buffer_threshold_words = cli.get_uint("buffer-threshold");
+    config.options.threads = static_cast<int>(cli.get_uint("threads"));
+    config.options.pes_per_node = static_cast<graph::Rank>(cli.get_uint("pes-per-node"));
+    config.options.compress_neighborhoods = cli.get_uint("compress") != 0;
+    config.options.detect_termination = cli.get_uint("detect-termination") != 0;
+    config.stream_indirect = cli.get_uint("indirect") != 0;
+    config.maintain_lcc = cli.get_uint("maintain-lcc") != 0;
+    config.amq.target_fpr = cli.get_double("amq-fpr");
+    config.amq.truthful = cli.get_uint("amq-truthful") != 0;
+    config.amq.adaptive = cli.get_uint("amq-adaptive") != 0;
+    config.amq.seed = cli.get_uint("amq-seed");
+    return config;
+}
+
+Config Config::from_flags(const std::vector<std::string>& flags) {
+    CliParser cli("config", "katric::Config flag parser");
+    register_cli(cli);
+    std::vector<const char*> argv;
+    argv.reserve(flags.size() + 1);
+    argv.push_back("config");
+    for (const auto& flag : flags) { argv.push_back(flag.c_str()); }
+    const bool proceed = cli.parse(static_cast<int>(argv.size()), argv.data());
+    KATRIC_ASSERT_MSG(proceed, "--help is not a Config flag");
+    return from_args(cli);
+}
+
+std::vector<std::string> Config::to_flags() const {
+    std::vector<std::string> flags;
+    flags.push_back("--algorithm=" + core::algorithm_name(algorithm));
+    flags.push_back("--ranks=" + std::to_string(num_ranks));
+    flags.push_back("--partition=" + partition_strategy_name(partition));
+    const auto preset = matching_network_preset(network);
+    if (!preset.empty()) {
+        flags.push_back("--network=" + preset);
+    } else {
+        // A hand-tuned machine: every model parameter goes explicit so the
+        // round-trip is exact regardless of how the config was reached.
+        flags.push_back("--network=supermuc");
+        flags.push_back("--alpha=" + format_double(network.alpha));
+        flags.push_back("--beta=" + format_double(network.beta));
+        flags.push_back("--compute-op=" + format_double(network.compute_op));
+        flags.push_back("--memory-limit=" + std::to_string(network.memory_limit_words));
+    }
+    flags.push_back("--intersect=" + seq::intersect_kind_name(options.intersect));
+    flags.push_back("--hub-threshold=" + std::to_string(options.hub_threshold));
+    flags.push_back("--buffer-threshold="
+                    + std::to_string(options.buffer_threshold_words));
+    flags.push_back("--threads=" + std::to_string(options.threads));
+    flags.push_back("--pes-per-node=" + std::to_string(options.pes_per_node));
+    flags.push_back("--compress=" + format_bool(options.compress_neighborhoods));
+    flags.push_back("--detect-termination=" + format_bool(options.detect_termination));
+    flags.push_back("--indirect=" + format_bool(stream_indirect));
+    flags.push_back("--maintain-lcc=" + format_bool(maintain_lcc));
+    flags.push_back("--amq-fpr=" + format_double(amq.target_fpr));
+    flags.push_back("--amq-truthful=" + format_bool(amq.truthful));
+    flags.push_back("--amq-adaptive=" + format_bool(amq.adaptive));
+    flags.push_back("--amq-seed=" + std::to_string(amq.seed));
+    return flags;
+}
+
+std::string Config::to_command_line() const {
+    std::ostringstream out;
+    const auto flags = to_flags();
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+        out << (i == 0 ? "" : " ") << flags[i];
+    }
+    return out.str();
+}
+
+Config Config::preset(const std::string& name) {
+    Config config;
+    if (name == "default") { return config; }
+    if (name == "paper-ditric") {
+        config.algorithm = core::Algorithm::kDitric;
+        config.num_ranks = 16;
+        return config;
+    }
+    if (name == "paper-cetric") {
+        config.algorithm = core::Algorithm::kCetric;
+        config.num_ranks = 16;
+        return config;
+    }
+    if (name == "cloud-indirect") {
+        // Latency-tolerant regime: grid indirection on a slow interconnect.
+        config.algorithm = core::Algorithm::kDitric2;
+        config.num_ranks = 16;
+        config.network = net::NetworkConfig::cloud_like();
+        config.stream_indirect = true;
+        return config;
+    }
+    if (name == "adaptive-kernels") {
+        config.algorithm = core::Algorithm::kCetric;
+        config.num_ranks = 16;
+        config.options.intersect = seq::IntersectKind::kAdaptive;
+        return config;
+    }
+    if (name == "hybrid") {
+        config.algorithm = core::Algorithm::kCetric;
+        config.num_ranks = 8;
+        config.options.threads = 6;
+        return config;
+    }
+    if (name == "streaming-lcc") {
+        config.algorithm = core::Algorithm::kCetric;
+        config.maintain_lcc = true;
+        config.options.intersect = seq::IntersectKind::kAdaptive;
+        return config;
+    }
+    if (name == "approx-adaptive") {
+        config.algorithm = core::Algorithm::kCetric;
+        config.num_ranks = 16;
+        config.amq.adaptive = true;
+        return config;
+    }
+    KATRIC_THROW("unknown Config preset '" << name << "'");
+}
+
+const std::vector<std::string>& Config::preset_names() {
+    static const std::vector<std::string> names = {
+        "default",          "paper-ditric", "paper-cetric",  "cloud-indirect",
+        "adaptive-kernels", "hybrid",       "streaming-lcc", "approx-adaptive",
+    };
+    return names;
+}
+
+std::string Config::describe() const {
+    std::ostringstream out;
+    out << core::algorithm_name(algorithm) << " on " << num_ranks << " PEs, "
+        << partition_strategy_name(partition) << " partition, intersect="
+        << seq::intersect_kind_name(options.intersect) << ", "
+        << network.describe();
+    return out.str();
+}
+
+}  // namespace katric

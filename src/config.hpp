@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/approx.hpp"
+#include "core/runner.hpp"
+#include "net/network_config.hpp"
+#include "stream/stream_runner.hpp"
+#include "util/cli.hpp"
+
+namespace katric {
+
+/// The library's one configuration surface: everything the scattered spec
+/// structs (core::RunSpec, stream::StreamRunSpec, core::AlgorithmOptions,
+/// core::AmqOptions, the partition strategy, and the network selection) used
+/// to carry separately, merged into a single value that
+///
+///   * an Engine is built from (build state once, run many queries),
+///   * round-trips through flags: parse(to_flags(c)) == c for every field
+///     (Config::from_flags / Config::from_args / Config::to_flags),
+///   * ships named presets (Config::preset) for the common regimes.
+///
+/// Field defaults match the historical RunSpec defaults, so
+/// Config{} ≡ core::RunSpec{}.
+struct Config {
+    core::Algorithm algorithm = core::Algorithm::kDitric;
+    graph::Rank num_ranks = 4;
+    core::PartitionStrategy partition = core::PartitionStrategy::kBalancedEdges;
+    net::NetworkConfig network = net::NetworkConfig::supermuc_like();
+    core::AlgorithmOptions options = {};
+
+    /// Streaming knobs (stream::StreamRunSpec): grid-proxy routing of stream
+    /// traffic and per-vertex Δ/LCC maintenance alongside the global count.
+    bool stream_indirect = false;
+    bool maintain_lcc = false;
+
+    /// Approximate-counting knobs (Engine::approx_count).
+    core::AmqOptions amq = {};
+
+    friend bool operator==(const Config&, const Config&) = default;
+
+    // --- spec interop (the legacy entry points are shims over these) -----
+    [[nodiscard]] core::RunSpec run_spec() const;
+    [[nodiscard]] stream::StreamRunSpec stream_spec() const;
+    [[nodiscard]] static Config from_run_spec(const core::RunSpec& spec);
+    [[nodiscard]] static Config from_stream_spec(const stream::StreamRunSpec& spec);
+
+    // --- CLI round-trip --------------------------------------------------
+    /// Declares every Config flag on a CliParser, defaulting to `defaults`:
+    /// --algorithm --ranks --partition --network --alpha --beta --compute-op
+    /// --memory-limit --intersect --hub-threshold --buffer-threshold
+    /// --threads --pes-per-node --compress --detect-termination --indirect
+    /// --maintain-lcc --amq-fpr --amq-truthful --amq-adaptive --amq-seed.
+    static void register_cli(CliParser& cli, const Config& defaults);
+    static void register_cli(CliParser& cli);  ///< defaults = Config{}
+    /// Reads a parsed CliParser (register_cli must have declared the flags).
+    [[nodiscard]] static Config from_args(const CliParser& cli);
+    /// Parses `--name=value` / `--name value` strings (register_cli +
+    /// CliParser underneath); unknown flags throw.
+    [[nodiscard]] static Config from_flags(const std::vector<std::string>& flags);
+    /// Serializes to flags that from_flags parses back to an equal Config.
+    [[nodiscard]] std::vector<std::string> to_flags() const;
+    /// to_flags joined with spaces — the shell-pasteable form.
+    [[nodiscard]] std::string to_command_line() const;
+
+    // --- presets ---------------------------------------------------------
+    /// Named presets: "default", "paper-ditric", "paper-cetric",
+    /// "cloud-indirect", "adaptive-kernels", "hybrid", "streaming-lcc",
+    /// "approx-adaptive". Unknown names throw.
+    [[nodiscard]] static Config preset(const std::string& name);
+    [[nodiscard]] static const std::vector<std::string>& preset_names();
+
+    /// One-line human summary (bench headers).
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Names for the partition strategies ("balanced" / "uniform") and back.
+[[nodiscard]] std::string partition_strategy_name(core::PartitionStrategy strategy);
+[[nodiscard]] core::PartitionStrategy parse_partition_strategy(const std::string& name);
+
+/// Network preset lookup ("supermuc" / "cloud"); unknown names throw.
+[[nodiscard]] net::NetworkConfig parse_network_preset(const std::string& name);
+
+}  // namespace katric

@@ -21,6 +21,24 @@ std::string algorithm_name(Algorithm algorithm) {
     return "unknown";
 }
 
+std::optional<Algorithm> parse_algorithm(const std::string& name) {
+    for (const auto algorithm : all_algorithms()) {
+        if (algorithm_name(algorithm) == name) { return algorithm; }
+    }
+    return std::nullopt;
+}
+
+std::string run_error_message(RunError error, Algorithm algorithm) {
+    switch (error) {
+        case RunError::kNone: return "";
+        case RunError::kSinkUnsupported:
+            return algorithm_name(algorithm)
+                   + " cannot drive a triangle sink (supported by the edge-iterator "
+                     "family and CETRIC/CETRIC2)";
+    }
+    return "unknown error";
+}
+
 const std::vector<Algorithm>& all_algorithms() {
     static const std::vector<Algorithm> algorithms = {
         Algorithm::kDitric,    Algorithm::kDitric2,   Algorithm::kCetric,

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,26 @@ enum class Algorithm {
 
 [[nodiscard]] std::string algorithm_name(Algorithm algorithm);
 [[nodiscard]] const std::vector<Algorithm>& all_algorithms();
+/// Inverse of algorithm_name; empty when no algorithm has that name.
+[[nodiscard]] std::optional<Algorithm> parse_algorithm(const std::string& name);
+
+/// True when the algorithm can report every found triangle through a
+/// TriangleSink (the edge-iterator family and CETRIC/CETRIC2 — the basis of
+/// LCC and enumeration). The baselines count without attributing finds.
+[[nodiscard]] constexpr bool algorithm_supports_sink(Algorithm algorithm) noexcept {
+    return algorithm != Algorithm::kTricStyle && algorithm != Algorithm::kHavoqgtStyle;
+}
+
+/// Typed run failure reported in CountResult::error instead of a crash —
+/// the facade surfaces it in Report::error.
+enum class RunError : std::uint8_t {
+    kNone = 0,
+    /// A TriangleSink was requested with an algorithm that cannot drive one
+    /// (see algorithm_supports_sink).
+    kSinkUnsupported,
+};
+
+[[nodiscard]] std::string run_error_message(RunError error, Algorithm algorithm);
 
 struct AlgorithmOptions {
     /// δ for the dynamically buffered queue, in words. 0 = automatic:
@@ -58,6 +79,8 @@ struct AlgorithmOptions {
     /// the honesty tax a native MPI implementation pays. Supported by the
     /// edge-iterator family (DITRIC/DITRIC2/unbuffered).
     bool detect_termination = false;
+
+    friend bool operator==(const AlgorithmOptions&, const AlgorithmOptions&) = default;
 };
 
 /// Optional triangle observer: called once per found triangle with the
@@ -69,6 +92,9 @@ using TriangleSink = std::function<void(Rank finder, VertexId v, VertexId u, Ver
 struct CountResult {
     std::uint64_t triangles = 0;
     bool oom = false;  ///< ran out of per-PE memory (TriC-style behaviour)
+    /// kNone on success; a typed precondition failure otherwise (the run
+    /// did not execute and every metric below is zero).
+    RunError error = RunError::kNone;
 
     // Simulated seconds (graph loading/building excluded, preprocessing
     // included — the paper's timing convention).

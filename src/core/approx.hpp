@@ -26,6 +26,8 @@ struct AmqOptions {
     /// approximation.
     bool adaptive = false;
     std::uint64_t seed = 0x5eed;
+
+    friend bool operator==(const AmqOptions&, const AmqOptions&) = default;
 };
 
 struct AmqResult {
@@ -35,7 +37,15 @@ struct AmqResult {
     CountResult metrics;  ///< timings and communication of the approximate run
 };
 
+/// One-shot form: partitions, distributes, and runs on a fresh machine (a
+/// thin shim over a temporary katric::Engine).
 [[nodiscard]] AmqResult count_triangles_cetric_amq(const graph::CsrGraph& global,
+                                                   const RunSpec& spec,
+                                                   const AmqOptions& amq);
+
+/// Session form over pre-built per-rank views (katric::Engine's path).
+[[nodiscard]] AmqResult count_triangles_cetric_amq(net::Simulator& sim,
+                                                   std::vector<DistGraph>& views,
                                                    const RunSpec& spec,
                                                    const AmqOptions& amq);
 

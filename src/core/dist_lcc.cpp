@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine.hpp"
 #include "net/collectives.hpp"
 #include "net/encoding.hpp"
 #include "net/metrics.hpp"
@@ -64,11 +65,11 @@ std::vector<std::int64_t> LccDeltaState::assemble() const {
     return global;
 }
 
-LccResult compute_distributed_lcc(const graph::CsrGraph& global, const RunSpec& spec) {
+LccResult compute_distributed_lcc(net::Simulator& sim, std::vector<DistGraph>& views,
+                                  const graph::CsrGraph& global, const RunSpec& spec) {
     const Rank p = spec.num_ranks;
-    const auto partition = make_partition(global, spec);
-    auto views = graph::distribute(global, partition);
-    net::Simulator sim(p, spec.network);
+    KATRIC_ASSERT(views.size() == p);
+    const auto& partition = views.front().partition();
 
     LccDeltaState state(partition);
     const TriangleSink sink = [&](Rank finder, VertexId v, VertexId u, VertexId w) {
@@ -77,6 +78,9 @@ LccResult compute_distributed_lcc(const graph::CsrGraph& global, const RunSpec& 
 
     LccResult result;
     result.count = dispatch_algorithm(sim, views, spec, &sink);
+    // Typed precondition failure (baseline algorithm with a sink): nothing
+    // ran, so there is no Δ state to aggregate.
+    if (result.count.error != RunError::kNone) { return result; }
 
     // Postprocessing: push ghost Δ values to their owners (pairs of
     // (g, zigzag Δ)), sorted for deterministic payloads.
@@ -111,6 +115,18 @@ LccResult compute_distributed_lcc(const graph::CsrGraph& global, const RunSpec& 
     const auto signed_delta = state.assemble();
     result.delta.assign(signed_delta.begin(), signed_delta.end());
     result.lcc = seq::lcc_from_triangle_counts(global, result.delta);
+    return result;
+}
+
+LccResult compute_distributed_lcc(const graph::CsrGraph& global, const RunSpec& spec) {
+    // Thin shim over a temporary session: one build, one query.
+    Engine engine(global, Config::from_run_spec(spec));
+    auto report = engine.lcc();
+    LccResult result;
+    result.count = std::move(report.count);
+    result.delta = std::move(report.delta);
+    result.lcc = std::move(report.lcc);
+    result.postprocess_time = report.postprocess_time;
     return result;
 }
 

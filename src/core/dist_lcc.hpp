@@ -74,8 +74,18 @@ struct LccResult {
 };
 
 /// spec.algorithm must support a triangle sink (the edge-iterator family or
-/// CETRIC/CETRIC2).
+/// CETRIC/CETRIC2); otherwise the returned result carries
+/// count.error == RunError::kSinkUnsupported. One-shot form: partitions,
+/// distributes, and runs on a fresh machine (a thin shim over a temporary
+/// katric::Engine — prefer the Engine when running several queries).
 [[nodiscard]] LccResult compute_distributed_lcc(const graph::CsrGraph& global,
+                                                const RunSpec& spec);
+
+/// Session form over pre-built per-rank views (katric::Engine's path): the
+/// views must stem from `global` under spec's partition/rank count.
+[[nodiscard]] LccResult compute_distributed_lcc(net::Simulator& sim,
+                                                std::vector<DistGraph>& views,
+                                                const graph::CsrGraph& global,
                                                 const RunSpec& spec);
 
 }  // namespace katric::core

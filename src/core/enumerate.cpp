@@ -1,33 +1,21 @@
 #include "core/enumerate.hpp"
 
-#include <algorithm>
+#include <utility>
 
-#include "util/assert.hpp"
+#include "engine.hpp"
 
 namespace katric::core {
 
 EnumerateResult enumerate_triangles(const graph::CsrGraph& global, const RunSpec& spec) {
+    // Thin shim over a temporary session: one build, one query. The
+    // canonicalization, sorting, and exactly-once check live in
+    // Engine::enumerate.
+    Engine engine(global, Config::from_run_spec(spec));
+    auto report = engine.enumerate();
     EnumerateResult result;
-    result.found_per_rank.assign(spec.num_ranks, 0);
-
-    const TriangleSink sink = [&](Rank finder, VertexId v, VertexId u, VertexId w) {
-        Triangle t{v, u, w};
-        if (t.a > t.b) { std::swap(t.a, t.b); }
-        if (t.b > t.c) { std::swap(t.b, t.c); }
-        if (t.a > t.b) { std::swap(t.a, t.b); }
-        KATRIC_ASSERT_MSG(t.a < t.b && t.b < t.c,
-                          "degenerate triangle " << v << ',' << u << ',' << w);
-        result.triangles.push_back(t);
-        ++result.found_per_rank[finder];
-    };
-    result.count = count_triangles(global, spec, &sink);
-
-    std::sort(result.triangles.begin(), result.triangles.end());
-    KATRIC_ASSERT_MSG(
-        std::adjacent_find(result.triangles.begin(), result.triangles.end())
-            == result.triangles.end(),
-        "a triangle was enumerated more than once — the exactly-once invariant is broken");
-    KATRIC_ASSERT(result.triangles.size() == result.count.triangles);
+    result.triangles = std::move(report.triangles);
+    result.found_per_rank = std::move(report.found_per_rank);
+    result.count = std::move(report.count);
     return result;
 }
 

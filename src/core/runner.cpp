@@ -4,6 +4,7 @@
 #include "core/dist_edge_iterator.hpp"
 #include "core/havoqgt_baseline.hpp"
 #include "core/tric_baseline.hpp"
+#include "engine.hpp"
 #include "util/assert.hpp"
 
 namespace katric::core {
@@ -20,6 +21,13 @@ graph::Partition1D make_partition(const graph::CsrGraph& global, const RunSpec& 
 
 CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& views,
                                const RunSpec& spec, const TriangleSink* sink) {
+    if (sink != nullptr && !algorithm_supports_sink(spec.algorithm)) {
+        // Typed failure instead of an assertion: nothing runs, nothing is
+        // charged to the machine, and the caller sees error != kNone.
+        CountResult result;
+        result.error = RunError::kSinkUnsupported;
+        return result;
+    }
     switch (spec.algorithm) {
         case Algorithm::kEdgeIteratorUnbuffered:
             return run_edge_iterator(sim, views, spec.options,
@@ -37,31 +45,17 @@ CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& view
             return run_cetric(sim, views, spec.options, /*indirect=*/false, sink);
         case Algorithm::kCetric2:
             return run_cetric(sim, views, spec.options, /*indirect=*/true, sink);
-        case Algorithm::kTricStyle:
-            KATRIC_ASSERT_MSG(sink == nullptr, "TriC-style baseline has no triangle sink");
-            return run_tric_style(sim, views, spec.options);
-        case Algorithm::kHavoqgtStyle:
-            KATRIC_ASSERT_MSG(sink == nullptr,
-                              "HavoqGT-style baseline has no triangle sink");
-            return run_havoqgt_style(sim, views, spec.options);
+        case Algorithm::kTricStyle: return run_tric_style(sim, views, spec.options);
+        case Algorithm::kHavoqgtStyle: return run_havoqgt_style(sim, views, spec.options);
     }
     KATRIC_THROW("unknown algorithm");
 }
 
 CountResult count_triangles(const graph::CsrGraph& global, const RunSpec& spec,
                             const TriangleSink* sink) {
-    KATRIC_ASSERT(spec.num_ranks >= 1);
-    const auto partition = make_partition(global, spec);
-    auto views = graph::distribute(global, partition);
-    net::Simulator sim(spec.num_ranks, spec.network);
-    try {
-        return dispatch_algorithm(sim, views, spec, sink);
-    } catch (const net::OomError&) {
-        CountResult result;
-        result.oom = true;
-        fill_metrics(sim, result);
-        return result;
-    }
+    // Thin shim over a temporary session: one build, one query.
+    Engine engine(global, Config::from_run_spec(spec));
+    return engine.count(sink).count;
 }
 
 }  // namespace katric::core

@@ -27,7 +27,8 @@ struct RunSpec {
 
 /// Dispatches on spec.algorithm over pre-built per-rank views. The sink is
 /// supported by the paper's algorithms (edge-iterator family and CETRIC);
-/// passing one with a baseline algorithm is a precondition violation.
+/// passing one with a baseline algorithm returns a CountResult whose
+/// error == RunError::kSinkUnsupported without running anything.
 CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& views,
                                const RunSpec& spec, const TriangleSink* sink = nullptr);
 

@@ -1,0 +1,233 @@
+#include "engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "stream/incremental.hpp"
+#include "stream/incremental_lcc.hpp"
+#include "util/assert.hpp"
+
+namespace katric {
+
+namespace {
+
+Config validated(Config config) {
+    KATRIC_ASSERT_MSG(config.num_ranks >= 1, "Engine needs at least one rank");
+    return config;
+}
+
+/// Folds the machine's per-PE compute counters into a report's telemetry.
+void accumulate_ops(Report& report, const net::Simulator& sim) {
+    for (const auto& metrics : sim.rank_metrics()) {
+        report.total_compute_ops += metrics.compute_ops;
+        report.max_compute_ops = std::max(report.max_compute_ops, metrics.compute_ops);
+    }
+}
+
+}  // namespace
+
+// --- Engine ------------------------------------------------------------
+
+Engine::Engine(const graph::CsrGraph& graph, Config config)
+    : graph_(&graph),
+      config_(validated(std::move(config))),
+      partition_(core::make_partition(graph, config_.run_spec())),
+      views_(graph::distribute(graph, partition_)) {}
+
+void Engine::finalize(Report& report, const net::Simulator& sim) {
+    accumulate_ops(report, sim);
+    if (report.count.error != core::RunError::kNone) {
+        report.error = report.count.error;
+        report.error_message = core::run_error_message(report.error, report.algorithm);
+    }
+    ++queries_;
+}
+
+Report Engine::count(const core::TriangleSink* sink,
+                     std::optional<core::Algorithm> algorithm) {
+    auto spec = config_.run_spec();
+    if (algorithm) { spec.algorithm = *algorithm; }
+    Report report;
+    report.query = Query::kCount;
+    report.algorithm = spec.algorithm;
+    net::Simulator sim(spec.num_ranks, spec.network);
+    try {
+        report.count = core::dispatch_algorithm(sim, views_, spec, sink);
+    } catch (const net::OomError&) {
+        report.count.oom = true;
+        core::fill_metrics(sim, report.count);
+    }
+    finalize(report, sim);
+    return report;
+}
+
+Report Engine::lcc(std::optional<core::Algorithm> algorithm) {
+    auto spec = config_.run_spec();
+    if (algorithm) { spec.algorithm = *algorithm; }
+    Report report;
+    report.query = Query::kLcc;
+    report.algorithm = spec.algorithm;
+    net::Simulator sim(spec.num_ranks, spec.network);
+    auto result = core::compute_distributed_lcc(sim, views_, *graph_, spec);
+    report.count = std::move(result.count);
+    report.delta = std::move(result.delta);
+    report.lcc = std::move(result.lcc);
+    report.postprocess_time = result.postprocess_time;
+    finalize(report, sim);
+    return report;
+}
+
+Report Engine::enumerate(const core::TriangleSink* sink) {
+    std::vector<core::Triangle> triangles;
+    std::vector<std::size_t> found_per_rank(config_.num_ranks, 0);
+    const core::TriangleSink collector = [&](core::Rank finder, core::VertexId v,
+                                             core::VertexId u, core::VertexId w) {
+        core::Triangle t{v, u, w};
+        if (t.a > t.b) { std::swap(t.a, t.b); }
+        if (t.b > t.c) { std::swap(t.b, t.c); }
+        if (t.a > t.b) { std::swap(t.a, t.b); }
+        KATRIC_ASSERT_MSG(t.a < t.b && t.b < t.c,
+                          "degenerate triangle " << v << ',' << u << ',' << w);
+        if (sink != nullptr) {
+            (*sink)(finder, v, u, w);
+        } else {
+            triangles.push_back(t);
+        }
+        ++found_per_rank[finder];
+    };
+    Report report = count(&collector);
+    report.query = Query::kEnumerate;
+    if (sink == nullptr && report.ok()) {
+        std::sort(triangles.begin(), triangles.end());
+        KATRIC_ASSERT_MSG(std::adjacent_find(triangles.begin(), triangles.end())
+                              == triangles.end(),
+                          "a triangle was enumerated more than once — the "
+                          "exactly-once invariant is broken");
+        KATRIC_ASSERT(triangles.size() == report.count.triangles);
+    }
+    report.triangles = std::move(triangles);
+    report.found_per_rank = std::move(found_per_rank);
+    return report;
+}
+
+Report Engine::approx_count(const core::AmqOptions& amq) {
+    const auto spec = config_.run_spec();
+    Report report;
+    report.query = Query::kApprox;
+    // The AMQ query always runs the CETRIC-AMQ pipeline (exact CETRIC local
+    // phase + Bloom-filter global phase), whatever Config::algorithm says —
+    // label the report accordingly.
+    report.algorithm = core::Algorithm::kCetric;
+    net::Simulator sim(spec.num_ranks, spec.network);
+    auto result = core::count_triangles_cetric_amq(sim, views_, spec, amq);
+    report.count = std::move(result.metrics);
+    report.estimated_triangles = result.estimated_triangles;
+    report.exact_type12 = result.exact_type12;
+    report.estimated_type3 = result.estimated_type3;
+    finalize(report, sim);
+    return report;
+}
+
+StreamSession Engine::open_stream() {
+    core::CountResult initial;
+    std::vector<std::uint64_t> initial_delta;
+    if (config_.maintain_lcc) {
+        // The LCC-enabled static pass supplies both the initial count and
+        // the per-vertex Δ seed in one run over the shared views.
+        auto seeded = lcc();
+        initial = std::move(seeded.count);
+        initial_delta = std::move(seeded.delta);
+        KATRIC_ASSERT_MSG(initial.error == core::RunError::kNone,
+                          core::run_error_message(initial.error, config_.algorithm));
+    } else {
+        initial = count().count;
+    }
+    KATRIC_ASSERT_MSG(!initial.oom, "initial static count ran out of memory");
+    return StreamSession(*graph_, partition_, config_, std::move(initial),
+                         std::move(initial_delta));
+}
+
+Report Engine::stream(const std::vector<stream::EdgeBatch>& batches,
+                      const stream::BatchObserver& observer) {
+    auto session = open_stream();
+    for (const auto& batch : batches) {
+        const auto& stats = session.ingest(batch);
+        if (observer) { observer(stats); }
+    }
+    return session.report();
+}
+
+// --- StreamSession ------------------------------------------------------
+
+StreamSession::StreamSession(const graph::CsrGraph& graph,
+                             const graph::Partition1D& partition, Config config,
+                             core::CountResult initial,
+                             std::vector<std::uint64_t> initial_delta)
+    : config_(std::move(config)),
+      initial_(std::move(initial)),
+      sim_(std::make_unique<net::Simulator>(config_.num_ranks, config_.network)),
+      views_(std::make_unique<std::vector<stream::DynamicDistGraph>>(
+          stream::distribute_dynamic(graph, partition))),
+      counter_(std::make_unique<stream::IncrementalCounter>(
+          *sim_, *views_, config_.options, config_.stream_indirect,
+          initial_.triangles)) {
+    if (config_.maintain_lcc) {
+        lcc_ = std::make_unique<stream::IncrementalLcc>(
+            *sim_, *views_, config_.options, config_.stream_indirect, initial_delta);
+        lcc_->attach(*counter_);
+    }
+}
+
+stream::BatchStats StreamSession::ingest(const stream::EdgeBatch& batch) {
+    auto stats = counter_->apply_batch(batch);
+    if (lcc_) { stats.lcc_seconds = lcc_->finish_batch(); }
+    batches_.push_back(stats);
+    return stats;
+}
+
+std::uint64_t StreamSession::triangles() const noexcept { return counter_->triangles(); }
+
+std::vector<std::uint64_t> StreamSession::delta() const {
+    KATRIC_ASSERT_MSG(lcc_ != nullptr, "session does not maintain LCC");
+    return lcc_->delta();
+}
+
+std::vector<double> StreamSession::lcc() const {
+    KATRIC_ASSERT_MSG(lcc_ != nullptr, "session does not maintain LCC");
+    return lcc_->lcc();
+}
+
+graph::CsrGraph StreamSession::materialize_global() const {
+    return stream::materialize_global(*views_);
+}
+
+Report StreamSession::report() const {
+    Report report;
+    report.query = Query::kStream;
+    report.algorithm = config_.algorithm;
+    report.count.triangles = counter_->triangles();
+    report.initial = initial_;
+    report.batches = batches_;
+    report.stream_seconds = sim_->time();
+    accumulate_ops(report, *sim_);
+    if (lcc_) {
+        report.delta = lcc_->delta();
+        report.lcc = lcc_->lcc();
+    }
+    return report;
+}
+
+stream::StreamResult StreamSession::result() const {
+    // The legacy shape is a projection of the unified Report.
+    auto report = StreamSession::report();
+    stream::StreamResult result;
+    result.initial = std::move(report.initial);
+    result.batches = std::move(report.batches);
+    result.triangles = report.count.triangles;
+    result.stream_seconds = report.stream_seconds;
+    result.delta = std::move(report.delta);
+    result.lcc = std::move(report.lcc);
+    return result;
+}
+
+}  // namespace katric

@@ -4,7 +4,25 @@
 /// "Engineering a Distributed-Memory Triangle Counting Algorithm"
 /// (Sanders & Uhl, IPDPS 2023) on a simulated message-passing machine.
 ///
-/// Typical entry points:
+/// The primary API is the session facade: build the distributed state once,
+/// compose queries against it, one configuration surface, one result type.
+///
+///   katric::Config config = katric::Config::preset("paper-cetric");
+///   katric::Engine engine(graph, config);   // partition + per-rank views, once
+///   katric::Report count = engine.count();  // exact count + paper metrics
+///   katric::Report lcc = engine.lcc();      // same built state, no rebuild
+///   katric::Report est = engine.approx_count();
+///   auto session = engine.open_stream();    // promote to a dynamic session
+///
+///   * Engine  — owns the expensive build; queries: count / lcc / enumerate /
+///               approx_count / open_stream / stream         (engine.hpp)
+///   * Config  — one config for everything, CLI round-trip via from_args /
+///               from_flags / to_flags, named presets         (config.hpp)
+///   * Report  — unified result: count, LCC, enumeration, approximation,
+///               streaming + paper metrics + ops telemetry + one JSON
+///               emitter (Report::to_json / JsonWriter)       (report.hpp)
+///
+/// The pre-facade entry points remain as thin shims over a temporary Engine:
 ///   * core::count_triangles(graph, RunSpec)      — DITRIC/CETRIC & baselines
 ///   * core::compute_distributed_lcc(graph, spec) — local clustering coefficients
 ///   * core::enumerate_triangles(graph, spec)     — exactly-once listing
@@ -13,6 +31,9 @@
 ///   * gen::* / graph::read_* — inputs; net::NetworkConfig — machine model.
 
 #include "amq/bloom.hpp"
+#include "config.hpp"
+#include "engine.hpp"
+#include "report.hpp"
 #include "core/approx.hpp"
 #include "core/dist_lcc.hpp"
 #include "core/enumerate.hpp"

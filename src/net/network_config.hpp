@@ -36,6 +36,8 @@ struct NetworkConfig {
     }
 
     [[nodiscard]] std::string describe() const;
+
+    friend bool operator==(const NetworkConfig&, const NetworkConfig&) = default;
 };
 
 }  // namespace katric::net

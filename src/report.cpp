@@ -1,0 +1,132 @@
+#include "report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace katric {
+
+std::string query_name(Query query) {
+    switch (query) {
+        case Query::kCount: return "count";
+        case Query::kLcc: return "lcc";
+        case Query::kEnumerate: return "enumerate";
+        case Query::kApprox: return "approx";
+        case Query::kStream: return "stream";
+    }
+    return "unknown";
+}
+
+std::string Report::to_json() const {
+    JsonWriter writer;
+    writer.begin_row().report_fields(*this);
+    return writer.to_string();
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& value) {
+    std::ostringstream out;
+    out << '"';
+    for (const char c : value) {
+        if (c == '"' || c == '\\') { out << '\\'; }
+        out << c;
+    }
+    out << '"';
+    return raw(key, out.str());
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double value) {
+    std::ostringstream out;
+    out << std::setprecision(17) << value;
+    return raw(key, out.str());
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::int64_t value) {
+    return raw(key, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::report_fields(const Report& report) {
+    field("query", query_name(report.query));
+    field("algorithm", core::algorithm_name(report.algorithm));
+    field("ok", std::uint64_t{report.ok() ? 1u : 0u});
+    if (report.error != core::RunError::kNone) {
+        field("error", report.error_message);
+    }
+    field("oom", std::uint64_t{report.count.oom ? 1u : 0u});
+    field("triangles", report.count.triangles);
+    field("total_time", report.count.total_time);
+    field("preprocessing_time", report.count.preprocessing_time);
+    field("local_time", report.count.local_time);
+    field("contraction_time", report.count.contraction_time);
+    field("global_time", report.count.global_time);
+    field("reduce_time", report.count.reduce_time);
+    field("max_messages_sent", report.count.max_messages_sent);
+    field("max_words_sent", report.count.max_words_sent);
+    field("total_messages_sent", report.count.total_messages_sent);
+    field("total_words_sent", report.count.total_words_sent);
+    field("max_peak_buffer_words", report.count.max_peak_buffer_words);
+    field("local_phase_triangles", report.count.local_phase_triangles);
+    field("global_phase_triangles", report.count.global_phase_triangles);
+    field("total_compute_ops", report.total_compute_ops);
+    field("max_compute_ops", report.max_compute_ops);
+    switch (report.query) {
+        case Query::kCount: break;
+        case Query::kLcc: {
+            field("postprocess_time", report.postprocess_time);
+            field("lcc_vertices", static_cast<std::uint64_t>(report.lcc.size()));
+            break;
+        }
+        case Query::kEnumerate: {
+            field("enumerated", static_cast<std::uint64_t>(report.triangles.size()));
+            break;
+        }
+        case Query::kApprox: {
+            field("estimated_triangles", report.estimated_triangles);
+            field("exact_type12", report.exact_type12);
+            field("estimated_type3", report.estimated_type3);
+            break;
+        }
+        case Query::kStream: {
+            field("initial_triangles", report.initial.triangles);
+            field("batches", static_cast<std::uint64_t>(report.batches.size()));
+            field("stream_seconds", report.stream_seconds);
+            break;
+        }
+    }
+    return *this;
+}
+
+std::string JsonWriter::to_string() const {
+    std::ostringstream out;
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        out << "  {";
+        for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+            out << '"' << rows_[i][j].first << "\": " << rows_[i][j].second;
+            if (j + 1 < rows_[i].size()) { out << ", "; }
+        }
+        out << (i + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    return out.str();
+}
+
+void JsonWriter::write(const std::string& path) const {
+    if (path.empty()) { return; }
+    std::ofstream out(path);
+    KATRIC_ASSERT_MSG(out.good(), "cannot open JSON output path " << path);
+    out << to_string();
+}
+
+JsonWriter& JsonWriter::raw(const std::string& key, std::string rendered) {
+    KATRIC_ASSERT_MSG(!rows_.empty(), "field() before begin_row()");
+    rows_.back().emplace_back(key, std::move(rendered));
+    return *this;
+}
+
+}  // namespace katric

@@ -1,18 +1,19 @@
 #include "stream/stream_runner.hpp"
 
-#include <memory>
-
-#include "core/dist_lcc.hpp"
-#include "util/assert.hpp"
+#include "engine.hpp"
 
 namespace katric::stream {
 
 std::vector<DynamicDistGraph> distribute_dynamic(const graph::CsrGraph& initial,
                                                  const StreamRunSpec& spec) {
-    const auto partition = core::make_partition(initial, spec.static_spec());
+    return distribute_dynamic(initial, core::make_partition(initial, spec.static_spec()));
+}
+
+std::vector<DynamicDistGraph> distribute_dynamic(const graph::CsrGraph& initial,
+                                                 const graph::Partition1D& partition) {
     std::vector<DynamicDistGraph> views;
-    views.reserve(spec.num_ranks);
-    for (Rank r = 0; r < spec.num_ranks; ++r) {
+    views.reserve(partition.num_ranks());
+    for (Rank r = 0; r < partition.num_ranks(); ++r) {
         views.push_back(DynamicDistGraph::from_global(initial, partition, r));
     }
     return views;
@@ -22,44 +23,16 @@ StreamResult count_triangles_streaming(const graph::CsrGraph& initial,
                                        const std::vector<EdgeBatch>& batches,
                                        const StreamRunSpec& spec,
                                        const BatchObserver& observer) {
-    KATRIC_ASSERT(spec.num_ranks >= 1);
-    StreamResult result;
-    std::vector<std::uint64_t> initial_delta;
-    if (spec.maintain_lcc) {
-        // The LCC-enabled static pass supplies both the initial count and
-        // the per-vertex Δ seed in one run.
-        auto initial_lcc = core::compute_distributed_lcc(initial, spec.static_spec());
-        result.initial = initial_lcc.count;
-        initial_delta = std::move(initial_lcc.delta);
-    } else {
-        result.initial = core::count_triangles(initial, spec.static_spec());
-    }
-    KATRIC_ASSERT_MSG(!result.initial.oom, "initial static count ran out of memory");
-
-    auto views = distribute_dynamic(initial, spec);
-    net::Simulator sim(spec.num_ranks, spec.network);
-    IncrementalCounter counter(sim, views, spec.options, spec.indirect,
-                               result.initial.triangles);
-    std::unique_ptr<IncrementalLcc> lcc;
-    if (spec.maintain_lcc) {
-        lcc = std::make_unique<IncrementalLcc>(sim, views, spec.options, spec.indirect,
-                                               initial_delta);
-        lcc->attach(counter);
-    }
-    result.batches.reserve(batches.size());
+    // Thin shim over a temporary session: the engine runs the initial
+    // static pass on its built views and promotes them into the dynamic
+    // session without a second partitioning pass.
+    Engine engine(initial, Config::from_stream_spec(spec));
+    auto session = engine.open_stream();
     for (const auto& batch : batches) {
-        auto stats = counter.apply_batch(batch);
-        if (lcc) { stats.lcc_seconds = lcc->finish_batch(); }
+        const auto& stats = session.ingest(batch);
         if (observer) { observer(stats); }
-        result.batches.push_back(std::move(stats));
     }
-    result.triangles = counter.triangles();
-    result.stream_seconds = sim.time();
-    if (lcc) {
-        result.delta = lcc->delta();
-        result.lcc = lcc->lcc();
-    }
-    return result;
+    return session.result();
 }
 
 }  // namespace katric::stream

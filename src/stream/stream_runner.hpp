@@ -67,4 +67,10 @@ struct StreamResult {
 [[nodiscard]] std::vector<DynamicDistGraph> distribute_dynamic(
     const graph::CsrGraph& initial, const StreamRunSpec& spec);
 
+/// Same, over an already-computed partition — katric::Engine's path when it
+/// promotes its built static state into a stream session without paying a
+/// second partitioning pass.
+[[nodiscard]] std::vector<DynamicDistGraph> distribute_dynamic(
+    const graph::CsrGraph& initial, const graph::Partition1D& partition);
+
 }  // namespace katric::stream

@@ -59,6 +59,11 @@ std::string CliParser::get_string(const std::string& name) const {
     return val != values_.end() ? val->second : opt->second.default_value;
 }
 
+bool CliParser::was_set(const std::string& name) const {
+    KATRIC_ASSERT_MSG(options_.contains(name), "undeclared option --" << name);
+    return values_.contains(name);
+}
+
 std::int64_t CliParser::get_int(const std::string& name) const {
     return std::stoll(get_string(name));
 }

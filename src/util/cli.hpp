@@ -26,6 +26,8 @@ public:
     bool parse(int argc, const char* const* argv);
 
     [[nodiscard]] std::string get_string(const std::string& name) const;
+    /// True iff the user explicitly passed the option (vs. its default).
+    [[nodiscard]] bool was_set(const std::string& name) const;
     [[nodiscard]] std::int64_t get_int(const std::string& name) const;
     [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
     [[nodiscard]] double get_double(const std::string& name) const;

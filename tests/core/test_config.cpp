@@ -1,0 +1,210 @@
+// katric::Config: the one configuration surface. The load-bearing property
+// is the CLI round-trip — parse(to_flags(c)) == c for every preset and for
+// a config with every single field moved off its default — plus the spec
+// interop the legacy shims depend on.
+
+#include <gtest/gtest.h>
+
+#include "config.hpp"
+#include "util/assert.hpp"
+
+namespace katric {
+namespace {
+
+TEST(Config, DefaultsMatchLegacyRunSpecDefaults) {
+    const Config config;
+    const core::RunSpec legacy;
+    EXPECT_EQ(config.algorithm, legacy.algorithm);
+    EXPECT_EQ(config.num_ranks, legacy.num_ranks);
+    EXPECT_EQ(config.partition, legacy.partition);
+    EXPECT_EQ(config.network, legacy.network);
+    EXPECT_TRUE(config.options == legacy.options);
+}
+
+TEST(Config, RoundTripIdentityAcrossAllPresets) {
+    for (const auto& name : Config::preset_names()) {
+        const Config config = Config::preset(name);
+        const Config back = Config::from_flags(config.to_flags());
+        EXPECT_EQ(back, config) << "preset '" << name << "' did not round-trip";
+    }
+}
+
+/// A config with EVERY field off its default — if any flag is missing from
+/// register_cli / to_flags / from_args, this round-trip breaks.
+Config fully_customized() {
+    Config config;
+    config.algorithm = core::Algorithm::kHavoqgtStyle;
+    config.num_ranks = 23;
+    config.partition = core::PartitionStrategy::kUniformVertices;
+    config.network.alpha = 3.14159e-5;
+    config.network.beta = 2.718281828459045e-9;
+    config.network.compute_op = 1.0000000000000002e-9;  // off-by-one-ulp case
+    config.network.memory_limit_words = 123456789;
+    config.options.buffer_threshold_words = 4097;
+    config.options.intersect = seq::IntersectKind::kAdaptive;
+    config.options.hub_threshold = 77;
+    config.options.threads = 9;
+    config.options.pes_per_node = 3;
+    config.options.compress_neighborhoods = true;
+    config.options.detect_termination = true;
+    config.stream_indirect = true;
+    config.maintain_lcc = true;
+    config.amq.target_fpr = 0.0123456789012345;
+    config.amq.truthful = false;
+    config.amq.adaptive = true;
+    config.amq.seed = 0xdeadbeefcafe;
+    return config;
+}
+
+TEST(Config, RoundTripIdentityWithEveryFlagCustomized) {
+    const Config config = fully_customized();
+    EXPECT_NE(config, Config{}) << "fixture must differ from the defaults";
+    const Config back = Config::from_flags(config.to_flags());
+    EXPECT_EQ(back, config);
+    // And a second hop stays fixed (serialize∘parse is idempotent).
+    EXPECT_EQ(Config::from_flags(back.to_flags()), back);
+}
+
+TEST(Config, EveryIntersectKindRoundTrips) {
+    for (const auto kind : seq::all_intersect_kinds()) {
+        Config config;
+        config.options.intersect = kind;
+        EXPECT_EQ(Config::from_flags(config.to_flags()), config);
+    }
+}
+
+TEST(Config, EveryAlgorithmRoundTrips) {
+    for (const auto algorithm : core::all_algorithms()) {
+        Config config;
+        config.algorithm = algorithm;
+        EXPECT_EQ(Config::from_flags(config.to_flags()), config);
+    }
+}
+
+TEST(Config, NetworkPresetsSerializeByName) {
+    Config cloud;
+    cloud.network = net::NetworkConfig::cloud_like();
+    const auto flags = cloud.to_flags();
+    EXPECT_NE(std::find(flags.begin(), flags.end(), "--network=cloud"), flags.end());
+    // No redundant numeric overrides when the preset matches exactly.
+    for (const auto& flag : flags) { EXPECT_EQ(flag.find("--alpha"), std::string::npos); }
+    EXPECT_EQ(Config::from_flags(flags), cloud);
+}
+
+TEST(Config, ExplicitMachineFlagsOverridePreset) {
+    const Config config = Config::from_flags(
+        {"--network=cloud", "--alpha=5e-5", "--memory-limit=1024"});
+    EXPECT_EQ(config.network.alpha, 5e-5);
+    EXPECT_EQ(config.network.beta, net::NetworkConfig::cloud_like().beta);
+    EXPECT_EQ(config.network.memory_limit_words, 1024u);
+}
+
+TEST(Config, ExplicitNetworkPresetBeatsCustomRegistrarDefaults) {
+    // register_cli with a hand-tuned network makes the numeric flag defaults
+    // literal values; a user who then asks for `--network cloud` must get
+    // cloud's machine model, not the registrar defaults leaking back in.
+    Config defaults;
+    defaults.network.alpha = 9e-3;
+    defaults.network.memory_limit_words = 42;
+    CliParser cli("test", "precedence");
+    Config::register_cli(cli, defaults);
+    const std::vector<const char*> argv = {"test", "--network", "cloud"};
+    ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+    const auto config = Config::from_args(cli);
+    EXPECT_EQ(config.network, net::NetworkConfig::cloud_like());
+
+    // With no flags at all, the registrar defaults reconstruct verbatim.
+    CliParser empty_cli("test", "precedence");
+    Config::register_cli(empty_cli, defaults);
+    const std::vector<const char*> no_args = {"test"};
+    ASSERT_TRUE(empty_cli.parse(static_cast<int>(no_args.size()), no_args.data()));
+    EXPECT_EQ(Config::from_args(empty_cli).network, defaults.network);
+
+    // And an explicit numeric flag beats the explicit preset.
+    CliParser both_cli("test", "precedence");
+    Config::register_cli(both_cli, defaults);
+    const std::vector<const char*> both = {"test", "--network", "cloud", "--alpha",
+                                           "7e-7"};
+    ASSERT_TRUE(both_cli.parse(static_cast<int>(both.size()), both.data()));
+    const auto mixed = Config::from_args(both_cli);
+    EXPECT_EQ(mixed.network.alpha, 7e-7);
+    EXPECT_EQ(mixed.network.beta, net::NetworkConfig::cloud_like().beta);
+}
+
+TEST(Config, SpaceSeparatedFlagFormWorks) {
+    const Config config = Config::from_flags({"--algorithm", "CETRIC2", "--ranks", "7"});
+    EXPECT_EQ(config.algorithm, core::Algorithm::kCetric2);
+    EXPECT_EQ(config.num_ranks, 7);
+}
+
+TEST(Config, UnknownValuesThrow) {
+    EXPECT_THROW((void)Config::from_flags({"--algorithm=NOPE"}), assertion_error);
+    EXPECT_THROW((void)Config::from_flags({"--network=fancy"}), assertion_error);
+    EXPECT_THROW((void)Config::from_flags({"--partition=2d"}), assertion_error);
+    EXPECT_THROW((void)Config::from_flags({"--no-such-flag=1"}), assertion_error);
+    EXPECT_THROW((void)Config::preset("no-such-preset"), assertion_error);
+}
+
+TEST(Config, PresetNamesAllConstruct) {
+    EXPECT_FALSE(Config::preset_names().empty());
+    for (const auto& name : Config::preset_names()) {
+        (void)Config::preset(name);  // must not throw
+    }
+    // Spot checks on the semantics.
+    EXPECT_EQ(Config::preset("paper-cetric").algorithm, core::Algorithm::kCetric);
+    EXPECT_EQ(Config::preset("cloud-indirect").network,
+              net::NetworkConfig::cloud_like());
+    EXPECT_TRUE(Config::preset("streaming-lcc").maintain_lcc);
+    EXPECT_EQ(Config::preset("adaptive-kernels").options.intersect,
+              seq::IntersectKind::kAdaptive);
+}
+
+TEST(Config, RunSpecInteropIsLossless) {
+    core::RunSpec spec;
+    spec.algorithm = core::Algorithm::kDitric2;
+    spec.num_ranks = 11;
+    spec.partition = core::PartitionStrategy::kUniformVertices;
+    spec.network.alpha = 1e-4;
+    spec.options.threads = 4;
+    const auto config = Config::from_run_spec(spec);
+    const auto back = config.run_spec();
+    EXPECT_EQ(back.algorithm, spec.algorithm);
+    EXPECT_EQ(back.num_ranks, spec.num_ranks);
+    EXPECT_EQ(back.partition, spec.partition);
+    EXPECT_EQ(back.network, spec.network);
+    EXPECT_TRUE(back.options == spec.options);
+}
+
+TEST(Config, StreamSpecInteropIsLossless) {
+    stream::StreamRunSpec spec;
+    spec.initial_algorithm = core::Algorithm::kDitric;
+    spec.num_ranks = 5;
+    spec.indirect = true;
+    spec.maintain_lcc = true;
+    spec.options.intersect = seq::IntersectKind::kGalloping;
+    const auto config = Config::from_stream_spec(spec);
+    const auto back = config.stream_spec();
+    EXPECT_EQ(back.initial_algorithm, spec.initial_algorithm);
+    EXPECT_EQ(back.num_ranks, spec.num_ranks);
+    EXPECT_EQ(back.indirect, spec.indirect);
+    EXPECT_EQ(back.maintain_lcc, spec.maintain_lcc);
+    EXPECT_TRUE(back.options == spec.options);
+}
+
+TEST(Config, CommandLineAndDescribeAreUsable) {
+    const Config config = Config::preset("paper-cetric");
+    const auto line = config.to_command_line();
+    EXPECT_NE(line.find("--algorithm=CETRIC"), std::string::npos);
+    EXPECT_NE(line.find("--ranks=16"), std::string::npos);
+    EXPECT_NE(config.describe().find("CETRIC"), std::string::npos);
+}
+
+TEST(Config, PartitionStrategyNamesRoundTrip) {
+    for (const auto strategy : {core::PartitionStrategy::kUniformVertices,
+                                core::PartitionStrategy::kBalancedEdges}) {
+        EXPECT_EQ(parse_partition_strategy(partition_strategy_name(strategy)), strategy);
+    }
+}
+
+}  // namespace
+}  // namespace katric

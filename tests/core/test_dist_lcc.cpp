@@ -116,11 +116,20 @@ TEST(LccDeltaState, NegativeResidueIsRejectedAtAssembly) {
 }
 
 TEST(DistLcc, BaselineAlgorithmsRejected) {
+    // Baselines cannot drive a triangle sink: the run is rejected with a
+    // typed error instead of an assertion — nothing runs, nothing crashes.
     const auto g = katric::test::triangle_graph();
-    RunSpec spec;
-    spec.algorithm = Algorithm::kTricStyle;
-    spec.num_ranks = 2;
-    EXPECT_THROW(compute_distributed_lcc(g, spec), katric::assertion_error);
+    for (const auto algorithm : {Algorithm::kTricStyle, Algorithm::kHavoqgtStyle}) {
+        RunSpec spec;
+        spec.algorithm = algorithm;
+        spec.num_ranks = 2;
+        const auto result = compute_distributed_lcc(g, spec);
+        EXPECT_EQ(result.count.error, RunError::kSinkUnsupported);
+        EXPECT_EQ(result.count.triangles, 0u);
+        EXPECT_TRUE(result.delta.empty());
+        EXPECT_TRUE(result.lcc.empty());
+        EXPECT_EQ(result.count.total_time, 0.0);
+    }
 }
 
 }  // namespace

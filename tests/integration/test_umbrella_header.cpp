@@ -1,0 +1,22 @@
+// The umbrella header must build standalone in its own translation unit —
+// this TU includes nothing before it, so a missing transitive include in
+// any public header breaks the build here (the examples-smoke CI job also
+// compiles it in isolation). The test body exercises one end-to-end pass
+// through the facade it advertises.
+
+#include "katric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, FacadeEndToEnd) {
+    using namespace katric;
+    const auto g = gen::generate_gnm(128, 512, 42);
+    Engine engine(g, Config::preset("paper-cetric"));
+    const auto report = engine.count();
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.count.triangles, seq::count_edge_iterator(g).triangles);
+}
+
+}  // namespace
