@@ -8,7 +8,6 @@
 
 #include "bench_common.hpp"
 #include "gen/rmat.hpp"
-#include "graph/distributed_graph.hpp"
 #include "graph/load_balance.hpp"
 
 int main(int argc, char** argv) {
@@ -50,18 +49,13 @@ int main(int argc, char** argv) {
                  "redistribution (words)", "redistribution / m (%)"});
     for (const auto& scheme : schemes) {
         // The cost-based schemes are not expressible as a Config partition
-        // strategy, so this ablation distributes explicitly (the layer the
-        // facade wraps) — one distribute pass per scheme, both algorithms
-        // running on the shared views, exactly like an Engine does.
-        auto views = graph::distribute(g, scheme.partition);
+        // strategy; inject each Partition1D straight into an Engine — one
+        // distribute pass per scheme, both algorithms sharing the views.
+        Engine engine(g, base, scheme.partition);
         double times[2] = {0.0, 0.0};
         int index = 0;
         for (const auto algorithm : {core::Algorithm::kCetric, core::Algorithm::kDitric}) {
-            net::Simulator sim(p, base.network);
-            core::RunSpec spec = base.run_spec();
-            spec.algorithm = algorithm;
-            const auto result = core::dispatch_algorithm(sim, views, spec);
-            times[index++] = result.total_time;
+            times[index++] = engine.count(algorithm).count.total_time;
         }
         const auto move_words =
             graph::redistribution_volume(g, uniform, scheme.partition);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -133,6 +134,13 @@ void Config::register_cli(CliParser& cli, const Config& defaults) {
                "route stream traffic via the grid proxy (0|1)");
     cli.option("maintain-lcc", format_bool(defaults.maintain_lcc),
                "maintain per-vertex Δ/LCC alongside the streaming count (0|1)");
+    cli.option("reuse-preprocessing", format_bool(defaults.reuse_preprocessing),
+               "warm Engine sessions: build ghost degrees/orientation/hub bitmaps "
+               "once and reuse across queries (0|1)");
+    cli.option("charge-reused-preprocessing",
+               format_bool(defaults.charge_reused_preprocessing),
+               "replay recorded preprocessing costs into warm queries for "
+               "one-shot metric fidelity (0|1)");
     cli.option("amq-fpr", format_double(defaults.amq.target_fpr),
                "Bloom-filter false-positive-rate target for approx_count");
     cli.option("amq-truthful", format_bool(defaults.amq.truthful),
@@ -179,6 +187,9 @@ Config Config::from_args(const CliParser& cli) {
     config.options.detect_termination = cli.get_uint("detect-termination") != 0;
     config.stream_indirect = cli.get_uint("indirect") != 0;
     config.maintain_lcc = cli.get_uint("maintain-lcc") != 0;
+    config.reuse_preprocessing = cli.get_uint("reuse-preprocessing") != 0;
+    config.charge_reused_preprocessing =
+        cli.get_uint("charge-reused-preprocessing") != 0;
     config.amq.target_fpr = cli.get_double("amq-fpr");
     config.amq.truthful = cli.get_uint("amq-truthful") != 0;
     config.amq.adaptive = cli.get_uint("amq-adaptive") != 0;
@@ -186,16 +197,76 @@ Config Config::from_args(const CliParser& cli) {
     return config;
 }
 
-Config Config::from_flags(const std::vector<std::string>& flags) {
+std::string config_error_message(ConfigError error, const std::string& detail) {
+    switch (error) {
+        case ConfigError::kNone: return "";
+        case ConfigError::kUnknownFlag:
+            return "unknown Config flag '" + detail + "'";
+        case ConfigError::kDuplicateFlag:
+            return "Config flag '" + detail + "' given more than once";
+        case ConfigError::kMissingValue:
+            return "Config flag '" + detail + "' is missing its value";
+        case ConfigError::kBadValue:
+            return "Config flag value rejected: " + detail;
+    }
+    return "unknown Config parse error";
+}
+
+ConfigParse Config::try_from_flags(const std::vector<std::string>& flags) {
+    ConfigParse parse;
+    const auto fail = [&](ConfigError error, std::string detail) {
+        parse.error = error;
+        parse.detail = std::move(detail);
+        return parse;
+    };
+
     CliParser cli("config", "katric::Config flag parser");
     register_cli(cli);
+
+    // Token pre-scan: reject unknown flags and missing values with a typed
+    // error before anything is applied (CliParser alone throws untyped).
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+        const auto& token = flags[i];
+        if (token.rfind("--", 0) != 0) {
+            return fail(ConfigError::kBadValue,
+                        "'" + token + "' is not a --flag token");
+        }
+        std::string name = token.substr(2);
+        const auto equals = name.find('=');
+        const bool has_inline_value = equals != std::string::npos;
+        if (has_inline_value) { name = name.substr(0, equals); }
+        if (!cli.declared(name)) { return fail(ConfigError::kUnknownFlag, name); }
+        if (!has_inline_value && !cli.is_flag(name)) {
+            if (i + 1 >= flags.size()) { return fail(ConfigError::kMissingValue, name); }
+            ++i;  // the next token is this flag's value
+        }
+    }
+
     std::vector<const char*> argv;
     argv.reserve(flags.size() + 1);
     argv.push_back("config");
     for (const auto& flag : flags) { argv.push_back(flag.c_str()); }
-    const bool proceed = cli.parse(static_cast<int>(argv.size()), argv.data());
-    KATRIC_ASSERT_MSG(proceed, "--help is not a Config flag");
-    return from_args(cli);
+    try {
+        const bool proceed = cli.parse(static_cast<int>(argv.size()), argv.data());
+        if (!proceed) { return fail(ConfigError::kUnknownFlag, "help"); }
+        // A repeated flag last-wins inside CliParser; reject it typed here
+        // instead of silently applying one of the two values.
+        if (!cli.duplicates().empty()) {
+            return fail(ConfigError::kDuplicateFlag, cli.duplicates().front());
+        }
+        parse.config = from_args(cli);
+    } catch (const std::exception& e) {
+        // Enum parses and numeric conversions reject here (assertion_error /
+        // std::invalid_argument from sto*), all with the value in the text.
+        return fail(ConfigError::kBadValue, e.what());
+    }
+    return parse;
+}
+
+Config Config::from_flags(const std::vector<std::string>& flags) {
+    auto parse = try_from_flags(flags);
+    KATRIC_ASSERT_MSG(parse.ok(), parse.message());
+    return std::move(*parse.config);
 }
 
 std::vector<std::string> Config::to_flags() const {
@@ -225,6 +296,9 @@ std::vector<std::string> Config::to_flags() const {
     flags.push_back("--detect-termination=" + format_bool(options.detect_termination));
     flags.push_back("--indirect=" + format_bool(stream_indirect));
     flags.push_back("--maintain-lcc=" + format_bool(maintain_lcc));
+    flags.push_back("--reuse-preprocessing=" + format_bool(reuse_preprocessing));
+    flags.push_back("--charge-reused-preprocessing="
+                    + format_bool(charge_reused_preprocessing));
     flags.push_back("--amq-fpr=" + format_double(amq.target_fpr));
     flags.push_back("--amq-truthful=" + format_bool(amq.truthful));
     flags.push_back("--amq-adaptive=" + format_bool(amq.adaptive));
@@ -286,6 +360,15 @@ Config Config::preset(const std::string& name) {
         config.amq.adaptive = true;
         return config;
     }
+    if (name == "warm-monitor") {
+        // Monitoring-style workload: many queries over one graph — build
+        // the preprocessing state once, reuse it, skip the re-charge.
+        config.algorithm = core::Algorithm::kCetric;
+        config.num_ranks = 16;
+        config.options.intersect = seq::IntersectKind::kAdaptive;
+        config.reuse_preprocessing = true;
+        return config;
+    }
     KATRIC_THROW("unknown Config preset '" << name << "'");
 }
 
@@ -293,6 +376,7 @@ const std::vector<std::string>& Config::preset_names() {
     static const std::vector<std::string> names = {
         "default",          "paper-ditric", "paper-cetric",  "cloud-indirect",
         "adaptive-kernels", "hybrid",       "streaming-lcc", "approx-adaptive",
+        "warm-monitor",
     };
     return names;
 }

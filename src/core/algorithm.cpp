@@ -59,9 +59,16 @@ graph::Degree resolve_hub_threshold(const AlgorithmOptions& options,
 }
 
 void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
-                       const AlgorithmOptions& options) {
+                       const AlgorithmOptions& options, PreprocessCosts* record) {
     const Rank p = sim.num_ranks();
     KATRIC_ASSERT(views.size() == p);
+    if (record != nullptr) {
+        *record = PreprocessCosts{};
+        record->assembly_ops.assign(p, 0);
+        record->payload_words.assign(p, std::vector<std::uint64_t>(p, 0));
+        record->apply_ops.assign(p, 0);
+        record->hub_build_ops.assign(p, 0);
+    }
 
     // Assemble the ghost-degree push: for every local interface vertex v,
     // every rank owning a ghost neighbor of v receives the pair (v, deg v).
@@ -85,8 +92,17 @@ void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
                 sends[r][owner].push_back(view.degree(v));
             }
         }
+        if (record != nullptr) { record->assembly_ops[r] = assembly_ops; }
         self.charge_ops(assembly_ops);
     }, {});
+
+    if (record != nullptr) {
+        for (Rank src = 0; src < p; ++src) {
+            for (Rank dest = 0; dest < p; ++dest) {
+                record->payload_words[src][dest] = sends[src][dest].size();
+            }
+        }
+    }
 
     // The paper uses a simple dense all-to-all for the degree exchange
     // (sparse exchanges can lose under skewed degree distributions).
@@ -114,16 +130,75 @@ void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
         // memory, simply rewiring incoming cut edges").
         view.build_oriented();
         ops += 3 * view.num_local_half_edges();
+        if (record != nullptr) { record->apply_ops[r] = ops; }
         if (uses_hub_bitmaps(options.intersect)) {
             // Materializing the hub bitmaps is preprocessing work too —
             // selection scan plus one bit-set per indexed element.
             seq::HubBitmapIndex::Config config;
             config.degree_threshold = resolve_hub_threshold(options, view);
             config.universe = view.partition().num_vertices();
-            ops += view.build_hub_bitmaps(config);
+            const auto hub_ops = view.build_hub_bitmaps(config);
+            if (record != nullptr) { record->hub_build_ops[r] = hub_ops; }
+            ops += hub_ops;
         }
         self.charge_ops(ops);
     }, {});
+    if (record != nullptr) { record->recorded = true; }
+}
+
+void charge_preprocessing(net::Simulator& sim, const PreprocessCosts& costs,
+                          bool include_hub_build) {
+    const Rank p = sim.num_ranks();
+    KATRIC_ASSERT_MSG(costs.recorded, "charge_preprocessing needs a recorded ledger");
+    KATRIC_ASSERT(costs.assembly_ops.size() == p && costs.apply_ops.size() == p
+                  && costs.payload_words.size() == p);
+
+    sim.run_phase("preprocessing", [&](net::RankHandle& self) {
+        self.charge_ops(costs.assembly_ops[self.rank()]);
+    }, {});
+
+    // Zero-filled payloads of the recorded sizes: the machine model charges
+    // by length only, so the replayed exchange is metric-identical.
+    std::vector<std::vector<net::WordVec>> sends(p, std::vector<net::WordVec>(p));
+    for (Rank src = 0; src < p; ++src) {
+        for (Rank dest = 0; dest < p; ++dest) {
+            sends[src][dest].assign(costs.payload_words[src][dest], 0);
+        }
+    }
+    (void)net::all_to_all(sim, std::move(sends), /*sparse=*/false, "preprocessing");
+
+    sim.run_phase("preprocessing", [&](net::RankHandle& self) {
+        const Rank r = self.rank();
+        std::uint64_t ops = costs.apply_ops[r];
+        if (include_hub_build) { ops += costs.hub_build_ops[r]; }
+        self.charge_ops(ops);
+    }, {});
+}
+
+void apply_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
+                         const AlgorithmOptions& options, const Preprocess& preprocess) {
+    switch (preprocess.mode) {
+        case Preprocess::Mode::kBuild:
+            run_preprocessing(sim, views, options, preprocess.record);
+            return;
+        case Preprocess::Mode::kCharge:
+        case Preprocess::Mode::kSkip:
+            for (const auto& view : views) {
+                KATRIC_ASSERT_MSG(view.ghost_degrees_ready() && view.oriented_built(),
+                                  "warm preprocessing reuse requires prebuilt views");
+                KATRIC_ASSERT_MSG(!uses_hub_bitmaps(options.intersect)
+                                      || view.hub_index() != nullptr,
+                                  "warm reuse with bitmap kernels requires a prebuilt "
+                                  "hub index");
+            }
+            if (preprocess.mode == Preprocess::Mode::kCharge) {
+                KATRIC_ASSERT(preprocess.costs != nullptr);
+                charge_preprocessing(sim, *preprocess.costs,
+                                     uses_hub_bitmaps(options.intersect));
+            }
+            return;
+    }
+    KATRIC_THROW("unknown preprocessing mode");
 }
 
 std::uint64_t auto_threshold(const DistGraph& view, const AlgorithmOptions& options) {

@@ -153,13 +153,60 @@ inline std::uint64_t charged_intersect(net::RankHandle& self,
 [[nodiscard]] graph::Degree resolve_hub_threshold(const AlgorithmOptions& options,
                                                   const DistGraph& view);
 
+/// The recorded cost ledger of one preprocessing pass, split by phase so a
+/// warm session can re-charge a later run without redoing the build. The
+/// ledger is options-independent except for the hub-bitmap build, which is
+/// kept separate: a replay includes it only when the replayed run's kernels
+/// would have built the index.
+struct PreprocessCosts {
+    bool recorded = false;
+    std::vector<std::uint64_t> assembly_ops;  ///< per rank: degree-push assembly
+    /// Per-(src, dest) ghost-degree payload sizes in words — enough to replay
+    /// the dense all-to-all with identical timing and message metrics.
+    std::vector<std::vector<std::uint64_t>> payload_words;
+    std::vector<std::uint64_t> apply_ops;      ///< per rank: degree apply + orientation scans
+    std::vector<std::uint64_t> hub_build_ops;  ///< per rank: hub bitmap build (0 when absent)
+};
+
+/// How a counting run treats the preprocessing front half. The default
+/// (kBuild) is the one-shot behaviour: build the distributed state on the
+/// simulator and charge it. A warm katric::Engine whose views are already
+/// preprocessed passes kCharge (replay the recorded costs — metric fidelity
+/// without the host-side work) or kSkip (charge nothing; op/time telemetry
+/// omits the front half while the counts stay exact).
+struct Preprocess {
+    enum class Mode { kBuild, kCharge, kSkip };
+    Mode mode = Mode::kBuild;
+    /// kCharge: the ledger to replay (must be recorded).
+    const PreprocessCosts* costs = nullptr;
+    /// kBuild: optional out-ledger filled while building.
+    PreprocessCosts* record = nullptr;
+};
+
 /// Runs the preprocessing of Section IV-D on the simulator: the dense
 /// all-to-all ghost-degree exchange followed by building the degree-oriented
 /// (and, for CETRIC, expanded/contracted) adjacency structures — plus, for
 /// the bitmap-aware kernels, each rank's hub bitmap index — charging the
-/// corresponding linear work. Phase name: "preprocessing".
+/// corresponding linear work. Phase name: "preprocessing". When `record` is
+/// given, the per-phase costs are captured for later replay.
 void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
-                       const AlgorithmOptions& options);
+                       const AlgorithmOptions& options,
+                       PreprocessCosts* record = nullptr);
+
+/// Charge-only replay of a recorded preprocessing pass: reproduces the
+/// original's simulated time and communication metrics (same phases, same
+/// message sizes, same ops) without touching the views. The hub-build ops
+/// are included only when `include_hub_build` — mirroring that a fresh run
+/// with non-bitmap kernels would not have built the index.
+void charge_preprocessing(net::Simulator& sim, const PreprocessCosts& costs,
+                          bool include_hub_build);
+
+/// Policy dispatch used by every algorithm that owns a preprocessing phase:
+/// build (and optionally record), replay the recorded charges, or skip. The
+/// non-build modes require views that are already preprocessed (oriented,
+/// ghost degrees ready, hub index present when the kernels want one).
+void apply_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
+                         const AlgorithmOptions& options, const Preprocess& preprocess);
 
 /// Per-PE automatic buffer threshold δ (Section IV-A): O(|E_i|).
 [[nodiscard]] std::uint64_t auto_threshold(const DistGraph& view,

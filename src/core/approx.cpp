@@ -25,13 +25,14 @@ constexpr std::size_t kBloomHeaderWords = 5;
 }  // namespace
 
 AmqResult count_triangles_cetric_amq(net::Simulator& sim, std::vector<DistGraph>& views,
-                                     const RunSpec& spec, const AmqOptions& amq) {
+                                     const RunSpec& spec, const AmqOptions& amq,
+                                     const Preprocess& preprocess) {
     const Rank p = spec.num_ranks;
     KATRIC_ASSERT(views.size() == p);
 
     AmqResult result;
 
-    run_preprocessing(sim, views, spec.options);
+    apply_preprocessing(sim, views, spec.options, preprocess);
 
     // --- exact local phase (identical to CETRIC's) -----------------------
     std::vector<std::uint64_t> local_counts(p, 0);

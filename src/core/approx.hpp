@@ -44,10 +44,12 @@ struct AmqResult {
                                                    const AmqOptions& amq);
 
 /// Session form over pre-built per-rank views (katric::Engine's path).
+/// `preprocess` selects build vs. warm charge/skip of the front half.
 [[nodiscard]] AmqResult count_triangles_cetric_amq(net::Simulator& sim,
                                                    std::vector<DistGraph>& views,
                                                    const RunSpec& spec,
-                                                   const AmqOptions& amq);
+                                                   const AmqOptions& amq,
+                                                   const Preprocess& preprocess = {});
 
 /// DOULION (Tsourakakis et al.): keep each edge with probability keep_prob;
 /// a count T' on the sparsified graph estimates T ≈ T′/keep_prob³. Uses any

@@ -20,8 +20,11 @@ namespace katric::core {
 ///   * reduce — binomial-tree sum.
 ///
 /// indirect=true gives CETRIC2 (grid routing in the global phase).
+/// `preprocess` selects build vs. warm charge/skip of the front half
+/// (core::Preprocess; the default builds, the one-shot behaviour).
 CountResult run_cetric(net::Simulator& sim, std::vector<DistGraph>& views,
                        const AlgorithmOptions& options, bool indirect,
-                       const TriangleSink* sink = nullptr);
+                       const TriangleSink* sink = nullptr,
+                       const Preprocess& preprocess = {});
 
 }  // namespace katric::core

@@ -37,12 +37,12 @@ std::uint64_t intersect_for(net::RankHandle& self, std::span<const VertexId> a,
 
 CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views,
                               const AlgorithmOptions& options, EdgeIteratorMode mode,
-                              const TriangleSink* sink) {
+                              const TriangleSink* sink, const Preprocess& preprocess) {
     const Rank p = sim.num_ranks();
     KATRIC_ASSERT(views.size() == p);
     CountResult result;
 
-    run_preprocessing(sim, views, options);
+    apply_preprocessing(sim, views, options, preprocess);
 
     std::vector<std::uint64_t> local_counts(p, 0);
     std::vector<std::uint64_t> global_counts(p, 0);

@@ -22,10 +22,12 @@ struct EdgeIteratorMode {
 /// mode = {buffered=true}         → DITRIC
 /// mode = {buffered, indirect}    → DITRIC2
 ///
-/// Preprocessing (ghost-degree exchange + orientation) must not have run;
-/// this function runs it and charges it, matching the paper's timing scope.
+/// Preprocessing (ghost-degree exchange + orientation) is governed by
+/// `preprocess`: built and charged here by default (the paper's timing
+/// scope), or replayed/skipped for a warm session whose views are prebuilt.
 CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views,
                               const AlgorithmOptions& options, EdgeIteratorMode mode,
-                              const TriangleSink* sink = nullptr);
+                              const TriangleSink* sink = nullptr,
+                              const Preprocess& preprocess = {});
 
 }  // namespace katric::core

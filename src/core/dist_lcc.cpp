@@ -66,7 +66,8 @@ std::vector<std::int64_t> LccDeltaState::assemble() const {
 }
 
 LccResult compute_distributed_lcc(net::Simulator& sim, std::vector<DistGraph>& views,
-                                  const graph::CsrGraph& global, const RunSpec& spec) {
+                                  const graph::CsrGraph& global, const RunSpec& spec,
+                                  const Preprocess& preprocess) {
     const Rank p = spec.num_ranks;
     KATRIC_ASSERT(views.size() == p);
     const auto& partition = views.front().partition();
@@ -77,7 +78,7 @@ LccResult compute_distributed_lcc(net::Simulator& sim, std::vector<DistGraph>& v
     };
 
     LccResult result;
-    result.count = dispatch_algorithm(sim, views, spec, &sink);
+    result.count = dispatch_algorithm(sim, views, spec, &sink, preprocess);
     // Typed precondition failure (baseline algorithm with a sink): nothing
     // ran, so there is no Δ state to aggregate.
     if (result.count.error != RunError::kNone) { return result; }

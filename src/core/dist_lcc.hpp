@@ -83,9 +83,12 @@ struct LccResult {
 
 /// Session form over pre-built per-rank views (katric::Engine's path): the
 /// views must stem from `global` under spec's partition/rank count.
+/// `preprocess` selects build vs. warm charge/skip of the counting run's
+/// preprocessing front half.
 [[nodiscard]] LccResult compute_distributed_lcc(net::Simulator& sim,
                                                 std::vector<DistGraph>& views,
                                                 const graph::CsrGraph& global,
-                                                const RunSpec& spec);
+                                                const RunSpec& spec,
+                                                const Preprocess& preprocess = {});
 
 }  // namespace katric::core

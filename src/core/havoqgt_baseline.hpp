@@ -14,6 +14,7 @@ namespace katric::core {
 /// neighborhoods — the structural reason this approach loses by an order of
 /// magnitude on wedge-heavy inputs (Fig. 5/6).
 CountResult run_havoqgt_style(net::Simulator& sim, std::vector<DistGraph>& views,
-                              const AlgorithmOptions& options);
+                              const AlgorithmOptions& options,
+                              const Preprocess& preprocess = {});
 
 }  // namespace katric::core

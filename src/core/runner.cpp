@@ -20,10 +20,12 @@ graph::Partition1D make_partition(const graph::CsrGraph& global, const RunSpec& 
 }
 
 CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& views,
-                               const RunSpec& spec, const TriangleSink* sink) {
+                               const RunSpec& spec, const TriangleSink* sink,
+                               const Preprocess& preprocess) {
     if (sink != nullptr && !algorithm_supports_sink(spec.algorithm)) {
         // Typed failure instead of an assertion: nothing runs, nothing is
-        // charged to the machine, and the caller sees error != kNone.
+        // charged to the machine (cold or warm), and the caller sees
+        // error != kNone.
         CountResult result;
         result.error = RunError::kSinkUnsupported;
         return result;
@@ -32,21 +34,24 @@ CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& view
         case Algorithm::kEdgeIteratorUnbuffered:
             return run_edge_iterator(sim, views, spec.options,
                                      EdgeIteratorMode{.buffered = false, .indirect = false},
-                                     sink);
+                                     sink, preprocess);
         case Algorithm::kDitric:
             return run_edge_iterator(sim, views, spec.options,
                                      EdgeIteratorMode{.buffered = true, .indirect = false},
-                                     sink);
+                                     sink, preprocess);
         case Algorithm::kDitric2:
             return run_edge_iterator(sim, views, spec.options,
                                      EdgeIteratorMode{.buffered = true, .indirect = true},
-                                     sink);
+                                     sink, preprocess);
         case Algorithm::kCetric:
-            return run_cetric(sim, views, spec.options, /*indirect=*/false, sink);
+            return run_cetric(sim, views, spec.options, /*indirect=*/false, sink,
+                              preprocess);
         case Algorithm::kCetric2:
-            return run_cetric(sim, views, spec.options, /*indirect=*/true, sink);
+            return run_cetric(sim, views, spec.options, /*indirect=*/true, sink,
+                              preprocess);
         case Algorithm::kTricStyle: return run_tric_style(sim, views, spec.options);
-        case Algorithm::kHavoqgtStyle: return run_havoqgt_style(sim, views, spec.options);
+        case Algorithm::kHavoqgtStyle:
+            return run_havoqgt_style(sim, views, spec.options, preprocess);
     }
     KATRIC_THROW("unknown algorithm");
 }

@@ -28,9 +28,14 @@ struct RunSpec {
 /// Dispatches on spec.algorithm over pre-built per-rank views. The sink is
 /// supported by the paper's algorithms (edge-iterator family and CETRIC);
 /// passing one with a baseline algorithm returns a CountResult whose
-/// error == RunError::kSinkUnsupported without running anything.
+/// error == RunError::kSinkUnsupported without running anything — including
+/// on the warm (preprocess-reusing) path, where the check still precedes
+/// every charge. `preprocess` selects build vs. warm charge/skip of the
+/// preprocessing front half for the algorithms that own one (the TriC-style
+/// baseline never preprocesses and ignores it).
 CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& views,
-                               const RunSpec& spec, const TriangleSink* sink = nullptr);
+                               const RunSpec& spec, const TriangleSink* sink = nullptr,
+                               const Preprocess& preprocess = {});
 
 /// The library's main entry point: partitions the graph, builds every PE's
 /// local view, runs the selected algorithm on a fresh simulated machine, and

@@ -16,6 +16,18 @@ Config validated(Config config) {
     return config;
 }
 
+graph::Partition1D validated_partition(graph::Partition1D partition,
+                                       const graph::CsrGraph& graph,
+                                       const Config& config) {
+    KATRIC_ASSERT_MSG(partition.num_ranks() == config.num_ranks,
+                      "injected partition has " << partition.num_ranks()
+                          << " ranks, Config::num_ranks is " << config.num_ranks);
+    KATRIC_ASSERT_MSG(partition.num_vertices() == graph.num_vertices(),
+                      "injected partition covers " << partition.num_vertices()
+                          << " vertices, graph has " << graph.num_vertices());
+    return partition;
+}
+
 /// Folds the machine's per-PE compute counters into a report's telemetry.
 void accumulate_ops(Report& report, const net::Simulator& sim) {
     for (const auto& metrics : sim.rank_metrics()) {
@@ -32,7 +44,78 @@ Engine::Engine(const graph::CsrGraph& graph, Config config)
     : graph_(&graph),
       config_(validated(std::move(config))),
       partition_(core::make_partition(graph, config_.run_spec())),
-      views_(graph::distribute(graph, partition_)) {}
+      views_(graph::distribute(graph, partition_)) {
+    warm_build();
+}
+
+Engine::Engine(const graph::CsrGraph& graph, Config config, graph::Partition1D partition)
+    : graph_(&graph),
+      config_(validated(std::move(config))),
+      partition_(validated_partition(std::move(partition), graph, config_)),
+      views_(graph::distribute(graph, partition_)) {
+    warm_build();
+}
+
+void Engine::warm_build() {
+    if (!config_.reuse_preprocessing) { return; }
+    warm_.emplace();
+    // One throwaway machine pays the front half — ghost-degree exchange,
+    // orientation, hub bitmaps when the configured kernels want them — on
+    // the shared views, recording the cost ledger for later replay.
+    net::Simulator sim(config_.num_ranks, config_.network);
+    try {
+        core::run_preprocessing(sim, views_, config_.options, &warm_->costs);
+    } catch (const net::OomError&) {
+        // The front half itself blew the per-PE memory budget. Fall back to
+        // a cold session so the OOM surfaces per query as Report::count.oom
+        // — exactly what the same workload reports with reuse off.
+        warm_.reset();
+        return;
+    }
+    ++preprocess_builds_;
+}
+
+void Engine::ensure_warm_for(const core::RunSpec& spec) {
+    if (!warm_) { return; }
+    // The baselines never build the index (TriC skips preprocessing, the
+    // HavoqGT wedge baseline preprocesses as if on the merge kernel).
+    const bool wants_hubs = core::uses_hub_bitmaps(spec.options.intersect)
+                            && spec.algorithm != core::Algorithm::kTricStyle
+                            && spec.algorithm != core::Algorithm::kHavoqgtStyle;
+    if (!wants_hubs) { return; }
+    bool rebuilt = false;
+    for (std::size_t r = 0; r < views_.size(); ++r) {
+        auto& view = views_[r];
+        seq::HubBitmapIndex::Config hub;
+        hub.degree_threshold = core::resolve_hub_threshold(spec.options, view);
+        hub.universe = view.partition().num_vertices();
+        if (view.hub_index_current(hub)) { continue; }
+        // Host-side rebuild; the ledger entry keeps a warm metric-fidelity
+        // replay charging exactly what a cold build of this config would.
+        warm_->costs.hub_build_ops[r] = view.build_hub_bitmaps(hub);
+        rebuilt = true;
+    }
+    if (rebuilt) { ++preprocess_builds_; }
+}
+
+core::Preprocess Engine::preprocess_policy(const QueryOptions& query) const {
+    core::Preprocess prep;  // cold default: build + charge inside the run
+    if (warm_) {
+        const bool charge = query.charge_preprocessing.value_or(
+            config_.charge_reused_preprocessing);
+        prep.mode = charge ? core::Preprocess::Mode::kCharge
+                           : core::Preprocess::Mode::kSkip;
+        prep.costs = &warm_->costs;
+    }
+    return prep;
+}
+
+core::RunSpec Engine::query_spec(const QueryOptions& query) const {
+    auto spec = config_.run_spec();
+    if (query.algorithm) { spec.algorithm = *query.algorithm; }
+    if (query.options) { spec.options = *query.options; }
+    return spec;
+}
 
 void Engine::finalize(Report& report, const net::Simulator& sim) {
     accumulate_ops(report, sim);
@@ -43,16 +126,17 @@ void Engine::finalize(Report& report, const net::Simulator& sim) {
     ++queries_;
 }
 
-Report Engine::count(const core::TriangleSink* sink,
-                     std::optional<core::Algorithm> algorithm) {
-    auto spec = config_.run_spec();
-    if (algorithm) { spec.algorithm = *algorithm; }
+Report Engine::count(const core::TriangleSink* sink, const QueryOptions& query) {
+    const auto spec = query_spec(query);
     Report report;
     report.query = Query::kCount;
     report.algorithm = spec.algorithm;
+    ensure_warm_for(spec);
+    const auto prep = preprocess_policy(query);
+    report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
     try {
-        report.count = core::dispatch_algorithm(sim, views_, spec, sink);
+        report.count = core::dispatch_algorithm(sim, views_, spec, sink, prep);
     } catch (const net::OomError&) {
         report.count.oom = true;
         core::fill_metrics(sim, report.count);
@@ -61,14 +145,16 @@ Report Engine::count(const core::TriangleSink* sink,
     return report;
 }
 
-Report Engine::lcc(std::optional<core::Algorithm> algorithm) {
-    auto spec = config_.run_spec();
-    if (algorithm) { spec.algorithm = *algorithm; }
+Report Engine::lcc(const QueryOptions& query) {
+    const auto spec = query_spec(query);
     Report report;
     report.query = Query::kLcc;
     report.algorithm = spec.algorithm;
+    ensure_warm_for(spec);
+    const auto prep = preprocess_policy(query);
+    report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
-    auto result = core::compute_distributed_lcc(sim, views_, *graph_, spec);
+    auto result = core::compute_distributed_lcc(sim, views_, *graph_, spec, prep);
     report.count = std::move(result.count);
     report.delta = std::move(result.delta);
     report.lcc = std::move(result.lcc);
@@ -77,7 +163,7 @@ Report Engine::lcc(std::optional<core::Algorithm> algorithm) {
     return report;
 }
 
-Report Engine::enumerate(const core::TriangleSink* sink) {
+Report Engine::enumerate(const core::TriangleSink* sink, const QueryOptions& query) {
     std::vector<core::Triangle> triangles;
     std::vector<std::size_t> found_per_rank(config_.num_ranks, 0);
     const core::TriangleSink collector = [&](core::Rank finder, core::VertexId v,
@@ -95,7 +181,7 @@ Report Engine::enumerate(const core::TriangleSink* sink) {
         }
         ++found_per_rank[finder];
     };
-    Report report = count(&collector);
+    Report report = count(&collector, query);
     report.query = Query::kEnumerate;
     if (sink == nullptr && report.ok()) {
         std::sort(triangles.begin(), triangles.end());
@@ -110,16 +196,22 @@ Report Engine::enumerate(const core::TriangleSink* sink) {
     return report;
 }
 
-Report Engine::approx_count(const core::AmqOptions& amq) {
-    const auto spec = config_.run_spec();
+Report Engine::approx_count(const QueryOptions& query) {
+    const auto spec = query_spec(query);
+    const auto& amq = query.amq ? *query.amq : config_.amq;
     Report report;
     report.query = Query::kApprox;
     // The AMQ query always runs the CETRIC-AMQ pipeline (exact CETRIC local
     // phase + Bloom-filter global phase), whatever Config::algorithm says —
-    // label the report accordingly.
+    // label the report (and the warm hub preparation) accordingly.
     report.algorithm = core::Algorithm::kCetric;
+    auto hub_spec = spec;
+    hub_spec.algorithm = core::Algorithm::kCetric;
+    ensure_warm_for(hub_spec);
+    const auto prep = preprocess_policy(query);
+    report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
-    auto result = core::count_triangles_cetric_amq(sim, views_, spec, amq);
+    auto result = core::count_triangles_cetric_amq(sim, views_, spec, amq, prep);
     report.count = std::move(result.metrics);
     report.estimated_triangles = result.estimated_triangles;
     report.exact_type12 = result.exact_type12;
@@ -131,20 +223,24 @@ Report Engine::approx_count(const core::AmqOptions& amq) {
 StreamSession Engine::open_stream() {
     core::CountResult initial;
     std::vector<std::uint64_t> initial_delta;
+    bool initial_reused = false;
     if (config_.maintain_lcc) {
         // The LCC-enabled static pass supplies both the initial count and
         // the per-vertex Δ seed in one run over the shared views.
         auto seeded = lcc();
         initial = std::move(seeded.count);
         initial_delta = std::move(seeded.delta);
+        initial_reused = seeded.reused_preprocessing;
         KATRIC_ASSERT_MSG(initial.error == core::RunError::kNone,
                           core::run_error_message(initial.error, config_.algorithm));
     } else {
-        initial = count().count;
+        auto seeded = count();
+        initial = std::move(seeded.count);
+        initial_reused = seeded.reused_preprocessing;
     }
     KATRIC_ASSERT_MSG(!initial.oom, "initial static count ran out of memory");
     return StreamSession(*graph_, partition_, config_, std::move(initial),
-                         std::move(initial_delta));
+                         std::move(initial_delta), initial_reused);
 }
 
 Report Engine::stream(const std::vector<stream::EdgeBatch>& batches,
@@ -162,9 +258,11 @@ Report Engine::stream(const std::vector<stream::EdgeBatch>& batches,
 StreamSession::StreamSession(const graph::CsrGraph& graph,
                              const graph::Partition1D& partition, Config config,
                              core::CountResult initial,
-                             std::vector<std::uint64_t> initial_delta)
+                             std::vector<std::uint64_t> initial_delta,
+                             bool initial_reused)
     : config_(std::move(config)),
       initial_(std::move(initial)),
+      initial_reused_(initial_reused),
       sim_(std::make_unique<net::Simulator>(config_.num_ranks, config_.network)),
       views_(std::make_unique<std::vector<stream::DynamicDistGraph>>(
           stream::distribute_dynamic(graph, partition))),
@@ -205,6 +303,7 @@ Report StreamSession::report() const {
     Report report;
     report.query = Query::kStream;
     report.algorithm = config_.algorithm;
+    report.reused_preprocessing = initial_reused_;
     report.count.triangles = counter_->triangles();
     report.initial = initial_;
     report.batches = batches_;

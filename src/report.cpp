@@ -74,6 +74,7 @@ JsonWriter& JsonWriter::report_fields(const Report& report) {
     field("global_phase_triangles", report.count.global_phase_triangles);
     field("total_compute_ops", report.total_compute_ops);
     field("max_compute_ops", report.max_compute_ops);
+    field("reused_preprocessing", std::uint64_t{report.reused_preprocessing ? 1u : 0u});
     switch (report.query) {
         case Query::kCount: break;
         case Query::kLcc: {

@@ -48,6 +48,13 @@ struct Report {
     std::uint64_t total_compute_ops = 0;
     std::uint64_t max_compute_ops = 0;
 
+    /// True when this query reused cached preprocessing state WITHOUT the
+    /// metric re-charge (Config::reuse_preprocessing with the fidelity
+    /// replay off): preprocessing_time and the ghost-exchange message
+    /// counters are absent from this report. A warm query that replayed the
+    /// recorded costs is metric-identical to a cold run and reports false.
+    bool reused_preprocessing = false;
+
     // --- kLcc ------------------------------------------------------------
     std::vector<std::uint64_t> delta;  ///< Δ(v) for every global vertex
     std::vector<double> lcc;           ///< LCC(v) = 2Δ(v)/(d_v(d_v−1))

@@ -15,24 +15,32 @@ std::optional<IntersectResult> try_bitmap(const HubBitmapIndex* hubs,
                                           graph::VertexId a_id, graph::VertexId b_id,
                                           std::vector<graph::VertexId>* out) {
     if (hubs == nullptr || hubs->empty()) { return std::nullopt; }
-    const bool a_hub = a_id != graph::kInvalidVertex && hubs->covers(a_id, a);
-    const bool b_hub = b_id != graph::kInvalidVertex && hubs->covers(b_id, b);
-    if (a_hub && b_hub && out == nullptr) {
+    // No row shorter than the smallest indexed row can be covered, so such
+    // operands — the vast majority of calls — skip the hash probe entirely;
+    // candidates resolve slot + covers() in one lookup.
+    const auto gate = hubs->min_indexed_row();
+    const auto* a_hub = a_id != graph::kInvalidVertex && a.size() >= gate
+                            ? hubs->lookup(a_id, a)
+                            : nullptr;
+    const auto* b_hub = b_id != graph::kInvalidVertex && b.size() >= gate
+                            ? hubs->lookup(b_id, b)
+                            : nullptr;
+    if (a_hub != nullptr && b_hub != nullptr && out == nullptr) {
         // Word-AND + popcount, unless probing the smaller row through the
         // other's bitmap is cheaper (sparse rows in a large universe).
         const std::uint64_t probe_cost = std::min(a.size(), b.size());
         if (hubs->words_per_row() <= probe_cost) {
-            return hubs->intersect_hub_hub(a_id, b_id);
+            return hubs->intersect_hub_hub(*a_hub, *b_hub);
         }
     }
-    if (b_hub && !(a_hub && a.size() > b.size())) {
+    if (b_hub != nullptr && !(a_hub != nullptr && a.size() > b.size())) {
         // Probe the (typically smaller) non-hub side through b's bitmap.
-        return out == nullptr ? hubs->intersect_count(b_id, a)
-                              : hubs->intersect_collect(b_id, a, *out);
+        return out == nullptr ? hubs->intersect_count(*b_hub, a)
+                              : hubs->intersect_collect(*b_hub, a, *out);
     }
-    if (a_hub) {
-        return out == nullptr ? hubs->intersect_count(a_id, b)
-                              : hubs->intersect_collect(a_id, b, *out);
+    if (a_hub != nullptr) {
+        return out == nullptr ? hubs->intersect_count(*a_hub, b)
+                              : hubs->intersect_collect(*a_hub, b, *out);
     }
     return std::nullopt;
 }

@@ -56,7 +56,15 @@ std::uint64_t HubBitmapIndex::build(const Config& config,
         slots_.emplace(id, slot);
         ops += row.size();
     }
+    refresh_min_indexed_row();
     return ops;
+}
+
+void HubBitmapIndex::refresh_min_indexed_row() noexcept {
+    min_indexed_row_ = SIZE_MAX;
+    for (const auto& [id, slot] : slots_) {
+        min_indexed_row_ = std::min(min_indexed_row_, slot.size);
+    }
 }
 
 void HubBitmapIndex::write_row(std::size_t slot_index,
@@ -78,8 +86,16 @@ const HubBitmapIndex::Slot* HubBitmapIndex::find(graph::VertexId id) const noexc
 
 bool HubBitmapIndex::covers(graph::VertexId id,
                             std::span<const graph::VertexId> row) const noexcept {
+    return lookup(id, row) != nullptr;
+}
+
+const HubBitmapIndex::Slot* HubBitmapIndex::lookup(
+    graph::VertexId id, std::span<const graph::VertexId> row) const noexcept {
     const Slot* slot = find(id);
-    return slot != nullptr && slot->data == row.data() && slot->size == row.size();
+    if (slot == nullptr || slot->data != row.data() || slot->size != row.size()) {
+        return nullptr;
+    }
+    return slot;
 }
 
 bool HubBitmapIndex::test(const Slot& slot, graph::VertexId v) const noexcept {
@@ -98,10 +114,15 @@ IntersectResult HubBitmapIndex::intersect_count(
     graph::VertexId hub, std::span<const graph::VertexId> probe) const {
     const Slot* slot = find(hub);
     KATRIC_ASSERT_MSG(slot != nullptr, "intersect_count against non-hub " << hub);
+    return intersect_count(*slot, probe);
+}
+
+IntersectResult HubBitmapIndex::intersect_count(
+    const Slot& hub, std::span<const graph::VertexId> probe) const {
     IntersectResult result;
     result.ops = probe.size();
     for (const graph::VertexId v : probe) {
-        if (test(*slot, v)) { ++result.count; }
+        if (test(hub, v)) { ++result.count; }
     }
     return result;
 }
@@ -111,10 +132,16 @@ IntersectResult HubBitmapIndex::intersect_collect(
     std::vector<graph::VertexId>& out) const {
     const Slot* slot = find(hub);
     KATRIC_ASSERT_MSG(slot != nullptr, "intersect_collect against non-hub " << hub);
+    return intersect_collect(*slot, probe, out);
+}
+
+IntersectResult HubBitmapIndex::intersect_collect(
+    const Slot& hub, std::span<const graph::VertexId> probe,
+    std::vector<graph::VertexId>& out) const {
     IntersectResult result;
     result.ops = probe.size();
     for (const graph::VertexId v : probe) {
-        if (test(*slot, v)) {
+        if (test(hub, v)) {
             ++result.count;
             out.push_back(v);
         }
@@ -128,8 +155,12 @@ IntersectResult HubBitmapIndex::intersect_hub_hub(graph::VertexId h1,
     const Slot* s2 = find(h2);
     KATRIC_ASSERT_MSG(s1 != nullptr && s2 != nullptr,
                       "intersect_hub_hub needs two indexed hubs");
-    const std::uint64_t* w1 = bits_.data() + s1->index * words_per_row_;
-    const std::uint64_t* w2 = bits_.data() + s2->index * words_per_row_;
+    return intersect_hub_hub(*s1, *s2);
+}
+
+IntersectResult HubBitmapIndex::intersect_hub_hub(const Slot& s1, const Slot& s2) const {
+    const std::uint64_t* w1 = bits_.data() + s1.index * words_per_row_;
+    const std::uint64_t* w2 = bits_.data() + s2.index * words_per_row_;
     IntersectResult result;
     result.ops = words_per_row_;
     for (std::uint64_t w = 0; w < words_per_row_; ++w) {
@@ -150,12 +181,42 @@ std::uint64_t HubBitmapIndex::rebuild_dirty(const RowProvider& rows) {
     std::sort(dirty_.begin(), dirty_.end());
     dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
     std::uint64_t ops = dirty_.size();
-    for (const graph::VertexId v : dirty_) {
-        const auto row = rows(v);
-        const bool qualifies = row.size() >= config_.degree_threshold;
+
+    // One provider call per dirty row; both passes read the cached spans
+    // (nothing mutates the underlying adjacency during a rebuild).
+    std::vector<std::span<const graph::VertexId>> dirty_rows;
+    dirty_rows.reserve(dirty_.size());
+    for (const graph::VertexId v : dirty_) { dirty_rows.push_back(rows(v)); }
+
+    // Pass 1: drop every dirty row that fell below the threshold. Freeing
+    // capacity before any admission keeps the result independent of vertex-ID
+    // order — a single-pass mix of drops and adds used to reject a
+    // newly-qualifying row whenever its ID sorted ahead of the row whose
+    // eviction would have made room, and the rejected row was then lost for
+    // good once the dirty set was cleared.
+    for (std::size_t i = 0; i < dirty_.size(); ++i) {
+        const auto it = slots_.find(dirty_[i]);
+        if (it == slots_.end()) { continue; }
+        if (dirty_rows[i].size() >= config_.degree_threshold) { continue; }
+        free_slots_.push_back(it->second.index);
+        // Zero the recycled row now so a future occupant starts clean.
+        std::fill_n(bits_.begin()
+                        + static_cast<std::ptrdiff_t>(it->second.index * words_per_row_),
+                    words_per_row_, 0);
+        slots_.erase(it);
+    }
+
+    // Pass 2: rewrite surviving rows and admit newly-qualifying ones into
+    // the freed-up capacity.
+    for (std::size_t i = 0; i < dirty_.size(); ++i) {
+        const graph::VertexId v = dirty_[i];
+        const auto row = dirty_rows[i];
         auto it = slots_.find(v);
         if (it == slots_.end()) {
-            if (!qualifies || slots_.size() >= config_.max_hubs) { continue; }
+            if (row.size() < config_.degree_threshold
+                || slots_.size() >= config_.max_hubs) {
+                continue;
+            }
             Slot slot;
             if (!free_slots_.empty()) {
                 slot.index = free_slots_.back();
@@ -165,15 +226,6 @@ std::uint64_t HubBitmapIndex::rebuild_dirty(const RowProvider& rows) {
                 bits_.resize(bits_.size() + words_per_row_, 0);
             }
             it = slots_.emplace(v, slot).first;
-        } else if (!qualifies) {
-            free_slots_.push_back(it->second.index);
-            // Zero the recycled row now so a future occupant starts clean.
-            std::fill_n(bits_.begin()
-                            + static_cast<std::ptrdiff_t>(it->second.index
-                                                          * words_per_row_),
-                        words_per_row_, 0);
-            slots_.erase(it);
-            continue;
         }
         write_row(it->second.index, row);
         it->second.data = row.data();
@@ -181,12 +233,14 @@ std::uint64_t HubBitmapIndex::rebuild_dirty(const RowProvider& rows) {
         ops += row.size();
     }
     dirty_.clear();
+    refresh_min_indexed_row();
     return ops;
 }
 
 void HubBitmapIndex::clear() {
     config_ = {};
     words_per_row_ = 0;
+    min_indexed_row_ = SIZE_MAX;
     slots_.clear();
     free_slots_.clear();
     bits_.clear();

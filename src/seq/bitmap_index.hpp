@@ -51,6 +51,8 @@ public:
         std::size_t max_hubs = 256;
         /// Number of vertex IDs a bitmap must cover (global n).
         graph::VertexId universe = 0;
+
+        friend bool operator==(const Config&, const Config&) = default;
     };
 
     /// Supplies the current row of a vertex, or an empty span if the vertex
@@ -70,10 +72,23 @@ public:
     [[nodiscard]] std::size_t num_hubs() const noexcept { return slots_.size(); }
     [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+    /// One bitmap row's bookkeeping. Returned by lookup() so hot intersect
+    /// paths resolve a hub's slot once instead of re-hashing per kernel call.
+    struct Slot {
+        std::size_t index = 0;                    // row into bits_
+        const graph::VertexId* data = nullptr;    // row-identity fingerprint
+        std::size_t size = 0;
+    };
+
     /// True iff `id` is indexed AND `row` is the exact storage the bitmap
     /// was built from (see "row identity" above).
     [[nodiscard]] bool covers(graph::VertexId id,
                               std::span<const graph::VertexId> row) const noexcept;
+    /// covers() and find in one hash probe: the slot when `id` is indexed
+    /// over exactly `row`'s storage, nullptr otherwise. The pointer is
+    /// invalidated by build/rebuild_dirty/clear.
+    [[nodiscard]] const Slot* lookup(graph::VertexId id,
+                                     std::span<const graph::VertexId> row) const noexcept;
     /// Membership regardless of row identity — for stats/tests.
     [[nodiscard]] bool contains_hub(graph::VertexId id) const noexcept {
         return slots_.contains(id);
@@ -89,10 +104,15 @@ public:
     /// ops = |probe|. Requires contains_hub(hub).
     [[nodiscard]] IntersectResult intersect_count(
         graph::VertexId hub, std::span<const graph::VertexId> probe) const;
+    [[nodiscard]] IntersectResult intersect_count(
+        const Slot& hub, std::span<const graph::VertexId> probe) const;
 
     /// Collect variant: appends the matching elements of `probe` in probe
     /// order (ascending for sorted probes — the merge-collect contract).
     IntersectResult intersect_collect(graph::VertexId hub,
+                                      std::span<const graph::VertexId> probe,
+                                      std::vector<graph::VertexId>& out) const;
+    IntersectResult intersect_collect(const Slot& hub,
                                       std::span<const graph::VertexId> probe,
                                       std::vector<graph::VertexId>& out) const;
 
@@ -100,10 +120,20 @@ public:
     /// ops = number of bitmap words. Requires both hubs indexed.
     [[nodiscard]] IntersectResult intersect_hub_hub(graph::VertexId h1,
                                                     graph::VertexId h2) const;
+    [[nodiscard]] IntersectResult intersect_hub_hub(const Slot& s1,
+                                                    const Slot& s2) const;
 
     /// Word count of one bitmap row — the cost of a hub∩hub AND, exposed so
     /// dispatchers can compare it against the probe alternative.
     [[nodiscard]] std::uint64_t words_per_row() const noexcept { return words_per_row_; }
+
+    /// Smallest indexed row length (SIZE_MAX when empty): rows shorter than
+    /// this can never be covered, so hot dispatch paths use it to skip the
+    /// hash probe for the vast majority of non-hub operands. Maintained by
+    /// build() and rebuild_dirty().
+    [[nodiscard]] std::size_t min_indexed_row() const noexcept {
+        return min_indexed_row_;
+    }
 
     // --- streaming maintenance -------------------------------------------
     /// Records that v's row changed; cheap (amortized O(1)), callable from
@@ -118,18 +148,15 @@ public:
     void clear();
 
 private:
-    struct Slot {
-        std::size_t index = 0;                    // row into bits_
-        const graph::VertexId* data = nullptr;    // row-identity fingerprint
-        std::size_t size = 0;
-    };
-
     void write_row(std::size_t slot_index, std::span<const graph::VertexId> row);
     [[nodiscard]] const Slot* find(graph::VertexId id) const noexcept;
     [[nodiscard]] bool test(const Slot& slot, graph::VertexId v) const noexcept;
 
+    void refresh_min_indexed_row() noexcept;
+
     Config config_;
     std::uint64_t words_per_row_ = 0;
+    std::size_t min_indexed_row_ = SIZE_MAX;
     std::unordered_map<graph::VertexId, Slot> slots_;
     std::vector<std::size_t> free_slots_;  // recycled bitmap rows
     std::vector<std::uint64_t> bits_;

@@ -22,7 +22,15 @@ CliParser& CliParser::flag(const std::string& name, const std::string& help) {
     return *this;
 }
 
+bool CliParser::is_flag(const std::string& name) const {
+    const auto it = options_.find(name);
+    KATRIC_ASSERT_MSG(it != options_.end(), "undeclared option --" << name);
+    return it->second.is_flag;
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
+    values_.clear();
+    duplicates_.clear();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -40,6 +48,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
         }
         const auto it = options_.find(arg);
         KATRIC_ASSERT_MSG(it != options_.end(), "unknown option --" << arg);
+        if (values_.contains(arg)) { duplicates_.push_back(arg); }
         if (it->second.is_flag) {
             values_[arg] = has_inline_value ? value : "true";
         } else if (has_inline_value) {

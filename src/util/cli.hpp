@@ -22,8 +22,22 @@ public:
     CliParser& flag(const std::string& name, const std::string& help);
 
     /// Parses argv. Returns false (after printing usage) iff --help was given.
-    /// Throws assertion_error on unknown options or missing values.
+    /// Throws assertion_error on unknown options or missing values. A
+    /// repeated option keeps the last value and is recorded in duplicates()
+    /// so callers that want strictness (Config::try_from_flags) can reject it.
     bool parse(int argc, const char* const* argv);
+
+    /// True iff option/flag `name` was declared on this parser.
+    [[nodiscard]] bool declared(const std::string& name) const noexcept {
+        return options_.contains(name);
+    }
+    /// Whether a declared name is a boolean flag (no value token).
+    [[nodiscard]] bool is_flag(const std::string& name) const;
+    /// Options that appeared more than once in the last parse, in first-
+    /// repeat order.
+    [[nodiscard]] const std::vector<std::string>& duplicates() const noexcept {
+        return duplicates_;
+    }
 
     [[nodiscard]] std::string get_string(const std::string& name) const;
     /// True iff the user explicitly passed the option (vs. its default).
@@ -48,6 +62,7 @@ private:
     std::string description_;
     std::map<std::string, Option> options_;
     std::map<std::string, std::string> values_;
+    std::vector<std::string> duplicates_;
 };
 
 }  // namespace katric

@@ -49,6 +49,8 @@ Config fully_customized() {
     config.options.detect_termination = true;
     config.stream_indirect = true;
     config.maintain_lcc = true;
+    config.reuse_preprocessing = true;
+    config.charge_reused_preprocessing = true;
     config.amq.target_fpr = 0.0123456789012345;
     config.amq.truthful = false;
     config.amq.adaptive = true;
@@ -143,6 +145,68 @@ TEST(Config, UnknownValuesThrow) {
     EXPECT_THROW((void)Config::from_flags({"--partition=2d"}), assertion_error);
     EXPECT_THROW((void)Config::from_flags({"--no-such-flag=1"}), assertion_error);
     EXPECT_THROW((void)Config::preset("no-such-preset"), assertion_error);
+}
+
+// --- typed parse errors (satellite): unknown and duplicate flags are
+// rejected with a ConfigError instead of silently last-winning or leaking
+// through as untyped asserts.
+
+TEST(Config, TryFromFlagsParsesCleanInput) {
+    const auto parse =
+        Config::try_from_flags({"--algorithm=CETRIC2", "--ranks", "7"});
+    ASSERT_TRUE(parse.ok());
+    ASSERT_TRUE(parse.config.has_value());
+    EXPECT_EQ(parse.error, ConfigError::kNone);
+    EXPECT_TRUE(parse.message().empty());
+    EXPECT_EQ(parse.config->algorithm, core::Algorithm::kCetric2);
+    EXPECT_EQ(parse.config->num_ranks, 7);
+}
+
+TEST(Config, TryFromFlagsRejectsUnknownFlag) {
+    const auto parse = Config::try_from_flags({"--ranks=4", "--no-such-flag=1"});
+    EXPECT_FALSE(parse.ok());
+    EXPECT_FALSE(parse.config.has_value());
+    EXPECT_EQ(parse.error, ConfigError::kUnknownFlag);
+    EXPECT_EQ(parse.detail, "no-such-flag");
+    EXPECT_NE(parse.message().find("no-such-flag"), std::string::npos);
+}
+
+TEST(Config, TryFromFlagsRejectsDuplicateFlag) {
+    for (const auto& flags :
+         {std::vector<std::string>{"--ranks=4", "--ranks=8"},
+          std::vector<std::string>{"--ranks", "4", "--ranks", "8"},
+          std::vector<std::string>{"--ranks=4", "--ranks", "8"}}) {
+        const auto parse = Config::try_from_flags(flags);
+        EXPECT_FALSE(parse.ok());
+        EXPECT_EQ(parse.error, ConfigError::kDuplicateFlag);
+        EXPECT_EQ(parse.detail, "ranks");
+    }
+    // from_flags throws the same typed message instead of last-winning.
+    EXPECT_THROW((void)Config::from_flags({"--ranks=4", "--ranks=8"}),
+                 assertion_error);
+}
+
+TEST(Config, TryFromFlagsRejectsMissingValueAndBadValue) {
+    const auto missing = Config::try_from_flags({"--ranks"});
+    EXPECT_EQ(missing.error, ConfigError::kMissingValue);
+    EXPECT_EQ(missing.detail, "ranks");
+
+    const auto bad = Config::try_from_flags({"--algorithm=NOPE"});
+    EXPECT_EQ(bad.error, ConfigError::kBadValue);
+    EXPECT_FALSE(bad.message().empty());
+
+    const auto not_a_flag = Config::try_from_flags({"ranks=4"});
+    EXPECT_EQ(not_a_flag.error, ConfigError::kBadValue);
+}
+
+TEST(Config, RoundTripSurvivesTypedValidation) {
+    // parse(to_flags(c)) == c must keep holding through try_from_flags (no
+    // preset emits a duplicate or unknown flag).
+    for (const auto& name : Config::preset_names()) {
+        const auto parse = Config::try_from_flags(Config::preset(name).to_flags());
+        ASSERT_TRUE(parse.ok()) << name << ": " << parse.message();
+        EXPECT_EQ(*parse.config, Config::preset(name)) << name;
+    }
 }
 
 TEST(Config, PresetNamesAllConstruct) {

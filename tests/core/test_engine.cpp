@@ -13,6 +13,7 @@
 #include "gen/rgg2d.hpp"
 #include "seq/edge_iterator.hpp"
 #include "stream/edge_stream.hpp"
+#include "support/expect_count.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric {
@@ -20,26 +21,6 @@ namespace {
 
 using core::Algorithm;
 using core::CountResult;
-
-void expect_identical(const CountResult& a, const CountResult& b,
-                      const std::string& what) {
-    EXPECT_EQ(a.triangles, b.triangles) << what;
-    EXPECT_EQ(a.oom, b.oom) << what;
-    EXPECT_EQ(a.error, b.error) << what;
-    EXPECT_EQ(a.total_time, b.total_time) << what;
-    EXPECT_EQ(a.preprocessing_time, b.preprocessing_time) << what;
-    EXPECT_EQ(a.local_time, b.local_time) << what;
-    EXPECT_EQ(a.contraction_time, b.contraction_time) << what;
-    EXPECT_EQ(a.global_time, b.global_time) << what;
-    EXPECT_EQ(a.reduce_time, b.reduce_time) << what;
-    EXPECT_EQ(a.max_messages_sent, b.max_messages_sent) << what;
-    EXPECT_EQ(a.max_words_sent, b.max_words_sent) << what;
-    EXPECT_EQ(a.total_messages_sent, b.total_messages_sent) << what;
-    EXPECT_EQ(a.total_words_sent, b.total_words_sent) << what;
-    EXPECT_EQ(a.max_peak_buffer_words, b.max_peak_buffer_words) << what;
-    EXPECT_EQ(a.local_phase_triangles, b.local_phase_triangles) << what;
-    EXPECT_EQ(a.global_phase_triangles, b.global_phase_triangles) << what;
-}
 
 /// The acceptance property: one Engine, every algorithm twice (the second
 /// pass catches state the first pass left behind), each query compared
@@ -58,9 +39,9 @@ TEST(EngineEquivalence, AlgorithmSweepMatchesOneShotAcrossPartitions) {
                 auto spec = config.run_spec();
                 spec.algorithm = algorithm;
                 const auto oneshot = core::count_triangles(g, spec);
-                expect_identical(report.count, oneshot,
-                                 core::algorithm_name(algorithm) + " pass "
-                                     + std::to_string(pass));
+                test::expect_identical_counts(
+                    report.count, oneshot,
+                    core::algorithm_name(algorithm) + " pass " + std::to_string(pass));
             }
         }
         EXPECT_EQ(engine.build_passes(), 1u);
@@ -81,8 +62,8 @@ TEST(EngineEquivalence, AdaptiveKernelQueriesStayIdentical) {
         const auto report = engine.count(algorithm);
         auto spec = config.run_spec();
         spec.algorithm = algorithm;
-        expect_identical(report.count, core::count_triangles(g, spec),
-                         "adaptive " + core::algorithm_name(algorithm));
+        test::expect_identical_counts(report.count, core::count_triangles(g, spec),
+                                      "adaptive " + core::algorithm_name(algorithm));
     }
 }
 
@@ -100,22 +81,22 @@ TEST(EngineEquivalence, MixedQueryKindsMatchOneShotTwins) {
     const auto approx = engine.approx_count();
     const auto count2 = engine.count();
 
-    expect_identical(count1.count, count2.count, "count repeatability");
+    test::expect_identical_counts(count1.count, count2.count, "count repeatability");
 
     const auto lcc_oneshot = core::compute_distributed_lcc(g, config.run_spec());
-    expect_identical(lcc.count, lcc_oneshot.count, "lcc");
+    test::expect_identical_counts(lcc.count, lcc_oneshot.count, "lcc");
     EXPECT_EQ(lcc.delta, lcc_oneshot.delta);
     EXPECT_EQ(lcc.lcc, lcc_oneshot.lcc);
     EXPECT_EQ(lcc.postprocess_time, lcc_oneshot.postprocess_time);
 
     const auto enum_oneshot = core::enumerate_triangles(g, config.run_spec());
-    expect_identical(enumerated.count, enum_oneshot.count, "enumerate");
+    test::expect_identical_counts(enumerated.count, enum_oneshot.count, "enumerate");
     EXPECT_TRUE(enumerated.triangles == enum_oneshot.triangles);
     EXPECT_EQ(enumerated.found_per_rank, enum_oneshot.found_per_rank);
 
     const auto amq_oneshot =
         core::count_triangles_cetric_amq(g, config.run_spec(), config.amq);
-    expect_identical(approx.count, amq_oneshot.metrics, "approx");
+    test::expect_identical_counts(approx.count, amq_oneshot.metrics, "approx");
     EXPECT_EQ(approx.estimated_triangles, amq_oneshot.estimated_triangles);
     EXPECT_EQ(approx.exact_type12, amq_oneshot.exact_type12);
 
@@ -143,7 +124,7 @@ TEST(EngineEquivalence, StreamPromotionMatchesOneShotStreaming) {
 
         const auto oneshot =
             stream::count_triangles_streaming(base, batches, config.stream_spec());
-        expect_identical(report.initial, oneshot.initial, "stream initial");
+        test::expect_identical_counts(report.initial, oneshot.initial, "stream initial");
         EXPECT_EQ(report.count.triangles, oneshot.triangles);
         EXPECT_EQ(report.stream_seconds, oneshot.stream_seconds);
         ASSERT_EQ(report.batches.size(), oneshot.batches.size());

@@ -1,0 +1,177 @@
+// HubBitmapIndex maintenance regressions: the dirty-set rebuild and full
+// rebuild must compose in any order without leaving stale rows reachable —
+// the invariant warm preprocessing reuse leans on (a query after a stream
+// batch must never probe a hub row that no longer reflects the graph).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "seq/bitmap_index.hpp"
+
+namespace katric::seq {
+namespace {
+
+using graph::VertexId;
+
+HubBitmapIndex::Config config_with(graph::Degree threshold, std::size_t max_hubs,
+                                   VertexId universe) {
+    HubBitmapIndex::Config config;
+    config.degree_threshold = threshold;
+    config.max_hubs = max_hubs;
+    config.universe = universe;
+    return config;
+}
+
+/// mark_dirty → full rebuild → mark_dirty: the full rebuild re-reads every
+/// candidate row, so pending dirty marks must be dropped (not replayed
+/// against the new slot layout), and marks recorded after it must rebuild
+/// against the new rows.
+TEST(HubBitmapDirty, MarkDirtyFullRebuildMarkDirtySequence) {
+    std::vector<std::vector<VertexId>> rows(3);
+    rows[0] = {1, 3, 5, 7};
+    rows[1] = {0, 2, 4, 6, 8};
+    rows[2] = {1, 2};  // below threshold
+    const auto provider = [&](VertexId id) {
+        return std::span<const VertexId>(rows[id]);
+    };
+    const std::vector<VertexId> ids{0, 1, 2};
+
+    HubBitmapIndex index;
+    index.build(config_with(3, 4, 16), ids, provider);
+    ASSERT_TRUE(index.contains_hub(0));
+    ASSERT_TRUE(index.contains_hub(1));
+
+    rows[0].push_back(9);
+    index.mark_dirty(0);
+    EXPECT_EQ(index.num_dirty(), 1u);
+
+    // Full rebuild while marks are pending: re-reads every row itself.
+    index.build(config_with(3, 4, 16), ids, provider);
+    EXPECT_EQ(index.num_dirty(), 0u) << "build() owns a fresh view of every row";
+    EXPECT_TRUE(index.covers(0, rows[0]));
+    EXPECT_TRUE(index.probe(0, 9));
+
+    // Marks recorded after the rebuild update the new layout.
+    rows[1].clear();
+    rows[1] = {10, 12, 14};
+    index.mark_dirty(1);
+    index.rebuild_dirty(provider);
+    EXPECT_TRUE(index.covers(1, rows[1]));
+    EXPECT_TRUE(index.probe(1, 12));
+    EXPECT_FALSE(index.probe(1, 2));
+
+    // And a stale pre-rebuild row is structurally unreachable.
+    const std::vector<VertexId> foreign{0, 2, 4, 6, 8};
+    EXPECT_FALSE(index.covers(1, foreign));
+}
+
+/// Regression for the single-pass drop/admit ordering defect: at capacity,
+/// a newly-qualifying row whose ID sorts before the row being dropped used
+/// to be rejected (no free slot yet) and then lost forever once the dirty
+/// set was cleared. The rebuild must free capacity first.
+TEST(HubBitmapDirty, AdmissionSeesCapacityFreedInTheSamePass) {
+    std::vector<std::vector<VertexId>> rows(3);
+    rows[1] = {0, 2, 4, 6};    // hub, will shrink below threshold
+    rows[2] = {1, 3, 5, 7};    // hub, stays
+    rows[0] = {};              // grows past threshold later; ID sorts FIRST
+    const auto provider = [&](VertexId id) {
+        return std::span<const VertexId>(rows[id]);
+    };
+
+    HubBitmapIndex index;
+    const std::vector<VertexId> candidates{1, 2};
+    index.build(config_with(3, /*max_hubs=*/2, 16), candidates, provider);
+    ASSERT_EQ(index.num_hubs(), 2u);
+
+    rows[0] = {8, 10, 12, 14};  // qualifies now
+    rows[1] = {0};              // drops out
+    index.mark_dirty(0);
+    index.mark_dirty(1);
+    index.rebuild_dirty(provider);
+
+    EXPECT_FALSE(index.contains_hub(1));
+    EXPECT_TRUE(index.contains_hub(2));
+    EXPECT_TRUE(index.contains_hub(0))
+        << "vertex 0 must be admitted into the slot vertex 1 freed this pass";
+    EXPECT_TRUE(index.covers(0, rows[0]));
+    EXPECT_TRUE(index.probe(0, 10));
+    EXPECT_FALSE(index.probe(0, 0)) << "the recycled slot must start clean";
+}
+
+/// Duplicate marks collapse to one rebuild of the row; the dirty set is
+/// empty afterwards either way.
+TEST(HubBitmapDirty, DuplicateMarksDedupe) {
+    std::vector<VertexId> row{0, 2, 4, 6};
+    const auto provider = [&](VertexId) { return std::span<const VertexId>(row); };
+    HubBitmapIndex index;
+    const std::vector<VertexId> candidates{0};
+    index.build(config_with(3, 2, 16), candidates, provider);
+
+    index.mark_dirty(0);
+    index.mark_dirty(0);
+    index.mark_dirty(0);
+    EXPECT_EQ(index.num_dirty(), 3u);
+    const auto ops = index.rebuild_dirty(provider);
+    EXPECT_EQ(index.num_dirty(), 0u);
+    // One dedup pass over the (deduped) set plus one row rewrite — tripling
+    // the marks must not triple the charged work.
+    EXPECT_EQ(ops, 1 + row.size());
+}
+
+TEST(HubBitmapDirty, RebuildOnUnconfiguredIndexIsANoOp) {
+    HubBitmapIndex index;
+    index.mark_dirty(3);
+    EXPECT_EQ(index.rebuild_dirty([](VertexId) {
+        return std::span<const VertexId>();
+    }), 0u);
+    EXPECT_EQ(index.num_dirty(), 0u);
+}
+
+/// min_indexed_row is the hot-path hash gate: it must track builds, dirty
+/// rebuilds (both growth and shrink), and clear().
+TEST(HubBitmapDirty, MinIndexedRowTracksMaintenance) {
+    std::vector<std::vector<VertexId>> rows(2);
+    rows[0] = {0, 2, 4, 6};
+    rows[1] = {1, 3, 5, 7, 9, 11};
+    const auto provider = [&](VertexId id) {
+        return std::span<const VertexId>(rows[id]);
+    };
+    HubBitmapIndex index;
+    EXPECT_EQ(index.min_indexed_row(), SIZE_MAX);
+    const std::vector<VertexId> candidates{0, 1};
+    index.build(config_with(3, 4, 16), candidates, provider);
+    EXPECT_EQ(index.min_indexed_row(), 4u);
+
+    rows[0].push_back(8);
+    index.mark_dirty(0);
+    index.rebuild_dirty(provider);
+    EXPECT_EQ(index.min_indexed_row(), 5u);
+
+    rows[0] = {0};  // drops below threshold
+    index.mark_dirty(0);
+    index.rebuild_dirty(provider);
+    EXPECT_EQ(index.min_indexed_row(), rows[1].size());
+
+    index.clear();
+    EXPECT_EQ(index.min_indexed_row(), SIZE_MAX);
+}
+
+TEST(HubBitmapDirty, LookupIsCoversPlusSlot) {
+    std::vector<VertexId> row{1, 3, 5};
+    const std::vector<VertexId> copy = row;
+    const auto provider = [&](VertexId) { return std::span<const VertexId>(row); };
+    HubBitmapIndex index;
+    const std::vector<VertexId> candidates{0};
+    index.build(config_with(2, 2, 8), candidates, provider);
+    const auto* slot = index.lookup(0, row);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(slot->size, row.size());
+    EXPECT_EQ(slot->data, row.data());
+    EXPECT_EQ(index.lookup(0, copy), nullptr) << "foreign storage must miss";
+    EXPECT_EQ(index.lookup(1, row), nullptr) << "non-hub must miss";
+    EXPECT_EQ(index.intersect_count(*slot, copy).count, row.size());
+}
+
+}  // namespace
+}  // namespace katric::seq
