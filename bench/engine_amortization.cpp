@@ -29,6 +29,7 @@
 #include "bench_common.hpp"
 #include "gen/rgg2d.hpp"
 #include "gen/rmat.hpp"
+#include "obs/trace_check.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -225,6 +226,12 @@ int main(int argc, char** argv) {
                   << "% < gate " << warm_gate << "%\n";
         return 1;
     }
+    if (config.metrics && monitor.observability()) {
+        // The warm-serving observability payload: per-query latency p50/p99
+        // from the monitor's registry plus the kernel dispatch mix.
+        std::cout << "\n-- warm monitor metrics (--metrics) --\n"
+                  << monitor.metrics_summary();
+    }
 
     // --- mixed query workload against the same build ---------------------
     WallTimer mixed_timer;
@@ -304,6 +311,31 @@ int main(int argc, char** argv) {
         .field("queries", static_cast<std::uint64_t>(4))
         .field("wall_seconds", mixed_wall)
         .field("warm_wall_seconds", warm_mixed_wall);
+    if (config.metrics && monitor.observability()) {
+        for (const auto& row : monitor.observability()->registry().snapshot()) {
+            json.begin_row()
+                .field("mode", std::string("metric"))
+                .field("name", row.name)
+                .field("value", row.value);
+        }
+    }
     json.write(cli.get_string("json"));
+
+    // With --trace-out every engine above appended to one shared timeline;
+    // write it now and self-validate against the schema checker (the CI
+    // smoke leg re-validates the artifact through the test binary).
+    if (!config.trace_out.empty() && monitor.observability()) {
+        if (!monitor.observability()->flush_trace()) {
+            std::cerr << "FAIL: could not write trace to " << config.trace_out << '\n';
+            return 1;
+        }
+        const auto check = obs::check_trace_file(config.trace_out);
+        std::cout << "\ntrace: wrote " << config.trace_out << " — " << check.num_spans
+                  << " spans, " << check.num_events << " events, "
+                  << (check.ok ? std::string("schema OK")
+                               : "SCHEMA INVALID: " + check.error)
+                  << '\n';
+        if (!check.ok) { return 1; }
+    }
     return 0;
 }

@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
     cli.option("instances", "friendster,webbase-2001,live-journal", "proxies");
     cli.option("ps", "8,16,32,64", "core counts");
     cli.option("scale", "1", "proxy size multiplier");
+    cli.flag("phases",
+             "print each chosen variant's full superstep-group breakdown "
+             "(Report::phase_table; comm columns need --metrics=1)");
     bench::add_engine_options(cli);
     if (!cli.parse(argc, argv)) { return 0; }
 
@@ -74,6 +77,13 @@ int main(int argc, char** argv) {
                     .cell(report.count.contraction_time, 5)
                     .cell(report.count.global_time, 5)
                     .cell(report.count.total_time, 5);
+                if (cli.get_flag("phases")) {
+                    // The same run, unrolled: every superstep group the query
+                    // executed (net::aggregate_phase_times), not just the four
+                    // columns the paper plots.
+                    std::cout << chosen << " @ p=" << p << ":\n"
+                              << report.phase_table() << '\n';
+                }
             }
         }
         table.print(std::cout);

@@ -141,6 +141,12 @@ void Config::register_cli(CliParser& cli, const Config& defaults) {
                format_bool(defaults.charge_reused_preprocessing),
                "replay recorded preprocessing costs into warm queries for "
                "one-shot metric fidelity (0|1)");
+    cli.option("metrics", format_bool(defaults.metrics),
+               "collect the observability metrics registry — query latency "
+               "p50/p99, comm counters, kernel dispatch mix (0|1)");
+    cli.option("trace-out", defaults.trace_out,
+               "write Chrome trace-event JSON of every query's phase/superstep "
+               "spans to this path (empty = tracing off)");
     cli.option("amq-fpr", format_double(defaults.amq.target_fpr),
                "Bloom-filter false-positive-rate target for approx_count");
     cli.option("amq-truthful", format_bool(defaults.amq.truthful),
@@ -190,6 +196,8 @@ Config Config::from_args(const CliParser& cli) {
     config.reuse_preprocessing = cli.get_uint("reuse-preprocessing") != 0;
     config.charge_reused_preprocessing =
         cli.get_uint("charge-reused-preprocessing") != 0;
+    config.metrics = cli.get_uint("metrics") != 0;
+    config.trace_out = cli.get_string("trace-out");
     config.amq.target_fpr = cli.get_double("amq-fpr");
     config.amq.truthful = cli.get_uint("amq-truthful") != 0;
     config.amq.adaptive = cli.get_uint("amq-adaptive") != 0;
@@ -299,6 +307,8 @@ std::vector<std::string> Config::to_flags() const {
     flags.push_back("--reuse-preprocessing=" + format_bool(reuse_preprocessing));
     flags.push_back("--charge-reused-preprocessing="
                     + format_bool(charge_reused_preprocessing));
+    flags.push_back("--metrics=" + format_bool(metrics));
+    flags.push_back("--trace-out=" + trace_out);
     flags.push_back("--amq-fpr=" + format_double(amq.target_fpr));
     flags.push_back("--amq-truthful=" + format_bool(amq.truthful));
     flags.push_back("--amq-adaptive=" + format_bool(amq.adaptive));

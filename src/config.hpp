@@ -66,6 +66,18 @@ struct Config {
     /// off (cold queries charge the real build anyway).
     bool charge_reused_preprocessing = false;
 
+    /// Observability (src/obs/): collect the metrics registry — per-query
+    /// latency summaries, comm counters/histograms, AdaptiveIntersect
+    /// dispatch mix — on every Engine query. Off by default; the disabled
+    /// path is a null pointer check.
+    bool metrics = false;
+    /// Observability: when non-empty, record hierarchical spans (query →
+    /// phase → superstep, plus per-rank lanes) for every Engine query and
+    /// write them to this path as Chrome trace-event JSON on session end
+    /// (loadable in chrome://tracing or Perfetto). Engines sharing one path
+    /// append to one timeline.
+    std::string trace_out;
+
     /// Approximate-counting knobs (Engine::approx_count).
     core::AmqOptions amq = {};
 
@@ -83,7 +95,8 @@ struct Config {
     /// --memory-limit --intersect --hub-threshold --buffer-threshold
     /// --threads --pes-per-node --compress --detect-termination --indirect
     /// --maintain-lcc --reuse-preprocessing --charge-reused-preprocessing
-    /// --amq-fpr --amq-truthful --amq-adaptive --amq-seed.
+    /// --metrics --trace-out --amq-fpr --amq-truthful --amq-adaptive
+    /// --amq-seed.
     static void register_cli(CliParser& cli, const Config& defaults);
     static void register_cli(CliParser& cli);  ///< defaults = Config{}
     /// Reads a parsed CliParser (register_cli must have declared the flags).

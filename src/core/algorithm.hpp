@@ -79,6 +79,12 @@ struct AlgorithmOptions {
     /// the honesty tax a native MPI implementation pays. Supported by the
     /// edge-iterator family (DITRIC/DITRIC2/unbuffered).
     bool detect_termination = false;
+    /// Optional dispatch-mix sink threaded into every AdaptiveIntersect the
+    /// run constructs (kernel chosen × operand-size bucket, hub hit/miss).
+    /// Not a tuning knob and never serialized to flags: katric::Engine sets
+    /// it on its per-query option copy when metrics are enabled; null keeps
+    /// recording disabled.
+    obs::KernelStats* kernel_stats = nullptr;
 
     friend bool operator==(const AlgorithmOptions&, const AlgorithmOptions&) = default;
 };
@@ -187,8 +193,11 @@ struct Preprocess {
 /// all-to-all ghost-degree exchange followed by building the degree-oriented
 /// (and, for CETRIC, expanded/contracted) adjacency structures — plus, for
 /// the bitmap-aware kernels, each rank's hub bitmap index — charging the
-/// corresponding linear work. Phase name: "preprocessing". When `record` is
-/// given, the per-phase costs are captured for later replay.
+/// corresponding linear work. Runs as the supersteps
+/// "preprocessing:assemble" / "preprocessing:exchange" /
+/// "preprocessing:apply" (aggregate with the "preprocessing*" pattern).
+/// When `record` is given, the per-phase costs are captured for later
+/// replay.
 void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
                        const AlgorithmOptions& options,
                        PreprocessCosts* record = nullptr);

@@ -39,7 +39,8 @@ AmqResult count_triangles_cetric_amq(net::Simulator& sim, std::vector<DistGraph>
     sim.run_phase("local", [&](net::RankHandle& self) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
-        const seq::AdaptiveIntersect isect(spec.options.intersect, view.hub_index());
+        const seq::AdaptiveIntersect isect(spec.options.intersect, view.hub_index(),
+                                           spec.options.kernel_stats);
         auto process = [&](VertexId v, std::span<const VertexId> a_v) {
             for (VertexId u : a_v) {
                 local_counts[r] +=
@@ -71,7 +72,8 @@ AmqResult count_triangles_cetric_amq(net::Simulator& sim, std::vector<DistGraph>
     auto deliver = [&](net::RankHandle& self, std::span<const std::uint64_t> record) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
-        const seq::AdaptiveIntersect isect(spec.options.intersect, view.hub_index());
+        const seq::AdaptiveIntersect isect(spec.options.intersect, view.hub_index(),
+                                           spec.options.kernel_stats);
         KATRIC_ASSERT(record.size() >= 2);
         const VertexId v = record[0];
         const std::uint64_t kind = record[1];

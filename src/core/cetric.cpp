@@ -48,7 +48,8 @@ CountResult run_cetric(net::Simulator& sim, std::vector<DistGraph>& views,
     sim.run_phase("local", [&](net::RankHandle& self) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
-        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index());
+        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index(),
+                                           options.kernel_stats);
         ThreadBinner binner(options.threads);
         const bool hybrid = options.threads > 1 && sink == nullptr;
         auto process = [&](VertexId v, std::span<const VertexId> a_v) {
@@ -100,7 +101,8 @@ CountResult run_cetric(net::Simulator& sim, std::vector<DistGraph>& views,
     auto deliver = [&](net::RankHandle& self, std::span<const std::uint64_t> record) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
-        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index());
+        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index(),
+                                           options.kernel_stats);
         KATRIC_ASSERT(!record.empty());
         const VertexId v = record[0];
         std::span<const VertexId> a_v;

@@ -51,7 +51,8 @@ CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views
     sim.run_phase("local", [&](net::RankHandle& self) {
         const Rank r = self.rank();
         const DistGraph& view = views[r];
-        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index());
+        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index(),
+                                           options.kernel_stats);
         ThreadBinner binner(options.threads);
         const bool hybrid = options.threads > 1 && sink == nullptr;
         for (VertexId v = view.first_local(); v < view.first_local() + view.num_local();
@@ -101,7 +102,8 @@ CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views
         const Rank r = self.rank();
         if (detect) { detector.note_received(r); }
         const DistGraph& view = views[r];
-        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index());
+        const seq::AdaptiveIntersect isect(options.intersect, view.hub_index(),
+                                           options.kernel_stats);
         KATRIC_ASSERT(!record.empty());
         const VertexId v = record[0];
         std::span<const VertexId> a_v;

@@ -86,7 +86,7 @@ LccResult compute_distributed_lcc(net::Simulator& sim, std::vector<DistGraph>& v
     // Postprocessing: push ghost Δ values to their owners (pairs of
     // (g, zigzag Δ)), sorted for deterministic payloads.
     std::vector<std::vector<net::WordVec>> sends(p, std::vector<net::WordVec>(p));
-    sim.run_phase("postprocess", [&](net::RankHandle& self) {
+    sim.run_phase("postprocess:push", [&](net::RankHandle& self) {
         const Rank r = self.rank();
         const auto pairs = state.drain_ghosts(r);
         self.charge_ops(pairs.size());
@@ -96,8 +96,9 @@ LccResult compute_distributed_lcc(net::Simulator& sim, std::vector<DistGraph>& v
             buffer.push_back(net::encode_signed(amount));
         }
     }, {});
-    auto received = net::all_to_all(sim, std::move(sends), /*sparse=*/true, "postprocess");
-    sim.run_phase("postprocess", [&](net::RankHandle& self) {
+    auto received = net::all_to_all(sim, std::move(sends), /*sparse=*/true,
+                                    "postprocess:exchange");
+    sim.run_phase("postprocess:absorb", [&](net::RankHandle& self) {
         const Rank r = self.rank();
         for (Rank src = 0; src < p; ++src) {
             const auto& payload = received[r][src];
@@ -109,7 +110,7 @@ LccResult compute_distributed_lcc(net::Simulator& sim, std::vector<DistGraph>& v
         }
     }, {});
     KATRIC_ASSERT(state.ghosts_empty());
-    result.postprocess_time = net::phase_time(sim.phases(), "postprocess");
+    result.postprocess_time = net::phase_time_matching(sim.phases(), "postprocess*");
     result.count.total_time = sim.time();
 
     // Host-side assembly of the global result (I/O, not simulated work).

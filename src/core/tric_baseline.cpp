@@ -31,7 +31,7 @@ CountResult run_tric_style(net::Simulator& sim, std::vector<DistGraph>& views,
 
     // TriC never runs the preprocessing phase, so no hub index exists; the
     // dispatcher still honors the size-adaptive kernels.
-    const seq::AdaptiveIntersect isect(options.intersect);
+    const seq::AdaptiveIntersect isect(options.intersect, nullptr, options.kernel_stats);
 
     // --- local pairs ------------------------------------------------------
     sim.run_phase("local", [&](net::RankHandle& self) {

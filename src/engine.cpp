@@ -1,11 +1,13 @@
 #include "engine.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "stream/incremental.hpp"
 #include "stream/incremental_lcc.hpp"
 #include "util/assert.hpp"
+#include "util/timer.hpp"
 
 namespace katric {
 
@@ -44,7 +46,8 @@ Engine::Engine(const graph::CsrGraph& graph, Config config)
     : graph_(&graph),
       config_(validated(std::move(config))),
       partition_(core::make_partition(graph, config_.run_spec())),
-      views_(graph::distribute(graph, partition_)) {
+      views_(graph::distribute(graph, partition_)),
+      obs_(obs::Observability::acquire(config_.metrics, config_.trace_out)) {
     warm_build();
 }
 
@@ -52,9 +55,12 @@ Engine::Engine(const graph::CsrGraph& graph, Config config, graph::Partition1D p
     : graph_(&graph),
       config_(validated(std::move(config))),
       partition_(validated_partition(std::move(partition), graph, config_)),
-      views_(graph::distribute(graph, partition_)) {
+      views_(graph::distribute(graph, partition_)),
+      obs_(obs::Observability::acquire(config_.metrics, config_.trace_out)) {
     warm_build();
 }
+
+std::string Engine::metrics_summary() const { return obs_ ? obs_->summary() : ""; }
 
 void Engine::warm_build() {
     if (!config_.reuse_preprocessing) { return; }
@@ -62,7 +68,9 @@ void Engine::warm_build() {
     // One throwaway machine pays the front half — ghost-degree exchange,
     // orientation, hub bitmaps when the configured kernels want them — on
     // the shared views, recording the cost ledger for later replay.
+    WallTimer timer;
     net::Simulator sim(config_.num_ranks, config_.network);
+    if (obs_) { sim.record_phase_details(true); }
     try {
         core::run_preprocessing(sim, views_, config_.options, &warm_->costs);
     } catch (const net::OomError&) {
@@ -73,6 +81,10 @@ void Engine::warm_build() {
         return;
     }
     ++preprocess_builds_;
+    // The warm build is part of the session's observable timeline even
+    // though no query ran it — later skip-mode queries have no
+    // preprocessing spans of their own.
+    if (obs_) { obs_->observe_query("warm_build", sim, timer.elapsed_seconds()); }
 }
 
 void Engine::ensure_warm_for(const core::RunSpec& spec) {
@@ -114,19 +126,25 @@ core::RunSpec Engine::query_spec(const QueryOptions& query) const {
     auto spec = config_.run_spec();
     if (query.algorithm) { spec.algorithm = *query.algorithm; }
     if (query.options) { spec.options = *query.options; }
+    // The dispatch-mix sink rides the per-query option copy only — never
+    // Config itself, so flag round-trips and option equality stay pure.
+    spec.options.kernel_stats = obs_ ? obs_->kernel_stats_sink() : nullptr;
     return spec;
 }
 
-void Engine::finalize(Report& report, const net::Simulator& sim) {
+void Engine::finalize(Report& report, const net::Simulator& sim, double wall_seconds) {
     accumulate_ops(report, sim);
+    report.phases = net::aggregate_phase_times(sim.phases());
     if (report.count.error != core::RunError::kNone) {
         report.error = report.count.error;
         report.error_message = core::run_error_message(report.error, report.algorithm);
     }
+    if (obs_) { obs_->observe_query(query_name(report.query), sim, wall_seconds); }
     ++queries_;
 }
 
 Report Engine::count(const core::TriangleSink* sink, const QueryOptions& query) {
+    WallTimer timer;
     const auto spec = query_spec(query);
     Report report;
     report.query = Query::kCount;
@@ -135,17 +153,19 @@ Report Engine::count(const core::TriangleSink* sink, const QueryOptions& query) 
     const auto prep = preprocess_policy(query);
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
+    if (obs_) { sim.record_phase_details(true); }
     try {
         report.count = core::dispatch_algorithm(sim, views_, spec, sink, prep);
     } catch (const net::OomError&) {
         report.count.oom = true;
         core::fill_metrics(sim, report.count);
     }
-    finalize(report, sim);
+    finalize(report, sim, timer.elapsed_seconds());
     return report;
 }
 
 Report Engine::lcc(const QueryOptions& query) {
+    WallTimer timer;
     const auto spec = query_spec(query);
     Report report;
     report.query = Query::kLcc;
@@ -154,12 +174,13 @@ Report Engine::lcc(const QueryOptions& query) {
     const auto prep = preprocess_policy(query);
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
+    if (obs_) { sim.record_phase_details(true); }
     auto result = core::compute_distributed_lcc(sim, views_, *graph_, spec, prep);
     report.count = std::move(result.count);
     report.delta = std::move(result.delta);
     report.lcc = std::move(result.lcc);
     report.postprocess_time = result.postprocess_time;
-    finalize(report, sim);
+    finalize(report, sim, timer.elapsed_seconds());
     return report;
 }
 
@@ -197,6 +218,7 @@ Report Engine::enumerate(const core::TriangleSink* sink, const QueryOptions& que
 }
 
 Report Engine::approx_count(const QueryOptions& query) {
+    WallTimer timer;
     const auto spec = query_spec(query);
     const auto& amq = query.amq ? *query.amq : config_.amq;
     Report report;
@@ -211,12 +233,13 @@ Report Engine::approx_count(const QueryOptions& query) {
     const auto prep = preprocess_policy(query);
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
+    if (obs_) { sim.record_phase_details(true); }
     auto result = core::count_triangles_cetric_amq(sim, views_, spec, amq, prep);
     report.count = std::move(result.metrics);
     report.estimated_triangles = result.estimated_triangles;
     report.exact_type12 = result.exact_type12;
     report.estimated_type3 = result.estimated_type3;
-    finalize(report, sim);
+    finalize(report, sim, timer.elapsed_seconds());
     return report;
 }
 
@@ -240,7 +263,7 @@ StreamSession Engine::open_stream() {
     }
     KATRIC_ASSERT_MSG(!initial.oom, "initial static count ran out of memory");
     return StreamSession(*graph_, partition_, config_, std::move(initial),
-                         std::move(initial_delta), initial_reused);
+                         std::move(initial_delta), initial_reused, obs_);
 }
 
 Report Engine::stream(const std::vector<stream::EdgeBatch>& batches,
@@ -259,8 +282,10 @@ StreamSession::StreamSession(const graph::CsrGraph& graph,
                              const graph::Partition1D& partition, Config config,
                              core::CountResult initial,
                              std::vector<std::uint64_t> initial_delta,
-                             bool initial_reused)
+                             bool initial_reused,
+                             std::shared_ptr<obs::Observability> obs)
     : config_(std::move(config)),
+      obs_(std::move(obs)),
       initial_(std::move(initial)),
       initial_reused_(initial_reused),
       sim_(std::make_unique<net::Simulator>(config_.num_ranks, config_.network)),
@@ -269,6 +294,7 @@ StreamSession::StreamSession(const graph::CsrGraph& graph,
       counter_(std::make_unique<stream::IncrementalCounter>(
           *sim_, *views_, config_.options, config_.stream_indirect,
           initial_.triangles)) {
+    if (obs_) { sim_->record_phase_details(true); }
     if (config_.maintain_lcc) {
         lcc_ = std::make_unique<stream::IncrementalLcc>(
             *sim_, *views_, config_.options, config_.stream_indirect, initial_delta);
@@ -276,10 +302,32 @@ StreamSession::StreamSession(const graph::CsrGraph& graph,
     }
 }
 
+StreamSession::~StreamSession() {
+    // The session's simulator accumulates supersteps across every ingested
+    // batch; its timeline goes to the trace once, when the session ends.
+    // A moved-from session holds no simulator and records nothing.
+    if (obs_ && sim_ && obs_->tracing_enabled()) {
+        std::ostringstream label;
+        label << "stream(" << batches_.size() << " batches)";
+        obs_->tracer().record_query(label.str(), *sim_);
+    }
+}
+
 stream::BatchStats StreamSession::ingest(const stream::EdgeBatch& batch) {
+    WallTimer timer;
+    const double sim_before = sim_->time();
     auto stats = counter_->apply_batch(batch);
     if (lcc_) { stats.lcc_seconds = lcc_->finish_batch(); }
     batches_.push_back(stats);
+    if (obs_ && obs_->metrics_enabled()) {
+        auto& registry = obs_->registry();
+        registry.count("query.stream_ingest");
+        registry.observe_latency("query.stream_ingest.latency_seconds",
+                                 timer.elapsed_seconds());
+        registry.observe_latency("query.stream_ingest.sim_seconds",
+                                 sim_->time() - sim_before);
+        registry.observe_size("stream.batch_edges", batch.events.size());
+    }
     return stats;
 }
 
@@ -308,6 +356,7 @@ Report StreamSession::report() const {
     report.initial = initial_;
     report.batches = batches_;
     report.stream_seconds = sim_->time();
+    report.phases = net::aggregate_phase_times(sim_->phases());
     accumulate_ops(report, *sim_);
     if (lcc_) {
         report.delta = lcc_->delta();

@@ -10,6 +10,7 @@
 #include "core/enumerate.hpp"
 #include "core/runner.hpp"
 #include "graph/distributed_graph.hpp"
+#include "obs/observability.hpp"
 #include "report.hpp"
 #include "stream/stream_runner.hpp"
 
@@ -54,13 +55,20 @@ public:
     /// Legacy-shaped result (stream::count_triangles_streaming's shim).
     [[nodiscard]] stream::StreamResult result() const;
 
+    ~StreamSession();
+
 private:
     friend class Engine;
     StreamSession(const graph::CsrGraph& graph, const graph::Partition1D& partition,
                   Config config, core::CountResult initial,
-                  std::vector<std::uint64_t> initial_delta, bool initial_reused);
+                  std::vector<std::uint64_t> initial_delta, bool initial_reused,
+                  std::shared_ptr<obs::Observability> obs);
 
     Config config_;
+    /// Shared with (and outliving) the spawning Engine: ingest latency
+    /// samples land in the registry, and the session's simulated timeline is
+    /// appended to the trace when the session ends.
+    std::shared_ptr<obs::Observability> obs_;
     core::CountResult initial_;
     /// The initial static pass ran on a warm session without the metric
     /// re-charge — propagated into report() so artifacts stay self-describing.
@@ -143,6 +151,17 @@ public:
         return preprocess_builds_;
     }
 
+    /// The session's observability instance (Config::metrics /
+    /// Config::trace_out); null when both are off. Benches read the metrics
+    /// registry and kernel dispatch mix through this.
+    [[nodiscard]] const std::shared_ptr<obs::Observability>& observability()
+        const noexcept {
+        return obs_;
+    }
+    /// Human-readable metrics snapshot (registry + kernel dispatch mix);
+    /// empty when observability is off.
+    [[nodiscard]] std::string metrics_summary() const;
+
     // --- queries (each runs on a fresh simulated machine) ----------------
     /// Exact triangle count with the configured algorithm, or per-query
     /// overrides (the sweep workload: one build, k algorithm/option sets).
@@ -198,8 +217,10 @@ private:
     };
 
     Report enumerate(const core::TriangleSink* sink, const QueryOptions& query);
-    /// Ops telemetry + typed-error propagation shared by every query.
-    void finalize(Report& report, const net::Simulator& sim);
+    /// Ops telemetry, per-phase breakdown, typed-error propagation, and
+    /// observability recording shared by every query. `wall_seconds` is the
+    /// query's host-side latency (the warm-serving p50/p99 substrate).
+    void finalize(Report& report, const net::Simulator& sim, double wall_seconds);
     /// Config::run_spec with the query's overrides applied.
     [[nodiscard]] core::RunSpec query_spec(const QueryOptions& query) const;
     /// Warm sessions: runs the recorded preprocessing build at construction.
@@ -214,6 +235,7 @@ private:
     Config config_;
     graph::Partition1D partition_;
     std::vector<graph::DistGraph> views_;
+    std::shared_ptr<obs::Observability> obs_;
     std::optional<WarmState> warm_;
     std::size_t build_passes_ = 1;
     std::size_t preprocess_builds_ = 0;

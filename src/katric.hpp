@@ -21,6 +21,9 @@
 ///   * Report  — unified result: count, LCC, enumeration, approximation,
 ///               streaming + paper metrics + ops telemetry + one JSON
 ///               emitter (Report::to_json / JsonWriter)       (report.hpp)
+///   * obs     — observability: Chrome-trace span export (--trace-out),
+///               metrics registry with query-latency p50/p99 and kernel
+///               dispatch mix (--metrics)                     (obs/)
 ///
 /// The pre-facade entry points remain as thin shims over a temporary Engine:
 ///   * core::count_triangles(graph, RunSpec)      — DITRIC/CETRIC & baselines
@@ -52,6 +55,8 @@
 #include "graph/permutation.hpp"
 #include "net/network_config.hpp"
 #include "net/termination.hpp"
+#include "obs/observability.hpp"
+#include "obs/trace_check.hpp"
 #include "seq/algorithm_zoo.hpp"
 #include "seq/edge_iterator.hpp"
 #include "seq/lcc.hpp"

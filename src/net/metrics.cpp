@@ -51,4 +51,48 @@ double phase_time(std::span<const PhaseRecord> phases, const std::string& name) 
     return total;
 }
 
+bool phase_name_matches(const std::string& name, const std::string& pattern) {
+    if (!pattern.empty() && pattern.back() == '*') {
+        return name.compare(0, pattern.size() - 1, pattern, 0, pattern.size() - 1) == 0;
+    }
+    return name == pattern;
+}
+
+double phase_time_matching(std::span<const PhaseRecord> phases, const std::string& pattern) {
+    double total = 0.0;
+    for (const auto& p : phases) {
+        if (phase_name_matches(p.name, pattern)) { total += p.duration(); }
+    }
+    return total;
+}
+
+namespace {
+
+std::string phase_group_key(const std::string& name) {
+    const std::size_t cut = name.find_first_of(":/");
+    return cut == std::string::npos ? name : name.substr(0, cut);
+}
+
+}  // namespace
+
+std::vector<PhaseAgg> aggregate_phase_times(std::span<const PhaseRecord> phases) {
+    std::vector<PhaseAgg> groups;
+    for (const auto& p : phases) {
+        const std::string key = phase_group_key(p.name);
+        auto it = std::find_if(groups.begin(), groups.end(),
+                               [&](const PhaseAgg& g) { return g.name == key; });
+        if (it == groups.end()) {
+            groups.push_back(PhaseAgg{key});
+            it = groups.end() - 1;
+        }
+        it->seconds += p.duration();
+        ++it->supersteps;
+        for (const auto& delta : p.rank_delta) {
+            it->messages_sent += delta.messages_sent;
+            it->words_sent += delta.words_sent;
+        }
+    }
+    return groups;
+}
+
 }  // namespace katric::net

@@ -36,10 +36,41 @@ struct PhaseRecord {
     std::string name;
     double start_time = 0.0;
     double end_time = 0.0;  ///< after the closing barrier
+    /// Per-rank detail, filled only when Simulator::record_phase_details is
+    /// on (observability enabled): each rank's busy clock at phase end and
+    /// the metric deltas it accrued during this superstep. Empty otherwise.
+    std::vector<double> rank_busy_end;
+    std::vector<RankMetrics> rank_delta;
     [[nodiscard]] double duration() const noexcept { return end_time - start_time; }
 };
 
 /// Sums the durations of all phases whose name matches exactly.
 [[nodiscard]] double phase_time(std::span<const PhaseRecord> phases, const std::string& name);
+
+/// True if `name` matches `pattern`: exact match, or — when the pattern ends
+/// in '*' — a prefix match ("preprocessing*" matches "preprocessing" and
+/// "preprocessing:exchange").
+[[nodiscard]] bool phase_name_matches(const std::string& name, const std::string& pattern);
+
+/// Sums the durations of all phases whose name matches the pattern
+/// (phase_name_matches semantics). "*" sums everything.
+[[nodiscard]] double phase_time_matching(std::span<const PhaseRecord> phases,
+                                         const std::string& pattern);
+
+/// One row of a fig7-style per-phase breakdown: all supersteps sharing a
+/// group key, with their summed simulated time and communication totals.
+struct PhaseAgg {
+    std::string name;            ///< group key (see aggregate_phase_times)
+    double seconds = 0.0;        ///< summed superstep durations
+    std::size_t supersteps = 0;  ///< number of matching PhaseRecords
+    std::uint64_t messages_sent = 0;  ///< summed over ranks and supersteps
+    std::uint64_t words_sent = 0;     ///< (0 unless phase details recorded)
+};
+
+/// Groups supersteps into a per-phase breakdown, in first-appearance order.
+/// The group key is the superstep name truncated at the first ':' or '/'
+/// separator, so "preprocessing:exchange" and "preprocessing:apply" fold
+/// into one "preprocessing" row while "local" stays its own row.
+[[nodiscard]] std::vector<PhaseAgg> aggregate_phase_times(std::span<const PhaseRecord> phases);
 
 }  // namespace katric::net

@@ -111,6 +111,8 @@ double Simulator::run_phase(const std::string& name, const RankFn& start,
                             const MessageHandler& on_message, const RankFn& on_idle) {
     const double phase_start = barrier_time_;
     std::fill(clocks_.begin(), clocks_.end(), phase_start);
+    std::vector<RankMetrics> metrics_before;
+    if (record_phase_details_) { metrics_before = metrics_; }
     if (start) {
         for (Rank r = 0; r < num_ranks_; ++r) {
             RankHandle handle(*this, r);
@@ -125,7 +127,24 @@ double Simulator::run_phase(const std::string& name, const RankFn& start,
         makespan += config_.alpha * static_cast<double>(katric::ceil_log2(num_ranks_));
     }
     barrier_time_ = makespan;
-    phases_.push_back(PhaseRecord{name, phase_start, barrier_time_});
+    PhaseRecord record{name, phase_start, barrier_time_};
+    if (record_phase_details_) {
+        record.rank_busy_end = clocks_;
+        record.rank_delta.resize(static_cast<std::size_t>(num_ranks_));
+        for (Rank r = 0; r < num_ranks_; ++r) {
+            const RankMetrics& before = metrics_before[r];
+            const RankMetrics& after = metrics_[r];
+            RankMetrics& delta = record.rank_delta[r];
+            delta.messages_sent = after.messages_sent - before.messages_sent;
+            delta.messages_received = after.messages_received - before.messages_received;
+            delta.words_sent = after.words_sent - before.words_sent;
+            delta.words_received = after.words_received - before.words_received;
+            delta.compute_ops = after.compute_ops - before.compute_ops;
+            // Not a monotone counter; carry the phase-end high-water mark.
+            delta.peak_buffered_words = after.peak_buffered_words;
+        }
+    }
+    phases_.push_back(std::move(record));
     return barrier_time_ - phase_start;
 }
 

@@ -107,6 +107,15 @@ public:
     }
     [[nodiscard]] std::span<const PhaseRecord> phases() const noexcept { return phases_; }
 
+    /// When enabled, each PhaseRecord additionally captures per-rank busy
+    /// clocks and per-rank metric deltas for that superstep (the raw data
+    /// behind per-rank trace lanes and per-phase comm breakdowns). Off by
+    /// default: the snapshots cost O(p) copies per superstep.
+    void record_phase_details(bool enabled) { record_phase_details_ = enabled; }
+    [[nodiscard]] bool phase_details_recorded() const noexcept {
+        return record_phase_details_;
+    }
+
 private:
     friend class RankHandle;
 
@@ -135,6 +144,7 @@ private:
     std::uint64_t next_seq_ = 0;
     double barrier_time_ = 0.0;
     std::vector<PhaseRecord> phases_;
+    bool record_phase_details_ = false;
 };
 
 }  // namespace katric::net

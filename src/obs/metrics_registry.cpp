@@ -1,0 +1,42 @@
+#include "obs/metrics_registry.hpp"
+
+#include <sstream>
+
+namespace katric::obs {
+
+std::vector<MetricRow> MetricsRegistry::snapshot() const {
+    std::vector<MetricRow> rows;
+    for (const auto& [name, value] : counters_) {
+        rows.push_back(MetricRow{name, static_cast<double>(value)});
+    }
+    for (const auto& [name, value] : gauges_) { rows.push_back(MetricRow{name, value}); }
+    for (const auto& [name, summary] : summaries_) {
+        rows.push_back(MetricRow{name + ".count", static_cast<double>(summary.count())});
+        if (summary.count() > 0) {
+            rows.push_back(MetricRow{name + ".mean", summary.mean()});
+            rows.push_back(MetricRow{name + ".p50", summary.percentile(0.5)});
+            rows.push_back(MetricRow{name + ".p99", summary.percentile(0.99)});
+            rows.push_back(MetricRow{name + ".max", summary.max()});
+        }
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        rows.push_back(
+            MetricRow{name + ".count", static_cast<double>(histogram.total())});
+        const auto& buckets = histogram.buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            if (buckets[i] == 0) { continue; }
+            std::ostringstream label;
+            label << name << ".le_" << (i == 0 ? 0 : (1ULL << i) - 1);
+            rows.push_back(MetricRow{label.str(), static_cast<double>(buckets[i])});
+        }
+    }
+    return rows;
+}
+
+std::string MetricsRegistry::to_string() const {
+    std::ostringstream out;
+    for (const auto& row : snapshot()) { out << row.name << ' ' << row.value << '\n'; }
+    return out.str();
+}
+
+}  // namespace katric::obs

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/statistics.hpp"
+
+namespace katric::obs {
+
+/// One exported metric row: flat name → value, ready for JSON/table output.
+struct MetricRow {
+    std::string name;
+    double value = 0.0;
+};
+
+/// Name-keyed registry of the four metric shapes the observability layer
+/// uses: monotone counters, set-to-value gauges, Log2Histogram-backed
+/// distributions of integer sizes, and Summary-backed latency samples with
+/// exact percentiles. Names are dotted paths ("query.count.latency_seconds",
+/// "comm.words_sent") — see docs/observability.md for the catalogue.
+///
+/// Ordered maps keep snapshot output deterministic. Not thread-safe: all
+/// recording happens on the Engine's thread.
+class MetricsRegistry {
+public:
+    void count(const std::string& name, std::uint64_t delta = 1) {
+        counters_[name] += delta;
+    }
+    void gauge(const std::string& name, double value) { gauges_[name] = value; }
+    void observe_size(const std::string& name, std::uint64_t value) {
+        histograms_[name].add(value);
+    }
+    void observe_latency(const std::string& name, double seconds) {
+        summaries_[name].add(seconds);
+    }
+
+    [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+        const auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+    [[nodiscard]] const Log2Histogram* histogram(const std::string& name) const {
+        const auto it = histograms_.find(name);
+        return it == histograms_.end() ? nullptr : &it->second;
+    }
+    [[nodiscard]] const Summary* summary(const std::string& name) const {
+        const auto it = summaries_.find(name);
+        return it == summaries_.end() ? nullptr : &it->second;
+    }
+
+    [[nodiscard]] bool empty() const noexcept {
+        return counters_.empty() && gauges_.empty() && histograms_.empty()
+               && summaries_.empty();
+    }
+
+    /// Flattened snapshot, deterministic order: counters and gauges verbatim;
+    /// each summary as .count/.mean/.p50/.p99/.max rows; each histogram as
+    /// .count plus one .le_2^k row per populated bucket upper bound.
+    [[nodiscard]] std::vector<MetricRow> snapshot() const;
+
+    /// snapshot() rendered one "name value" line at a time.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Log2Histogram> histograms_;
+    std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace katric::obs

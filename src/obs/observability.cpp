@@ -1,0 +1,86 @@
+#include "obs/observability.hpp"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace katric::obs {
+
+namespace {
+
+/// Path-keyed registry of live traced instances (see Observability docs).
+/// The mutex only guards acquire-time lookup; recording itself is
+/// single-threaded per session.
+std::mutex g_registry_mutex;
+std::map<std::string, std::weak_ptr<Observability>>& traced_instances() {
+    static std::map<std::string, std::weak_ptr<Observability>> instances;
+    return instances;
+}
+
+}  // namespace
+
+Observability::Observability(bool metrics, std::string trace_path)
+    : metrics_(metrics), trace_path_(std::move(trace_path)) {}
+
+Observability::~Observability() { flush_trace(); }
+
+std::shared_ptr<Observability> Observability::acquire(bool metrics,
+                                                      const std::string& trace_path) {
+    if (!metrics && trace_path.empty()) { return nullptr; }
+    if (trace_path.empty()) {
+        return std::shared_ptr<Observability>(new Observability(metrics, trace_path));
+    }
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    auto& instances = traced_instances();
+    if (auto existing = instances[trace_path].lock()) {
+        existing->metrics_ = existing->metrics_ || metrics;
+        return existing;
+    }
+    std::shared_ptr<Observability> fresh(new Observability(metrics, trace_path));
+    instances[trace_path] = fresh;
+    return fresh;
+}
+
+void Observability::observe_query(const std::string& kind, const net::Simulator& sim,
+                                  double wall_seconds) {
+    if (tracing_enabled()) {
+        std::ostringstream label;
+        label << kind << '#' << tracer_.num_queries();
+        tracer_.record_query(label.str(), sim);
+    }
+    if (!metrics_) { return; }
+    registry_.count("query." + kind);
+    registry_.observe_latency("query." + kind + ".latency_seconds", wall_seconds);
+    registry_.observe_latency("query." + kind + ".sim_seconds", sim.time());
+    for (const auto& rank : sim.rank_metrics()) {
+        registry_.count("comm.messages_sent", rank.messages_sent);
+        registry_.count("comm.words_sent", rank.words_sent);
+        registry_.count("compute.ops", rank.compute_ops);
+        registry_.observe_size("comm.rank_words_sent", rank.words_sent);
+        registry_.observe_size("comm.rank_messages_sent", rank.messages_sent);
+    }
+}
+
+void Observability::observe_span(const std::string& kind, const std::string& label,
+                                 double sim_seconds, double wall_seconds) {
+    if (tracing_enabled()) { tracer_.record_span(label, kind, sim_seconds); }
+    if (!metrics_) { return; }
+    registry_.count("query." + kind);
+    registry_.observe_latency("query." + kind + ".latency_seconds", wall_seconds);
+}
+
+std::string Observability::summary() const {
+    std::ostringstream out;
+    out << registry_.to_string();
+    if (kernel_stats_.total() > 0 || kernel_stats_.hub_hits + kernel_stats_.hub_misses > 0) {
+        out << "-- kernel dispatch mix --\n" << kernel_stats_.to_string();
+    }
+    return out.str();
+}
+
+bool Observability::flush_trace() {
+    if (!tracing_enabled()) { return false; }
+    return tracer_.write(trace_path_);
+}
+
+}  // namespace katric::obs

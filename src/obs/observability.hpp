@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/simulator.hpp"
+#include "obs/kernel_stats.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace katric::obs {
+
+/// The one observability object an Engine session talks to: the metrics
+/// registry, the kernel dispatch-mix sink, and (when a trace path is set)
+/// the span tracer. Null when observability is off — every call site guards
+/// on the pointer, so the disabled path costs one branch.
+///
+/// Lifetime and sharing: acquire() hands out shared_ptrs. Instances with a
+/// trace path are *shared by path* — every Engine (and StreamSession) in the
+/// process that targets the same --trace-out file appends to the same
+/// Tracer, so a bench that builds several engines produces one coherent
+/// timeline instead of each engine overwriting the file. The trace is
+/// written when the last owner releases the instance.
+class Observability {
+public:
+    /// Returns nullptr when both metrics and tracing are off. Otherwise a
+    /// shared instance: fresh for metrics-only requests, path-shared when a
+    /// trace file is requested (metrics_enabled is sticky-or'd across
+    /// acquirers of the same path).
+    [[nodiscard]] static std::shared_ptr<Observability> acquire(
+        bool metrics, const std::string& trace_path);
+
+    ~Observability();
+    Observability(const Observability&) = delete;
+    Observability& operator=(const Observability&) = delete;
+
+    [[nodiscard]] bool metrics_enabled() const noexcept { return metrics_; }
+    [[nodiscard]] bool tracing_enabled() const noexcept { return !trace_path_.empty(); }
+    [[nodiscard]] const std::string& trace_path() const noexcept { return trace_path_; }
+
+    MetricsRegistry& registry() noexcept { return registry_; }
+    [[nodiscard]] const MetricsRegistry& registry() const noexcept { return registry_; }
+    /// The dispatch-mix sink to thread into AlgorithmOptions::kernel_stats
+    /// (null unless metrics are enabled — recording stays zero-cost off).
+    [[nodiscard]] KernelStats* kernel_stats_sink() noexcept {
+        return metrics_ ? &kernel_stats_ : nullptr;
+    }
+    [[nodiscard]] const KernelStats& kernel_stats() const noexcept {
+        return kernel_stats_;
+    }
+    Tracer& tracer() noexcept { return tracer_; }
+    [[nodiscard]] const Tracer& tracer() const noexcept { return tracer_; }
+
+    /// Absorbs one finished query run: appends its spans to the trace,
+    /// its host wall-clock to the per-kind latency summary
+    /// ("query.<kind>.latency_seconds" — the warm-serving p50/p99), and its
+    /// per-rank communication totals to the comm counters and histograms.
+    void observe_query(const std::string& kind, const net::Simulator& sim,
+                       double wall_seconds);
+
+    /// Host-side span + latency sample with no simulator behind it (stream
+    /// ingest batches). `sim_seconds` is the simulated span length.
+    void observe_span(const std::string& kind, const std::string& label,
+                      double sim_seconds, double wall_seconds);
+
+    /// Registry snapshot plus the kernel dispatch mix, human-readable.
+    [[nodiscard]] std::string summary() const;
+
+    /// Writes the trace file now (normally done by the destructor); false
+    /// on I/O failure or when tracing is off.
+    bool flush_trace();
+
+private:
+    Observability(bool metrics, std::string trace_path);
+
+    bool metrics_ = false;
+    std::string trace_path_;
+    MetricsRegistry registry_;
+    KernelStats kernel_stats_;
+    Tracer tracer_;
+};
+
+}  // namespace katric::obs

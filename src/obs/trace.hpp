@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/simulator.hpp"
+
+namespace katric::obs {
+
+/// One closed span on the trace timeline, in microseconds of simulated time
+/// offset from the trace origin. Spans are hierarchical by containment:
+/// query ⊃ phase ⊃ superstep on the control lane, with per-rank busy spans
+/// on the rank lanes.
+struct TraceSpan {
+    std::string name;
+    std::string cat;           ///< "query", "phase", "superstep", "rank"
+    std::uint32_t tid = 0;     ///< lane: 0 = control, 1+r = rank r
+    double begin_us = 0.0;
+    double end_us = 0.0;
+    /// Optional counters rendered as trace-event args (rank lanes: ops and
+    /// words sent in that superstep). Kept as (key, value) pairs.
+    std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+/// Collects hierarchical spans across an Engine session and exports them as
+/// Chrome trace-event JSON (the `{"traceEvents": [...]}` flavour loadable in
+/// chrome://tracing and Perfetto).
+///
+/// Time base: *simulated* seconds, scaled to microseconds. Each recorded
+/// query is appended after the previous one on a running cursor, so a warm
+/// session's query stream reads left-to-right in the viewer even though
+/// every query starts its own Simulator at t = 0.
+///
+/// Lane model (one Perfetto "thread" per lane):
+///   tid 0      — control lane: query spans, phase-group spans, supersteps
+///   tid 1 + r  — rank r: one busy span per superstep it participated in,
+///                with ops/words-sent args (needs record_phase_details)
+class Tracer {
+public:
+    /// Appends the spans of one finished query run. `label` names the query
+    /// span ("count#3", "lcc#0", …); phases/supersteps come from the
+    /// simulator's phase records; rank lanes are emitted only when the
+    /// simulator recorded phase details. Zero-duration supersteps are
+    /// skipped — they carry no information and would render as degenerate
+    /// slices.
+    void record_query(const std::string& label, const net::Simulator& sim);
+
+    /// Appends a single pre-built span at the current cursor (used for
+    /// host-side work that has no simulator, e.g. stream ingest batches).
+    /// `seconds` advances the cursor.
+    void record_span(const std::string& label, const std::string& cat, double seconds);
+
+    [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept { return spans_; }
+    [[nodiscard]] std::size_t num_queries() const noexcept { return queries_; }
+
+    /// Serializes to Chrome trace-event JSON: sorted begin/end event pairs
+    /// plus process/thread metadata naming the lanes.
+    [[nodiscard]] std::string to_json() const;
+
+    /// Writes to_json() to a file; returns false on I/O failure.
+    bool write(const std::string& path) const;
+
+private:
+    std::vector<TraceSpan> spans_;
+    double cursor_us_ = 0.0;      ///< end of the last recorded query
+    std::uint32_t max_tid_ = 0;   ///< widest rank lane seen
+    std::size_t queries_ = 0;
+};
+
+}  // namespace katric::obs

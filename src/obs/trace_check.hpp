@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace katric::obs {
+
+/// Outcome of validating a Chrome trace-event JSON document against the
+/// schema Tracer emits. `ok` with empty `error` on success; otherwise the
+/// first violation found.
+struct TraceCheckResult {
+    bool ok = false;
+    std::string error;
+    std::size_t num_events = 0;  ///< B/E events checked (metadata excluded)
+    std::size_t num_spans = 0;   ///< matched B/E pairs
+
+    explicit operator bool() const noexcept { return ok; }
+};
+
+/// Validates a trace document:
+///   1. it parses as strict JSON (a purpose-built parser — no third-party
+///      dependency — that accepts exactly the RFC 8259 grammar),
+///   2. the top level is an object with a "traceEvents" array,
+///   3. every event is an object with a one-character "ph"; B/E events
+///      carry numeric "ts"/"pid"/"tid" and B events a "name",
+///   4. timestamps are monotone non-decreasing in array order,
+///   5. on each (pid, tid) lane, B/E events form a balanced stack — every
+///      E closes the most recent open B, and nothing stays open at the end.
+[[nodiscard]] TraceCheckResult check_trace_json(const std::string& json);
+
+/// check_trace_json over a file's contents; fails when unreadable.
+[[nodiscard]] TraceCheckResult check_trace_file(const std::string& path);
+
+}  // namespace katric::obs

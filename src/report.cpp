@@ -5,8 +5,45 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/table.hpp"
 
 namespace katric {
+
+namespace {
+
+/// JSON string escaping: quotes, backslashes, and — per RFC 8259 — every
+/// control character (named escapes for the common ones, \u00XX otherwise).
+std::string escaped(const std::string& value) {
+    std::ostringstream out;
+    for (const char c : value) {
+        switch (c) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            case '\t': out << "\\t"; break;
+            case '\r': out << "\\r"; break;
+            case '\b': out << "\\b"; break;
+            case '\f': out << "\\f"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                        << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
+                        << std::setfill(' ');
+                } else {
+                    out << c;
+                }
+        }
+    }
+    return out.str();
+}
+
+std::string rendered_double(double value) {
+    std::ostringstream out;
+    out << std::setprecision(17) << value;
+    return out.str();
+}
+
+}  // namespace
 
 std::string query_name(Query query) {
     switch (query) {
@@ -25,21 +62,28 @@ std::string Report::to_json() const {
     return writer.to_string();
 }
 
-JsonWriter& JsonWriter::field(const std::string& key, const std::string& value) {
-    std::ostringstream out;
-    out << '"';
-    for (const char c : value) {
-        if (c == '"' || c == '\\') { out << '\\'; }
-        out << c;
+std::string Report::phase_table() const {
+    if (phases.empty()) { return ""; }
+    Table table({"phase", "seconds", "supersteps", "messages", "words"});
+    for (const auto& phase : phases) {
+        table.row()
+            .cell(phase.name)
+            .cell(phase.seconds, 6)
+            .cell(static_cast<std::uint64_t>(phase.supersteps))
+            .cell(phase.messages_sent)
+            .cell(phase.words_sent);
     }
-    out << '"';
-    return raw(key, out.str());
+    std::ostringstream out;
+    table.print(out);
+    return out.str();
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& value) {
+    return raw(key, '"' + escaped(value) + '"');
 }
 
 JsonWriter& JsonWriter::field(const std::string& key, double value) {
-    std::ostringstream out;
-    out << std::setprecision(17) << value;
-    return raw(key, out.str());
+    return raw(key, rendered_double(value));
 }
 
 JsonWriter& JsonWriter::field(const std::string& key, std::uint64_t value) {
@@ -48,6 +92,39 @@ JsonWriter& JsonWriter::field(const std::string& key, std::uint64_t value) {
 
 JsonWriter& JsonWriter::field(const std::string& key, std::int64_t value) {
     return raw(key, std::to_string(value));
+}
+
+namespace {
+
+template <typename T, typename Render>
+std::string rendered_array(std::span<const T> values, const Render& render) {
+    std::ostringstream out;
+    out << '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) { out << ", "; }
+        out << render(values[i]);
+    }
+    out << ']';
+    return out.str();
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::field(const std::string& key,
+                              std::span<const std::string> values) {
+    return raw(key, rendered_array(values, [](const std::string& v) {
+                   return '"' + escaped(v) + '"';
+               }));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::span<const double> values) {
+    return raw(key, rendered_array(values, rendered_double));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key,
+                              std::span<const std::uint64_t> values) {
+    return raw(key, rendered_array(values,
+                                   [](std::uint64_t v) { return std::to_string(v); }));
 }
 
 JsonWriter& JsonWriter::report_fields(const Report& report) {
@@ -75,6 +152,24 @@ JsonWriter& JsonWriter::report_fields(const Report& report) {
     field("total_compute_ops", report.total_compute_ops);
     field("max_compute_ops", report.max_compute_ops);
     field("reused_preprocessing", std::uint64_t{report.reused_preprocessing ? 1u : 0u});
+    if (!report.phases.empty()) {
+        // Per-phase breakdown as parallel arrays — fig7's sections, one
+        // entry per phase group, same index across the four arrays.
+        std::vector<std::string> names;
+        std::vector<double> seconds;
+        std::vector<std::uint64_t> supersteps;
+        std::vector<std::uint64_t> words;
+        for (const auto& phase : report.phases) {
+            names.push_back(phase.name);
+            seconds.push_back(phase.seconds);
+            supersteps.push_back(phase.supersteps);
+            words.push_back(phase.words_sent);
+        }
+        field("phase_names", std::span<const std::string>(names));
+        field("phase_seconds", std::span<const double>(seconds));
+        field("phase_supersteps", std::span<const std::uint64_t>(supersteps));
+        field("phase_words_sent", std::span<const std::uint64_t>(words));
+    }
     switch (report.query) {
         case Query::kCount: break;
         case Query::kLcc: {

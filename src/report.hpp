@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/enumerate.hpp"
 #include "core/runner.hpp"
+#include "net/metrics.hpp"
 #include "stream/incremental.hpp"
 
 namespace katric {
@@ -48,6 +50,12 @@ struct Report {
     std::uint64_t total_compute_ops = 0;
     std::uint64_t max_compute_ops = 0;
 
+    /// Per-phase breakdown (fig7's sections): every superstep group of the
+    /// query's simulated run, with summed time and — when the simulator
+    /// recorded phase details (tracing/metrics on) — per-phase comm totals.
+    /// Populated by Engine queries; empty on the legacy entry points.
+    std::vector<net::PhaseAgg> phases;
+
     /// True when this query reused cached preprocessing state WITHOUT the
     /// metric re-charge (Config::reuse_preprocessing with the fidelity
     /// replay off): preprocessing_time and the ghost-exchange message
@@ -80,8 +88,13 @@ struct Report {
 
     /// The single JSON emitter: one flat object with the query name, the
     /// algorithm, every CountResult metric, the ops telemetry, and the
-    /// scalar query-specific fields (vectors are summarized, not dumped).
+    /// scalar query-specific fields (vectors are summarized, not dumped —
+    /// except the per-phase breakdown, emitted as parallel arrays).
     [[nodiscard]] std::string to_json() const;
+
+    /// The per-phase breakdown as an aligned text table (fig7's sections),
+    /// one row per phase group; empty string when no phases were recorded.
+    [[nodiscard]] std::string phase_table() const;
 };
 
 /// Flat-JSON array writer shared by Report::to_json, the benches, and CI
@@ -98,6 +111,13 @@ public:
     JsonWriter& field(const std::string& key, double value);
     JsonWriter& field(const std::string& key, std::uint64_t value);
     JsonWriter& field(const std::string& key, std::int64_t value);
+
+    /// Array-valued fields (the per-phase breakdown and metric snapshots):
+    /// one level of nesting — arrays of scalars, never arrays of objects, so
+    /// the output stays trivially greppable and diffable.
+    JsonWriter& field(const std::string& key, std::span<const std::string> values);
+    JsonWriter& field(const std::string& key, std::span<const double> values);
+    JsonWriter& field(const std::string& key, std::span<const std::uint64_t> values);
 
     /// Appends a Report's scalar fields onto the current row — the shared
     /// vocabulary every bench's --json artifact speaks.

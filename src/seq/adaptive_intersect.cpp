@@ -8,12 +8,14 @@ namespace katric::seq {
 namespace {
 
 /// Resolves which side (if any) can be served from the hub index. Returns
-/// the intersection result, or nullopt when neither row is covered.
+/// the intersection result, or nullopt when neither row is covered. On
+/// success `choice` reports which bitmap kernel ran.
 std::optional<IntersectResult> try_bitmap(const HubBitmapIndex* hubs,
                                           std::span<const graph::VertexId> a,
                                           std::span<const graph::VertexId> b,
                                           graph::VertexId a_id, graph::VertexId b_id,
-                                          std::vector<graph::VertexId>* out) {
+                                          std::vector<graph::VertexId>* out,
+                                          obs::KernelChoice& choice) {
     if (hubs == nullptr || hubs->empty()) { return std::nullopt; }
     // No row shorter than the smallest indexed row can be covered, so such
     // operands — the vast majority of calls — skip the hash probe entirely;
@@ -30,9 +32,11 @@ std::optional<IntersectResult> try_bitmap(const HubBitmapIndex* hubs,
         // other's bitmap is cheaper (sparse rows in a large universe).
         const std::uint64_t probe_cost = std::min(a.size(), b.size());
         if (hubs->words_per_row() <= probe_cost) {
+            choice = obs::KernelChoice::kBitmapHubHub;
             return hubs->intersect_hub_hub(*a_hub, *b_hub);
         }
     }
+    choice = obs::KernelChoice::kBitmapProbe;
     if (b_hub != nullptr && !(a_hub != nullptr && a.size() > b.size())) {
         // Probe the (typically smaller) non-hub side through b's bitmap.
         return out == nullptr ? hubs->intersect_count(*b_hub, a)
@@ -51,23 +55,47 @@ IntersectResult AdaptiveIntersect::count(std::span<const graph::VertexId> a,
                                          std::span<const graph::VertexId> b,
                                          graph::VertexId a_id,
                                          graph::VertexId b_id) const {
+    const std::size_t smaller = std::min(a.size(), b.size());
     switch (kind_) {
-        case IntersectKind::kMerge: return intersect_merge(a, b);
-        case IntersectKind::kBinary: return intersect_binary(a, b);
-        case IntersectKind::kHybrid: return intersect_hybrid(a, b);
-        case IntersectKind::kGalloping: return intersect_simd_galloping(a, b);
-        case IntersectKind::kSimd: return intersect_simd_merge(a, b);
+        case IntersectKind::kMerge:
+            note(obs::KernelChoice::kMerge, smaller);
+            return intersect_merge(a, b);
+        case IntersectKind::kBinary:
+            note(obs::KernelChoice::kBinary, smaller);
+            return intersect_binary(a, b);
+        case IntersectKind::kHybrid:
+            note(obs::KernelChoice::kHybrid, smaller);
+            return intersect_hybrid(a, b);
+        case IntersectKind::kGalloping:
+            note(obs::KernelChoice::kGalloping, smaller);
+            return intersect_simd_galloping(a, b);
+        case IntersectKind::kSimd:
+            note(obs::KernelChoice::kSimdMerge, smaller);
+            return intersect_simd_merge(a, b);
         case IntersectKind::kBitmap:
             // No hub coverage: degrade exactly like the span-only
             // seq::intersect() entry point, so the named kernel charges the
             // same ops on every call path.
             [[fallthrough]];
-        case IntersectKind::kAdaptive:
-            if (auto r = try_bitmap(hubs_, a, b, a_id, b_id, nullptr)) { return *r; }
+        case IntersectKind::kAdaptive: {
+            obs::KernelChoice bitmap_choice = obs::KernelChoice::kBitmapProbe;
+            if (auto r = try_bitmap(hubs_, a, b, a_id, b_id, nullptr, bitmap_choice)) {
+                if (stats_ != nullptr) {
+                    ++stats_->hub_hits;
+                    stats_->record(bitmap_choice, smaller);
+                }
+                return *r;
+            }
+            if (stats_ != nullptr && hubs_ != nullptr && !hubs_->empty()) {
+                ++stats_->hub_misses;
+            }
             if (probe_search_pays_off(a.size(), b.size())) {
+                note(obs::KernelChoice::kGalloping, smaller);
                 return intersect_simd_galloping(a, b);
             }
+            note(obs::KernelChoice::kSimdMerge, smaller);
             return intersect_simd_merge(a, b);
+        }
     }
     return {};
 }
@@ -77,21 +105,40 @@ IntersectResult AdaptiveIntersect::collect(std::span<const graph::VertexId> a,
                                            std::vector<graph::VertexId>& out,
                                            graph::VertexId a_id,
                                            graph::VertexId b_id) const {
+    const std::size_t smaller = std::min(a.size(), b.size());
     switch (kind_) {
         case IntersectKind::kMerge:
         case IntersectKind::kBinary:
-        case IntersectKind::kHybrid: return intersect_merge_collect(a, b, out);
+        case IntersectKind::kHybrid:
+            note(obs::KernelChoice::kMerge, smaller);
+            return intersect_merge_collect(a, b, out);
         case IntersectKind::kGalloping:
+            note(obs::KernelChoice::kGalloping, smaller);
             return intersect_simd_galloping_collect(a, b, out);
-        case IntersectKind::kSimd: return intersect_simd_merge_collect(a, b, out);
+        case IntersectKind::kSimd:
+            note(obs::KernelChoice::kSimdMerge, smaller);
+            return intersect_simd_merge_collect(a, b, out);
         case IntersectKind::kBitmap:
             [[fallthrough]];  // no hub coverage degrades like kAdaptive
-        case IntersectKind::kAdaptive:
-            if (auto r = try_bitmap(hubs_, a, b, a_id, b_id, &out)) { return *r; }
+        case IntersectKind::kAdaptive: {
+            obs::KernelChoice bitmap_choice = obs::KernelChoice::kBitmapProbe;
+            if (auto r = try_bitmap(hubs_, a, b, a_id, b_id, &out, bitmap_choice)) {
+                if (stats_ != nullptr) {
+                    ++stats_->hub_hits;
+                    stats_->record(bitmap_choice, smaller);
+                }
+                return *r;
+            }
+            if (stats_ != nullptr && hubs_ != nullptr && !hubs_->empty()) {
+                ++stats_->hub_misses;
+            }
             if (probe_search_pays_off(a.size(), b.size())) {
+                note(obs::KernelChoice::kGalloping, smaller);
                 return intersect_simd_galloping_collect(a, b, out);
             }
+            note(obs::KernelChoice::kSimdMerge, smaller);
             return intersect_simd_merge_collect(a, b, out);
+        }
     }
     return {};
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "obs/kernel_stats.hpp"
 #include "seq/bitmap_index.hpp"
 #include "seq/intersection.hpp"
 #include "seq/intersection_simd.hpp"
@@ -31,15 +32,22 @@ namespace katric::seq {
 /// against probing the smaller row and takes the cheaper one. All kernels
 /// return exactly the same count/elements; only the measured `ops` — and
 /// therefore the simulated compute charge — differ.
+///
+/// When an obs::KernelStats sink is attached, every call additionally
+/// records the kernel that actually fired (bucketed by smaller-operand
+/// size) and, on the hub-aware kinds, whether the hub index served the
+/// call — the dispatch-mix telemetry behind crossover tuning. With the
+/// default null sink the recording branch is a single predictable test.
 class AdaptiveIntersect {
 public:
     AdaptiveIntersect() = default;
-    explicit AdaptiveIntersect(IntersectKind kind,
-                               const HubBitmapIndex* hubs = nullptr) noexcept
-        : kind_(kind), hubs_(hubs) {}
+    explicit AdaptiveIntersect(IntersectKind kind, const HubBitmapIndex* hubs = nullptr,
+                               obs::KernelStats* stats = nullptr) noexcept
+        : kind_(kind), hubs_(hubs), stats_(stats) {}
 
     [[nodiscard]] IntersectKind kind() const noexcept { return kind_; }
     [[nodiscard]] const HubBitmapIndex* hubs() const noexcept { return hubs_; }
+    [[nodiscard]] obs::KernelStats* stats() const noexcept { return stats_; }
 
     /// Count-only intersection. Pass the operands' vertex IDs when known —
     /// kInvalidVertex (the default) skips hub lookup for that side.
@@ -57,8 +65,13 @@ public:
                             graph::VertexId b_id = graph::kInvalidVertex) const;
 
 private:
+    void note(obs::KernelChoice choice, std::size_t smaller) const noexcept {
+        if (stats_ != nullptr) { stats_->record(choice, smaller); }
+    }
+
     IntersectKind kind_ = IntersectKind::kMerge;
     const HubBitmapIndex* hubs_ = nullptr;
+    obs::KernelStats* stats_ = nullptr;
 };
 
 }  // namespace katric::seq

@@ -92,6 +92,12 @@ void Log2Histogram::add(std::uint64_t value) {
     ++total_;
 }
 
+void Log2Histogram::merge(const Log2Histogram& other) {
+    if (other.buckets_.size() > buckets_.size()) { buckets_.resize(other.buckets_.size(), 0); }
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) { buckets_[i] += other.buckets_[i]; }
+    total_ += other.total_;
+}
+
 std::string Log2Histogram::to_string() const {
     std::ostringstream out;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {

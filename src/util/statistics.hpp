@@ -59,6 +59,9 @@ private:
 class Log2Histogram {
 public:
     void add(std::uint64_t value);
+    /// Bucket-wise sum with another histogram (buckets grow as needed), so
+    /// per-rank histograms can be reduced into a machine-wide one.
+    void merge(const Log2Histogram& other);
     [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
     [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
     [[nodiscard]] std::string to_string() const;

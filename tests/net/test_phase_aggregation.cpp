@@ -1,0 +1,150 @@
+// net::phase_name_matches / phase_time_matching / aggregate_phase_times and
+// the Simulator's opt-in per-phase detail capture — the substrate of the
+// fig7 breakdown and the per-rank trace lanes.
+
+#include "net/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/simulator.hpp"
+
+namespace katric::net {
+namespace {
+
+NetworkConfig test_network() { return NetworkConfig{}; }
+
+/// Four supersteps with the obs-era names: two preprocessing legs, a local
+/// leg, a global leg. Rank 0 sends in every phase; rank 1 only computes.
+void run_workload(Simulator& sim) {
+    const auto send_from_zero = [](RankHandle& rank) {
+        rank.charge_ops(50);
+        if (rank.rank() == 0) { rank.send(1, {1, 2, 3, 4}); }
+    };
+    const auto swallow = [](RankHandle&, Rank, int, std::span<const std::uint64_t>) {};
+    sim.run_phase("preprocessing:assemble", send_from_zero, swallow);
+    sim.run_phase("preprocessing:exchange", send_from_zero, swallow);
+    sim.run_phase("local", send_from_zero, swallow);
+    sim.run_phase("global", send_from_zero, swallow);
+}
+
+TEST(PhaseNameMatches, ExactAndPrefix) {
+    EXPECT_TRUE(phase_name_matches("local", "local"));
+    EXPECT_FALSE(phase_name_matches("local", "loc"));
+    EXPECT_TRUE(phase_name_matches("preprocessing:exchange", "preprocessing*"));
+    EXPECT_TRUE(phase_name_matches("preprocessing", "preprocessing*"));
+    EXPECT_FALSE(phase_name_matches("preproc", "preprocessing*"));
+    EXPECT_FALSE(phase_name_matches("local", "preprocessing*"));
+    EXPECT_TRUE(phase_name_matches("anything", "*"));
+    EXPECT_TRUE(phase_name_matches("", "*"));
+}
+
+TEST(PhaseTimeMatching, PrefixSumsEqualPhaseSums) {
+    Simulator sim(2, test_network());
+    run_workload(sim);
+    const auto phases = sim.phases();
+    ASSERT_EQ(phases.size(), 4u);
+
+    const double assemble = phase_time(phases, "preprocessing:assemble");
+    const double exchange = phase_time(phases, "preprocessing:exchange");
+    EXPECT_GT(assemble, 0.0);
+    EXPECT_DOUBLE_EQ(phase_time_matching(phases, "preprocessing*"),
+                     assemble + exchange);
+    EXPECT_DOUBLE_EQ(phase_time_matching(phases, "local"), phase_time(phases, "local"));
+    const double all = phase_time_matching(phases, "*");
+    EXPECT_DOUBLE_EQ(all, assemble + exchange + phase_time(phases, "local")
+                              + phase_time(phases, "global"));
+}
+
+TEST(AggregatePhaseTimes, GroupsBySeparatorInFirstAppearanceOrder) {
+    Simulator sim(2, test_network());
+    run_workload(sim);
+    const auto agg = aggregate_phase_times(sim.phases());
+    ASSERT_EQ(agg.size(), 3u);
+    EXPECT_EQ(agg[0].name, "preprocessing");
+    EXPECT_EQ(agg[0].supersteps, 2u);
+    EXPECT_EQ(agg[1].name, "local");
+    EXPECT_EQ(agg[1].supersteps, 1u);
+    EXPECT_EQ(agg[2].name, "global");
+    EXPECT_DOUBLE_EQ(agg[0].seconds,
+                     phase_time_matching(sim.phases(), "preprocessing*"));
+    // Comm columns need record_phase_details; without it they stay 0.
+    EXPECT_EQ(agg[0].words_sent, 0u);
+    EXPECT_EQ(agg[0].messages_sent, 0u);
+}
+
+TEST(AggregatePhaseTimes, SlashSeparatorGroupsToo) {
+    std::vector<PhaseRecord> phases(3);
+    phases[0].name = "stream/delete";
+    phases[0].end_time = 1.0;
+    phases[1].name = "stream/insert";
+    phases[1].start_time = 1.0;
+    phases[1].end_time = 3.0;
+    phases[2].name = "flush";
+    phases[2].start_time = 3.0;
+    phases[2].end_time = 3.5;
+    const auto agg = aggregate_phase_times(phases);
+    ASSERT_EQ(agg.size(), 2u);
+    EXPECT_EQ(agg[0].name, "stream");
+    EXPECT_EQ(agg[0].supersteps, 2u);
+    EXPECT_DOUBLE_EQ(agg[0].seconds, 3.0);
+    EXPECT_EQ(agg[1].name, "flush");
+}
+
+TEST(AggregatePhaseTimes, EmptyInputYieldsEmptyBreakdown) {
+    EXPECT_TRUE(aggregate_phase_times({}).empty());
+}
+
+TEST(PhaseDetails, OffByDefaultAndRecordsAreLean) {
+    Simulator sim(2, test_network());
+    EXPECT_FALSE(sim.phase_details_recorded());
+    run_workload(sim);
+    for (const auto& phase : sim.phases()) {
+        EXPECT_TRUE(phase.rank_busy_end.empty());
+        EXPECT_TRUE(phase.rank_delta.empty());
+    }
+}
+
+TEST(PhaseDetails, CapturesPerRankBusyClocksAndMetricDeltas) {
+    Simulator sim(2, test_network());
+    sim.record_phase_details(true);
+    run_workload(sim);
+
+    const auto phases = sim.phases();
+    ASSERT_EQ(phases.size(), 4u);
+    std::uint64_t delta_words = 0;
+    std::uint64_t delta_messages = 0;
+    for (const auto& phase : phases) {
+        ASSERT_EQ(phase.rank_busy_end.size(), 2u);
+        ASSERT_EQ(phase.rank_delta.size(), 2u);
+        for (Rank r = 0; r < 2; ++r) {
+            // Busy clocks sit inside the superstep's [start, end] window
+            // (end includes the closing barrier).
+            EXPECT_GE(phase.rank_busy_end[r], phase.start_time);
+            EXPECT_LE(phase.rank_busy_end[r], phase.end_time);
+            delta_words += phase.rank_delta[r].words_sent;
+            delta_messages += phase.rank_delta[r].messages_sent;
+        }
+        // Only rank 0 sends, and it sends exactly once per superstep.
+        EXPECT_EQ(phase.rank_delta[0].messages_sent, 1u);
+        EXPECT_EQ(phase.rank_delta[1].messages_sent, 0u);
+        EXPECT_GT(phase.rank_delta[0].compute_ops, 0u);
+    }
+    // The per-phase deltas tile the whole-run totals exactly.
+    std::uint64_t total_words = 0;
+    std::uint64_t total_messages = 0;
+    for (const auto& rank : sim.rank_metrics()) {
+        total_words += rank.words_sent;
+        total_messages += rank.messages_sent;
+    }
+    EXPECT_EQ(delta_words, total_words);
+    EXPECT_EQ(delta_messages, total_messages);
+
+    // And the aggregation folds them into the fig7 rows.
+    const auto agg = aggregate_phase_times(phases);
+    ASSERT_EQ(agg.size(), 3u);
+    EXPECT_EQ(agg[0].messages_sent, 2u);  // one send per preprocessing leg
+    EXPECT_GT(agg[0].words_sent, 0u);
+}
+
+}  // namespace
+}  // namespace katric::net

@@ -92,5 +92,47 @@ TEST(Log2Histogram, BucketsByPowerOfTwo) {
     EXPECT_FALSE(h.to_string().empty());
 }
 
+TEST(Log2Histogram, MergeEqualsSequentialAdds) {
+    Log2Histogram whole;
+    Log2Histogram left;
+    Log2Histogram right;
+    for (std::uint64_t v : {0u, 1u, 2u, 3u, 7u, 64u, 64u, 5000u}) {
+        whole.add(v);
+        (v < 4 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.total(), whole.total());
+    EXPECT_EQ(left.buckets(), whole.buckets());
+}
+
+TEST(Log2Histogram, MergeGrowsBuckets) {
+    Log2Histogram narrow;
+    narrow.add(1);
+    Log2Histogram wide;
+    wide.add(1 << 20);
+    // Merging a wider histogram must grow the receiver, not drop buckets.
+    narrow.merge(wide);
+    EXPECT_EQ(narrow.total(), 2u);
+    EXPECT_EQ(narrow.buckets().size(), wide.buckets().size());
+    EXPECT_EQ(narrow.buckets()[1], 1u);
+    EXPECT_EQ(narrow.buckets()[21], 1u);  // 2^20 lands in [2^20, 2^21)
+    // The narrower operand is untouched by being merged from.
+    EXPECT_EQ(wide.total(), 1u);
+}
+
+TEST(Log2Histogram, MergeWithEmptyIsIdentity) {
+    Log2Histogram h;
+    h.add(5);
+    h.add(9);
+    const auto before = h.buckets();
+    Log2Histogram empty;
+    h.merge(empty);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_EQ(h.buckets(), before);
+    empty.merge(h);
+    EXPECT_EQ(empty.total(), 2u);
+    EXPECT_EQ(empty.buckets(), h.buckets());
+}
+
 }  // namespace
 }  // namespace katric
