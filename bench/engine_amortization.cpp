@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
         for (const auto algorithm : algorithms) {
             auto spec = config.run_spec();
             spec.algorithm = algorithm;
-            results.push_back(core::count_triangles(g, spec));
+            results.push_back(Engine(g, Config::from_run_spec(spec)).count().count);
         }
         const double oneshot_elapsed = timer.elapsed_seconds();
         if (oneshot_wall < 0.0 || oneshot_elapsed < oneshot_wall) {
@@ -205,7 +205,8 @@ int main(int argc, char** argv) {
         for (const auto algorithm : family) {
             auto spec = config.run_spec();
             spec.algorithm = algorithm;
-            rebuild_check += core::count_triangles(g, spec).triangles;
+            rebuild_check +=
+                Engine(g, Config::from_run_spec(spec)).count().count.triangles;
         }
     }
     const double rebuild_round =

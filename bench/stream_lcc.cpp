@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
         // Full alternative: rebuild the current graph and run the static
         // LCC pipeline from scratch on a fresh machine.
         const auto current = session.materialize_global();
-        const auto full = core::compute_distributed_lcc(current, config.run_spec());
+        const auto full = Engine(current, config).lcc();
         KATRIC_ASSERT(!full.count.oom);
 
         // CI correctness guard: the incremental vectors must be exact. On

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
         // static pipeline from scratch (build included — that is the cost
         // the session amortizes away).
         const auto current = session.materialize_global();
-        const auto recount = core::count_triangles(current, config.run_spec());
+        const auto recount = Engine(current, config).count().count;
         KATRIC_ASSERT(!recount.oom);
         if (recount.triangles != stats.triangles) {
             // The bench doubles as the CI correctness smoke: a divergence

@@ -147,6 +147,12 @@ void Config::register_cli(CliParser& cli, const Config& defaults) {
     cli.option("trace-out", defaults.trace_out,
                "write Chrome trace-event JSON of every query's phase/superstep "
                "spans to this path (empty = tracing off)");
+    cli.option("serve-threads", std::to_string(defaults.serve_threads),
+               "Engine::serve worker threads over the shared warm state "
+               "(0 = serve-time default of 4)");
+    cli.option("queue-depth", std::to_string(defaults.queue_depth),
+               "Engine::serve admission-queue capacity; submissions beyond it "
+               "are rejected with ServeError::kRejected (0 = default of 64)");
     cli.option("amq-fpr", format_double(defaults.amq.target_fpr),
                "Bloom-filter false-positive-rate target for approx_count");
     cli.option("amq-truthful", format_bool(defaults.amq.truthful),
@@ -198,6 +204,8 @@ Config Config::from_args(const CliParser& cli) {
         cli.get_uint("charge-reused-preprocessing") != 0;
     config.metrics = cli.get_uint("metrics") != 0;
     config.trace_out = cli.get_string("trace-out");
+    config.serve_threads = static_cast<int>(cli.get_uint("serve-threads"));
+    config.queue_depth = static_cast<std::size_t>(cli.get_uint("queue-depth"));
     config.amq.target_fpr = cli.get_double("amq-fpr");
     config.amq.truthful = cli.get_uint("amq-truthful") != 0;
     config.amq.adaptive = cli.get_uint("amq-adaptive") != 0;
@@ -309,6 +317,8 @@ std::vector<std::string> Config::to_flags() const {
                     + format_bool(charge_reused_preprocessing));
     flags.push_back("--metrics=" + format_bool(metrics));
     flags.push_back("--trace-out=" + trace_out);
+    flags.push_back("--serve-threads=" + std::to_string(serve_threads));
+    flags.push_back("--queue-depth=" + std::to_string(queue_depth));
     flags.push_back("--amq-fpr=" + format_double(amq.target_fpr));
     flags.push_back("--amq-truthful=" + format_bool(amq.truthful));
     flags.push_back("--amq-adaptive=" + format_bool(amq.adaptive));

@@ -78,6 +78,15 @@ struct Config {
     /// append to one timeline.
     std::string trace_out;
 
+    /// Serving (Engine::serve): worker threads running submitted queries
+    /// against the shared warm state. 0 falls back to the ServeOptions /
+    /// built-in default of 4 at session open.
+    int serve_threads = 0;
+    /// Serving: admission-queue capacity. Submissions beyond this many
+    /// waiting requests are rejected with ServeError::kRejected instead of
+    /// blocking the submitter. 0 falls back to the default of 64.
+    std::size_t queue_depth = 0;
+
     /// Approximate-counting knobs (Engine::approx_count).
     core::AmqOptions amq = {};
 
@@ -95,8 +104,8 @@ struct Config {
     /// --memory-limit --intersect --hub-threshold --buffer-threshold
     /// --threads --pes-per-node --compress --detect-termination --indirect
     /// --maintain-lcc --reuse-preprocessing --charge-reused-preprocessing
-    /// --metrics --trace-out --amq-fpr --amq-truthful --amq-adaptive
-    /// --amq-seed.
+    /// --metrics --trace-out --serve-threads --queue-depth --amq-fpr
+    /// --amq-truthful --amq-adaptive --amq-seed.
     static void register_cli(CliParser& cli, const Config& defaults);
     static void register_cli(CliParser& cli);  ///< defaults = Config{}
     /// Reads a parsed CliParser (register_cli must have declared the flags).

@@ -157,16 +157,13 @@ void charge_preprocessing(net::Simulator& sim, const PreprocessCosts& costs,
         self.charge_ops(costs.assembly_ops[self.rank()]);
     }, {});
 
-    // Zero-filled payloads of the recorded sizes: the machine model charges
-    // by length only, so the replayed exchange is metric-identical.
-    std::vector<std::vector<net::WordVec>> sends(p, std::vector<net::WordVec>(p));
-    for (Rank src = 0; src < p; ++src) {
-        for (Rank dest = 0; dest < p; ++dest) {
-            sends[src][dest].assign(costs.payload_words[src][dest], 0);
-        }
-    }
-    (void)net::all_to_all(sim, std::move(sends), /*sparse=*/false,
-                          "preprocessing:exchange");
+    // Size-only replay of the recorded exchange: the machine model charges
+    // by length only, so this is metric-identical to the original dense
+    // all-to-all — at O(p²) host cost instead of O(exchange volume), which
+    // is what keeps charge_reused_preprocessing cheap enough to run per
+    // query under concurrent serving.
+    net::charge_all_to_all(sim, costs.payload_words, /*sparse=*/false,
+                           "preprocessing:exchange");
 
     sim.run_phase("preprocessing:apply", [&](net::RankHandle& self) {
         const Rank r = self.rank();
@@ -176,12 +173,46 @@ void charge_preprocessing(net::Simulator& sim, const PreprocessCosts& costs,
     }, {});
 }
 
-void apply_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
+std::optional<AlgorithmOptions> preprocess_options(Algorithm algorithm,
+                                                  const AlgorithmOptions& options) {
+    switch (algorithm) {
+        case Algorithm::kTricStyle:
+            // TriC-style keeps the undirected adjacency and static buffers —
+            // no orientation pass, no ghost-degree exchange.
+            return std::nullopt;
+        case Algorithm::kHavoqgtStyle: {
+            // The wedge-query baseline orients but never intersects rows, so
+            // its preprocessing must not build (or charge for) hub bitmaps.
+            AlgorithmOptions prep = options;
+            prep.intersect = seq::IntersectKind::kMerge;
+            return prep;
+        }
+        default:
+            return options;
+    }
+}
+
+Preprocess hoist_preprocess_build(net::Simulator& sim, std::vector<DistGraph>& views,
+                                  Algorithm algorithm, const AlgorithmOptions& options,
+                                  const Preprocess& preprocess) {
+    if (preprocess.mode != Preprocess::Mode::kBuild) { return preprocess; }
+    const auto prep = preprocess_options(algorithm, options);
+    if (!prep.has_value()) { return preprocess; }
+    run_preprocessing(sim, views, *prep, preprocess.record);
+    // The build already ran (and was charged); the algorithm body must only
+    // consume the now-prebuilt views.
+    Preprocess done;
+    done.mode = Preprocess::Mode::kSkip;
+    return done;
+}
+
+void apply_preprocessing(net::Simulator& sim, const std::vector<DistGraph>& views,
                          const AlgorithmOptions& options, const Preprocess& preprocess) {
     switch (preprocess.mode) {
         case Preprocess::Mode::kBuild:
-            run_preprocessing(sim, views, options, preprocess.record);
-            return;
+            KATRIC_THROW("apply_preprocessing cannot build on const views — hoist the "
+                         "build with hoist_preprocess_build before entering the "
+                         "algorithm body");
         case Preprocess::Mode::kCharge:
         case Preprocess::Mode::kSkip:
             for (const auto& view : views) {

@@ -210,11 +210,33 @@ void run_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
 void charge_preprocessing(net::Simulator& sim, const PreprocessCosts& costs,
                           bool include_hub_build);
 
-/// Policy dispatch used by every algorithm that owns a preprocessing phase:
-/// build (and optionally record), replay the recorded charges, or skip. The
-/// non-build modes require views that are already preprocessed (oriented,
-/// ghost degrees ready, hub index present when the kernels want one).
-void apply_preprocessing(net::Simulator& sim, std::vector<DistGraph>& views,
+/// The preprocessing option set an algorithm's build pass uses: nullopt for
+/// TriC-style (no preprocessing at all), a copy with kMerge kernels for the
+/// HavoqGT-style baseline (orients, but never intersects rows — no hub
+/// bitmaps), the caller's options otherwise.
+[[nodiscard]] std::optional<AlgorithmOptions> preprocess_options(
+    Algorithm algorithm, const AlgorithmOptions& options);
+
+/// Runs a kBuild preprocessing pass up front (with the algorithm's effective
+/// preprocess_options) and returns the policy the algorithm body should run
+/// with — kSkip after a build, the input policy unchanged otherwise (incl.
+/// for TriC-style, whose body ignores it). This is the only view-mutating
+/// step of a counting run; hoisting it keeps the algorithm bodies on const
+/// views, which is what makes concurrent queries over shared warm state
+/// provably read-only.
+[[nodiscard]] Preprocess hoist_preprocess_build(net::Simulator& sim,
+                                                std::vector<DistGraph>& views,
+                                                Algorithm algorithm,
+                                                const AlgorithmOptions& options,
+                                                const Preprocess& preprocess);
+
+/// Policy dispatch used by every algorithm body that owns a preprocessing
+/// phase: replay the recorded charges (kCharge) or skip (kSkip) — both
+/// require views that are already preprocessed (oriented, ghost degrees
+/// ready, hub index present when the kernels want one). kBuild must be
+/// hoisted with hoist_preprocess_build before the body runs; passing it
+/// here throws.
+void apply_preprocessing(net::Simulator& sim, const std::vector<DistGraph>& views,
                          const AlgorithmOptions& options, const Preprocess& preprocess);
 
 /// Per-PE automatic buffer threshold δ (Section IV-A): O(|E_i|).

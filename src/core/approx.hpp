@@ -39,12 +39,22 @@ struct AmqResult {
 
 /// One-shot form: partitions, distributes, and runs on a fresh machine (a
 /// thin shim over a temporary katric::Engine).
+[[deprecated("one-shot shim — build a katric::Engine and call "
+             "approx_count(); it amortizes partitioning/distribution across "
+             "queries")]]  //
 [[nodiscard]] AmqResult count_triangles_cetric_amq(const graph::CsrGraph& global,
                                                    const RunSpec& spec,
                                                    const AmqOptions& amq);
 
 /// Session form over pre-built per-rank views (katric::Engine's path).
-/// `preprocess` selects build vs. warm charge/skip of the front half.
+/// `preprocess` selects build vs. warm charge/skip of the front half. The
+/// const overload is the concurrent-safe surface (kCharge/kSkip only, like
+/// dispatch_algorithm's); the non-const overload hoists a kBuild pass.
+[[nodiscard]] AmqResult count_triangles_cetric_amq(net::Simulator& sim,
+                                                   const std::vector<DistGraph>& views,
+                                                   const RunSpec& spec,
+                                                   const AmqOptions& amq,
+                                                   const Preprocess& preprocess = {});
 [[nodiscard]] AmqResult count_triangles_cetric_amq(net::Simulator& sim,
                                                    std::vector<DistGraph>& views,
                                                    const RunSpec& spec,

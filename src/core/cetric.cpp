@@ -31,7 +31,7 @@ std::uint64_t intersect_for(net::RankHandle& self, std::span<const VertexId> a,
 
 }  // namespace
 
-CountResult run_cetric(net::Simulator& sim, std::vector<DistGraph>& views,
+CountResult run_cetric(net::Simulator& sim, const std::vector<DistGraph>& views,
                        const AlgorithmOptions& options, bool indirect,
                        const TriangleSink* sink, const Preprocess& preprocess) {
     const Rank p = sim.num_ranks();

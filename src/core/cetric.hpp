@@ -22,7 +22,7 @@ namespace katric::core {
 /// indirect=true gives CETRIC2 (grid routing in the global phase).
 /// `preprocess` selects build vs. warm charge/skip of the front half
 /// (core::Preprocess; the default builds, the one-shot behaviour).
-CountResult run_cetric(net::Simulator& sim, std::vector<DistGraph>& views,
+CountResult run_cetric(net::Simulator& sim, const std::vector<DistGraph>& views,
                        const AlgorithmOptions& options, bool indirect,
                        const TriangleSink* sink = nullptr,
                        const Preprocess& preprocess = {});

@@ -35,7 +35,7 @@ std::uint64_t intersect_for(net::RankHandle& self, std::span<const VertexId> a,
 
 }  // namespace
 
-CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views,
+CountResult run_edge_iterator(net::Simulator& sim, const std::vector<DistGraph>& views,
                               const AlgorithmOptions& options, EdgeIteratorMode mode,
                               const TriangleSink* sink, const Preprocess& preprocess) {
     const Rank p = sim.num_ranks();

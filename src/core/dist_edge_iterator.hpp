@@ -25,7 +25,7 @@ struct EdgeIteratorMode {
 /// Preprocessing (ghost-degree exchange + orientation) is governed by
 /// `preprocess`: built and charged here by default (the paper's timing
 /// scope), or replayed/skipped for a warm session whose views are prebuilt.
-CountResult run_edge_iterator(net::Simulator& sim, std::vector<DistGraph>& views,
+CountResult run_edge_iterator(net::Simulator& sim, const std::vector<DistGraph>& views,
                               const AlgorithmOptions& options, EdgeIteratorMode mode,
                               const TriangleSink* sink = nullptr,
                               const Preprocess& preprocess = {});

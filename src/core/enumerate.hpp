@@ -27,6 +27,8 @@ struct EnumerateResult {
 /// spec.algorithm must support a triangle sink (edge-iterator family or
 /// CETRIC/CETRIC2). The returned list's size always equals count.triangles —
 /// i.e. no triangle is emitted twice anywhere in the machine (tested).
+[[deprecated("one-shot shim — build a katric::Engine and call enumerate(); "
+             "it amortizes partitioning/distribution across queries")]]  //
 [[nodiscard]] EnumerateResult enumerate_triangles(const graph::CsrGraph& global,
                                                   const RunSpec& spec);
 

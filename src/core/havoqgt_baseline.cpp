@@ -21,7 +21,7 @@ bool probe_edge(net::RankHandle& self, const DistGraph& view, VertexId u, Vertex
 
 }  // namespace
 
-CountResult run_havoqgt_style(net::Simulator& sim, std::vector<DistGraph>& views,
+CountResult run_havoqgt_style(net::Simulator& sim, const std::vector<DistGraph>& views,
                               const AlgorithmOptions& options,
                               const Preprocess& preprocess) {
     const Rank p = sim.num_ranks();

@@ -13,7 +13,7 @@ namespace katric::core {
 /// proportional to the number of *wedges* rather than the number of cut
 /// neighborhoods — the structural reason this approach loses by an order of
 /// magnitude on wedge-heavy inputs (Fig. 5/6).
-CountResult run_havoqgt_style(net::Simulator& sim, std::vector<DistGraph>& views,
+CountResult run_havoqgt_style(net::Simulator& sim, const std::vector<DistGraph>& views,
                               const AlgorithmOptions& options,
                               const Preprocess& preprocess = {});
 

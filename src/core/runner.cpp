@@ -1,5 +1,7 @@
 #include "core/runner.hpp"
 
+#include <utility>
+
 #include "core/cetric.hpp"
 #include "core/dist_edge_iterator.hpp"
 #include "core/havoqgt_baseline.hpp"
@@ -20,6 +22,22 @@ graph::Partition1D make_partition(const graph::CsrGraph& global, const RunSpec& 
 }
 
 CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& views,
+                               const RunSpec& spec, const TriangleSink* sink,
+                               const Preprocess& preprocess) {
+    if (sink != nullptr && !algorithm_supports_sink(spec.algorithm)) {
+        // Reject before the build hoist: nothing runs, nothing is charged.
+        CountResult result;
+        result.error = RunError::kSinkUnsupported;
+        return result;
+    }
+    // Hoist the one view-mutating step (a kBuild preprocessing pass), then
+    // run the read-only body on the const surface.
+    const Preprocess effective =
+        hoist_preprocess_build(sim, views, spec.algorithm, spec.options, preprocess);
+    return dispatch_algorithm(sim, std::as_const(views), spec, sink, effective);
+}
+
+CountResult dispatch_algorithm(net::Simulator& sim, const std::vector<DistGraph>& views,
                                const RunSpec& spec, const TriangleSink* sink,
                                const Preprocess& preprocess) {
     if (sink != nullptr && !algorithm_supports_sink(spec.algorithm)) {

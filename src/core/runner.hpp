@@ -33,6 +33,17 @@ struct RunSpec {
 /// every charge. `preprocess` selects build vs. warm charge/skip of the
 /// preprocessing front half for the algorithms that own one (the TriC-style
 /// baseline never preprocesses and ignores it).
+///
+/// The const overload is the thread-safe surface: it never mutates the
+/// views (preprocess.mode must be kCharge or kSkip — or the algorithm
+/// TriC-style, which ignores it), so any number of queries may run it
+/// concurrently over one warm view set, each on its own Simulator. The
+/// non-const overload additionally accepts kBuild: it hoists the one
+/// view-mutating step (core::hoist_preprocess_build) and then runs the same
+/// const body.
+CountResult dispatch_algorithm(net::Simulator& sim, const std::vector<DistGraph>& views,
+                               const RunSpec& spec, const TriangleSink* sink = nullptr,
+                               const Preprocess& preprocess = {});
 CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& views,
                                const RunSpec& spec, const TriangleSink* sink = nullptr,
                                const Preprocess& preprocess = {});
@@ -41,6 +52,8 @@ CountResult dispatch_algorithm(net::Simulator& sim, std::vector<DistGraph>& view
 /// local view, runs the selected algorithm on a fresh simulated machine, and
 /// returns the count plus all paper metrics. Out-of-memory aborts (the
 /// TriC-style failure mode) are reported via result.oom rather than thrown.
+[[deprecated("one-shot shim — build a katric::Engine and call count(); it "
+             "amortizes partitioning/distribution across queries")]]  //
 [[nodiscard]] CountResult count_triangles(const graph::CsrGraph& global,
                                           const RunSpec& spec,
                                           const TriangleSink* sink = nullptr);

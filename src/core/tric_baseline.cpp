@@ -20,7 +20,7 @@ std::span<const VertexId> id_out(const DistGraph& view, VertexId v) {
 
 }  // namespace
 
-CountResult run_tric_style(net::Simulator& sim, std::vector<DistGraph>& views,
+CountResult run_tric_style(net::Simulator& sim, const std::vector<DistGraph>& views,
                            const AlgorithmOptions& options) {
     const Rank p = sim.num_ranks();
     KATRIC_ASSERT(views.size() == p);

@@ -15,7 +15,7 @@ namespace katric::core {
 /// assembly step can exceed the per-PE memory budget: the run then aborts
 /// with net::OomError, which the runner reports as result.oom — reproducing
 /// the crashes the paper observed for TriC on friendster and others.
-CountResult run_tric_style(net::Simulator& sim, std::vector<DistGraph>& views,
+CountResult run_tric_style(net::Simulator& sim, const std::vector<DistGraph>& views,
                            const AlgorithmOptions& options);
 
 }  // namespace katric::core

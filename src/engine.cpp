@@ -87,14 +87,30 @@ void Engine::warm_build() {
     if (obs_) { obs_->observe_query("warm_build", sim, timer.elapsed_seconds()); }
 }
 
-void Engine::ensure_warm_for(const core::RunSpec& spec) {
-    if (!warm_) { return; }
-    // The baselines never build the index (TriC skips preprocessing, the
-    // HavoqGT wedge baseline preprocesses as if on the merge kernel).
-    const bool wants_hubs = core::uses_hub_bitmaps(spec.options.intersect)
-                            && spec.algorithm != core::Algorithm::kTricStyle
-                            && spec.algorithm != core::Algorithm::kHavoqgtStyle;
-    if (!wants_hubs) { return; }
+namespace {
+
+/// The baselines never build the index (TriC skips preprocessing, the
+/// HavoqGT wedge baseline preprocesses as if on the merge kernel).
+bool spec_wants_hubs(const core::RunSpec& spec) {
+    return core::uses_hub_bitmaps(spec.options.intersect)
+           && spec.algorithm != core::Algorithm::kTricStyle
+           && spec.algorithm != core::Algorithm::kHavoqgtStyle;
+}
+
+}  // namespace
+
+bool Engine::warm_hubs_current(const core::RunSpec& spec) const {
+    if (!spec_wants_hubs(spec)) { return true; }
+    for (const auto& view : views_) {
+        seq::HubBitmapIndex::Config hub;
+        hub.degree_threshold = core::resolve_hub_threshold(spec.options, view);
+        hub.universe = view.partition().num_vertices();
+        if (!view.hub_index_current(hub)) { return false; }
+    }
+    return true;
+}
+
+void Engine::rebuild_warm_hubs(const core::RunSpec& spec) {
     bool rebuilt = false;
     for (std::size_t r = 0; r < views_.size(); ++r) {
         auto& view = views_[r];
@@ -108,6 +124,26 @@ void Engine::ensure_warm_for(const core::RunSpec& spec) {
         rebuilt = true;
     }
     if (rebuilt) { ++preprocess_builds_; }
+}
+
+Engine::QueryLock Engine::lock_for_query(const core::RunSpec& spec) {
+    QueryLock lock;
+    if (!warm_) {
+        // Cold engines build preprocessing inside every run, mutating the
+        // views — queries serialize on the exclusive hold.
+        lock.exclusive = std::unique_lock<std::shared_mutex>(state_mutex_);
+        return lock;
+    }
+    // Warm fast path: shared hold when the views already fit the spec. A
+    // hub-config change upgrades to exclusive and rebuilds (re-checked —
+    // another thread may have rebuilt in the unlock window); the query then
+    // runs under the exclusive hold it already owns.
+    lock.shared = std::shared_lock<std::shared_mutex>(state_mutex_);
+    if (warm_hubs_current(spec)) { return lock; }
+    lock.shared.unlock();
+    lock.exclusive = std::unique_lock<std::shared_mutex>(state_mutex_);
+    if (!warm_hubs_current(spec)) { rebuild_warm_hubs(spec); }
+    return lock;
 }
 
 core::Preprocess Engine::preprocess_policy(const QueryOptions& query) const {
@@ -126,30 +162,39 @@ core::RunSpec Engine::query_spec(const QueryOptions& query) const {
     auto spec = config_.run_spec();
     if (query.algorithm) { spec.algorithm = *query.algorithm; }
     if (query.options) { spec.options = *query.options; }
-    // The dispatch-mix sink rides the per-query option copy only — never
-    // Config itself, so flag round-trips and option equality stay pure.
-    spec.options.kernel_stats = obs_ ? obs_->kernel_stats_sink() : nullptr;
+    // The dispatch-mix sink is wired per query (a stack-local KernelStats in
+    // each query method, merged on finalize) — never Config itself, so flag
+    // round-trips and option equality stay pure, and concurrent queries
+    // never share a recording sink.
+    spec.options.kernel_stats = nullptr;
     return spec;
 }
 
-void Engine::finalize(Report& report, const net::Simulator& sim, double wall_seconds) {
+void Engine::finalize(Report& report, const net::Simulator& sim, double wall_seconds,
+                      const obs::KernelStats* kernel_stats) {
     accumulate_ops(report, sim);
     report.phases = net::aggregate_phase_times(sim.phases());
     if (report.count.error != core::RunError::kNone) {
-        report.error = report.count.error;
-        report.error_message = core::run_error_message(report.error, report.algorithm);
+        report.error = make_error(report.count.error, report.algorithm);
     }
-    if (obs_) { obs_->observe_query(query_name(report.query), sim, wall_seconds); }
-    ++queries_;
+    if (obs_) {
+        obs_->observe_query(query_name(report.query), sim, wall_seconds, kernel_stats);
+    }
+    queries_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Report Engine::count(const core::TriangleSink* sink, const QueryOptions& query) {
     WallTimer timer;
-    const auto spec = query_spec(query);
+    auto spec = query_spec(query);
+    // Query-local dispatch-mix recording: merged into the session totals on
+    // finalize, so concurrent queries never write one shared sink.
+    obs::KernelStats kernel_stats;
+    const bool record_kernels = obs_ && obs_->metrics_enabled();
+    if (record_kernels) { spec.options.kernel_stats = &kernel_stats; }
     Report report;
     report.query = Query::kCount;
     report.algorithm = spec.algorithm;
-    ensure_warm_for(spec);
+    const auto lock = lock_for_query(spec);
     const auto prep = preprocess_policy(query);
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
@@ -160,17 +205,21 @@ Report Engine::count(const core::TriangleSink* sink, const QueryOptions& query) 
         report.count.oom = true;
         core::fill_metrics(sim, report.count);
     }
-    finalize(report, sim, timer.elapsed_seconds());
+    finalize(report, sim, timer.elapsed_seconds(),
+             record_kernels ? &kernel_stats : nullptr);
     return report;
 }
 
 Report Engine::lcc(const QueryOptions& query) {
     WallTimer timer;
-    const auto spec = query_spec(query);
+    auto spec = query_spec(query);
+    obs::KernelStats kernel_stats;
+    const bool record_kernels = obs_ && obs_->metrics_enabled();
+    if (record_kernels) { spec.options.kernel_stats = &kernel_stats; }
     Report report;
     report.query = Query::kLcc;
     report.algorithm = spec.algorithm;
-    ensure_warm_for(spec);
+    const auto lock = lock_for_query(spec);
     const auto prep = preprocess_policy(query);
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
@@ -180,7 +229,8 @@ Report Engine::lcc(const QueryOptions& query) {
     report.delta = std::move(result.delta);
     report.lcc = std::move(result.lcc);
     report.postprocess_time = result.postprocess_time;
-    finalize(report, sim, timer.elapsed_seconds());
+    finalize(report, sim, timer.elapsed_seconds(),
+             record_kernels ? &kernel_stats : nullptr);
     return report;
 }
 
@@ -219,7 +269,10 @@ Report Engine::enumerate(const core::TriangleSink* sink, const QueryOptions& que
 
 Report Engine::approx_count(const QueryOptions& query) {
     WallTimer timer;
-    const auto spec = query_spec(query);
+    auto spec = query_spec(query);
+    obs::KernelStats kernel_stats;
+    const bool record_kernels = obs_ && obs_->metrics_enabled();
+    if (record_kernels) { spec.options.kernel_stats = &kernel_stats; }
     const auto& amq = query.amq ? *query.amq : config_.amq;
     Report report;
     report.query = Query::kApprox;
@@ -229,7 +282,7 @@ Report Engine::approx_count(const QueryOptions& query) {
     report.algorithm = core::Algorithm::kCetric;
     auto hub_spec = spec;
     hub_spec.algorithm = core::Algorithm::kCetric;
-    ensure_warm_for(hub_spec);
+    const auto lock = lock_for_query(hub_spec);
     const auto prep = preprocess_policy(query);
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
@@ -239,7 +292,8 @@ Report Engine::approx_count(const QueryOptions& query) {
     report.estimated_triangles = result.estimated_triangles;
     report.exact_type12 = result.exact_type12;
     report.estimated_type3 = result.estimated_type3;
-    finalize(report, sim, timer.elapsed_seconds());
+    finalize(report, sim, timer.elapsed_seconds(),
+             record_kernels ? &kernel_stats : nullptr);
     return report;
 }
 

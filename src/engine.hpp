@@ -1,7 +1,10 @@
 #pragma once
 
+#include <atomic>
+#include <future>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "config.hpp"
@@ -97,6 +100,86 @@ struct QueryOptions {
     std::optional<bool> charge_preprocessing;
 };
 
+/// Engine::serve tuning. Zero-valued fields fall back to the engine's
+/// Config (--serve-threads / --queue-depth), then to the built-in defaults
+/// (4 workers, 64 queued requests).
+struct ServeOptions {
+    int threads = 0;
+    std::size_t queue_depth = 0;
+};
+
+/// One submission to a ServeSession: which query to run, its per-query
+/// overrides, and an admission priority (higher drains first; FIFO within a
+/// priority class). Query::kStream cannot be served — streaming mutates the
+/// views; its future resolves to a ServeError::kUnsupported report.
+struct ServeRequest {
+    Query query = Query::kCount;
+    QueryOptions options;
+    int priority = 0;
+};
+
+/// A concurrent query-serving session over one Engine's shared warm state
+/// (Engine::serve): a fixed worker pool drains an admission queue of
+/// submitted queries, each running on its own fresh simulated machine
+/// against the engine's const views. Reports are bit-identical to the same
+/// queries run sequentially on the engine.
+///
+/// Admission: the queue is bounded (ServeOptions::queue_depth). When it is
+/// full, submit() completes the returned future *immediately* with a report
+/// carrying ServeError::kRejected — the submitter is never blocked. After
+/// drain() (or destruction begins), submissions resolve to
+/// ServeError::kStopped.
+///
+/// Lifetime: the session borrows the engine; the engine must outlive it.
+/// drain() — idempotent, also run by the destructor — closes admission,
+/// finishes everything already accepted, and joins the workers.
+class ServeSession {
+public:
+    ServeSession(ServeSession&&) noexcept;
+    ServeSession& operator=(ServeSession&&) noexcept;
+    ServeSession(const ServeSession&) = delete;
+    ServeSession& operator=(const ServeSession&) = delete;
+    ~ServeSession();
+
+    /// Submits one query for asynchronous execution. Always returns a valid
+    /// future: fulfilled by a worker on success, or immediately with a
+    /// typed-error report (kRejected / kStopped / kUnsupported) when the
+    /// request is not admitted. Thread-safe.
+    std::future<Report> submit(const ServeRequest& request);
+    std::future<Report> submit(const QueryOptions& options) {
+        ServeRequest request;
+        request.options = options;
+        return submit(request);
+    }
+
+    /// Closes admission, runs everything already accepted, joins the
+    /// workers. Idempotent; called by the destructor. After it returns every
+    /// previously returned future is ready.
+    void drain();
+
+    /// Monotone session counters plus submit-to-completion latency
+    /// percentiles (host wall-clock seconds, sampled per completed query).
+    struct Stats {
+        std::size_t submitted = 0;  ///< accepted into the queue
+        std::size_t completed = 0;  ///< futures fulfilled by a worker
+        std::size_t rejected = 0;   ///< kRejected + kStopped + kUnsupported
+        double latency_p50 = 0.0;
+        double latency_p99 = 0.0;
+        double latency_max = 0.0;
+    };
+    [[nodiscard]] Stats stats() const;
+
+    [[nodiscard]] int threads() const noexcept;
+    [[nodiscard]] std::size_t queue_depth() const noexcept;
+
+private:
+    friend class Engine;
+    ServeSession(Engine& engine, const ServeOptions& options);
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
 /// The library's session facade — build the expensive distributed state
 /// once, run many queries against it.
 ///
@@ -123,6 +206,14 @@ struct QueryOptions {
 ///
 /// The graph must outlive the engine (the views reference its partition
 /// only; the graph itself is re-read when a query needs global degrees).
+///
+/// Thread safety: queries may run concurrently from several threads
+/// (Engine::serve's worker pool, or direct calls). Internally a
+/// reader-writer lock keeps the shared views consistent: warm queries whose
+/// hub-index config matches the views take the lock shared and run the
+/// const algorithm surface; cold queries and warm hub-config changes take
+/// it exclusive (they mutate the views). open_stream/stream are NOT
+/// concurrent-safe — promote to streaming only with no serve session open.
 class Engine {
 public:
     Engine(const graph::CsrGraph& graph, Config config);
@@ -141,7 +232,9 @@ public:
     /// the amortization evidence a sweep bench reports against the k passes
     /// of k one-shot runs).
     [[nodiscard]] std::size_t build_passes() const noexcept { return build_passes_; }
-    [[nodiscard]] std::size_t queries_run() const noexcept { return queries_; }
+    [[nodiscard]] std::size_t queries_run() const noexcept {
+        return queries_.load(std::memory_order_relaxed);
+    }
     /// True when this engine holds reusable preprocessing state.
     [[nodiscard]] bool warm() const noexcept { return warm_.has_value(); }
     /// Warm sessions: preprocessing (re)builds paid — 1 at construction plus
@@ -211,23 +304,47 @@ public:
     Report stream(const std::vector<stream::EdgeBatch>& batches,
                   const stream::BatchObserver& observer = {});
 
+    /// Opens a concurrent serving session over this engine's built state: a
+    /// worker pool drains submitted queries against the shared views, each
+    /// on its own fresh simulated machine (see ServeSession). The engine
+    /// must outlive the session. Best on warm engines — cold queries
+    /// serialize on the view lock (each rebuilds preprocessing in place).
+    [[nodiscard]] ServeSession serve(const ServeOptions& options = {});
+
 private:
     struct WarmState {
         core::PreprocessCosts costs;
     };
 
+    /// The per-query hold on the shared views: shared for warm queries that
+    /// only read them, exclusive for queries that mutate them (cold builds,
+    /// hub-index rebuilds). Held across the whole dispatch.
+    struct QueryLock {
+        std::shared_lock<std::shared_mutex> shared;
+        std::unique_lock<std::shared_mutex> exclusive;
+    };
+
     Report enumerate(const core::TriangleSink* sink, const QueryOptions& query);
     /// Ops telemetry, per-phase breakdown, typed-error propagation, and
     /// observability recording shared by every query. `wall_seconds` is the
-    /// query's host-side latency (the warm-serving p50/p99 substrate).
-    void finalize(Report& report, const net::Simulator& sim, double wall_seconds);
+    /// query's host-side latency (the warm-serving p50/p99 substrate);
+    /// `kernel_stats` the query-local dispatch mix to merge (null = none).
+    void finalize(Report& report, const net::Simulator& sim, double wall_seconds,
+                  const obs::KernelStats* kernel_stats = nullptr);
     /// Config::run_spec with the query's overrides applied.
     [[nodiscard]] core::RunSpec query_spec(const QueryOptions& query) const;
     /// Warm sessions: runs the recorded preprocessing build at construction.
     void warm_build();
-    /// Warm sessions: (re)builds hub indices when the query's effective
-    /// kernel config differs from what the views currently hold.
-    void ensure_warm_for(const core::RunSpec& spec);
+    /// Warm sessions: do the views already hold the hub indices this spec's
+    /// kernel config wants? (True as well when it wants none.) Caller must
+    /// hold the view lock.
+    [[nodiscard]] bool warm_hubs_current(const core::RunSpec& spec) const;
+    /// Warm sessions: (re)builds hub indices for the spec's kernel config.
+    /// Caller must hold the view lock exclusively.
+    void rebuild_warm_hubs(const core::RunSpec& spec);
+    /// Acquires the right hold for this spec: exclusive on cold engines and
+    /// for warm hub-config changes, shared otherwise.
+    [[nodiscard]] QueryLock lock_for_query(const core::RunSpec& spec);
     /// The preprocessing policy this query's dispatch should run under.
     [[nodiscard]] core::Preprocess preprocess_policy(const QueryOptions& query) const;
 
@@ -237,9 +354,12 @@ private:
     std::vector<graph::DistGraph> views_;
     std::shared_ptr<obs::Observability> obs_;
     std::optional<WarmState> warm_;
+    /// Guards views_ (and warm_'s cost ledger) against concurrent queries:
+    /// shared = read-only algorithm run, exclusive = view mutation.
+    mutable std::shared_mutex state_mutex_;
     std::size_t build_passes_ = 1;
     std::size_t preprocess_builds_ = 0;
-    std::size_t queries_ = 0;
+    std::atomic<std::size_t> queries_{0};
 };
 
 }  // namespace katric

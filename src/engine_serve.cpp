@@ -1,0 +1,192 @@
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine.hpp"
+#include "serve_queue.hpp"
+#include "util/assert.hpp"
+#include "util/statistics.hpp"
+#include "util/timer.hpp"
+
+namespace katric {
+
+namespace {
+
+constexpr int kDefaultServeThreads = 4;
+constexpr std::size_t kDefaultQueueDepth = 64;
+
+/// A request that never reached a worker: the typed serve error is the
+/// whole report (query labelled, everything else at its defaults).
+Report unadmitted_report(const ServeRequest& request, ServeError code) {
+    Report report;
+    report.query = request.query;
+    report.error = make_error(code);
+    return report;
+}
+
+}  // namespace
+
+struct ServeSession::Impl {
+    /// One admitted submission travelling to a worker. The timer starts at
+    /// submit(), so the latency sample covers queueing + execution — the
+    /// number a serving front-end actually experiences.
+    struct Task {
+        ServeRequest request;
+        std::promise<Report> promise;
+        WallTimer timer;
+    };
+
+    Engine* engine;
+    detail::AdmissionQueue<Task> queue;
+    int num_threads;
+    std::vector<std::thread> workers;
+
+    mutable std::mutex stats_mutex;
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    Summary latency;
+
+    std::mutex drain_mutex;  ///< serializes drain() against itself
+    bool drained = false;
+
+    Impl(Engine& owner, int threads, std::size_t depth)
+        : engine(&owner), queue(depth), num_threads(threads) {
+        workers.reserve(static_cast<std::size_t>(num_threads));
+        for (int i = 0; i < num_threads; ++i) {
+            workers.emplace_back([this] { run_worker(); });
+        }
+    }
+
+    ~Impl() { drain(); }
+
+    Report run(const ServeRequest& request) {
+        switch (request.query) {
+            case Query::kCount: return engine->count(request.options);
+            case Query::kLcc: return engine->lcc(request.options);
+            case Query::kEnumerate: return engine->enumerate(request.options);
+            case Query::kApprox: return engine->approx_count(request.options);
+            case Query::kStream: break;  // screened out at submit()
+        }
+        return unadmitted_report(request, ServeError::kUnsupported);
+    }
+
+    void run_worker() {
+        // pop() returns nullopt only when the queue is closed AND drained —
+        // every accepted task is finished before a worker exits.
+        while (auto task = queue.pop()) {
+            Report report;
+            try {
+                report = run(task->request);
+            } catch (...) {
+                task->promise.set_exception(std::current_exception());
+                continue;
+            }
+            const double seconds = task->timer.elapsed_seconds();
+            task->promise.set_value(std::move(report));
+            const std::lock_guard<std::mutex> lock(stats_mutex);
+            ++completed;
+            latency.add(seconds);
+        }
+    }
+
+    std::future<Report> submit(const ServeRequest& request) {
+        if (request.query == Query::kStream) {
+            return refused(request, ServeError::kUnsupported);
+        }
+        Task task;
+        task.request = request;
+        auto future = task.promise.get_future();
+        switch (queue.push(std::move(task), request.priority)) {
+            case detail::AdmissionQueue<Task>::Push::kAccepted: {
+                const std::lock_guard<std::mutex> lock(stats_mutex);
+                ++submitted;
+                return future;
+            }
+            case detail::AdmissionQueue<Task>::Push::kRejected:
+                return refused(request, ServeError::kRejected);
+            case detail::AdmissionQueue<Task>::Push::kClosed:
+                return refused(request, ServeError::kStopped);
+        }
+        KATRIC_THROW("AdmissionQueue::push returned an unknown Push value");
+    }
+
+    std::future<Report> refused(const ServeRequest& request, ServeError code) {
+        {
+            const std::lock_guard<std::mutex> lock(stats_mutex);
+            ++rejected;
+        }
+        std::promise<Report> promise;
+        promise.set_value(unadmitted_report(request, code));
+        return promise.get_future();
+    }
+
+    void drain() {
+        const std::lock_guard<std::mutex> lock(drain_mutex);
+        if (drained) { return; }
+        drained = true;
+        queue.close();
+        for (auto& worker : workers) { worker.join(); }
+        workers.clear();
+    }
+};
+
+ServeSession::ServeSession(Engine& engine, const ServeOptions& options) {
+    const auto& config = engine.config();
+    int threads = options.threads != 0 ? options.threads : config.serve_threads;
+    if (threads <= 0) { threads = kDefaultServeThreads; }
+    std::size_t depth = options.queue_depth != 0 ? options.queue_depth
+                                                 : config.queue_depth;
+    if (depth == 0) { depth = kDefaultQueueDepth; }
+    impl_ = std::make_unique<Impl>(engine, threads, depth);
+}
+
+ServeSession::ServeSession(ServeSession&&) noexcept = default;
+
+ServeSession& ServeSession::operator=(ServeSession&& other) noexcept {
+    if (this != &other) {
+        // Retire the current session cleanly before adopting the new one —
+        // never destroy an Impl with live workers un-drained.
+        if (impl_) { impl_->drain(); }
+        impl_ = std::move(other.impl_);
+    }
+    return *this;
+}
+
+ServeSession::~ServeSession() {
+    if (impl_) { impl_->drain(); }
+}
+
+std::future<Report> ServeSession::submit(const ServeRequest& request) {
+    return impl_->submit(request);
+}
+
+void ServeSession::drain() { impl_->drain(); }
+
+ServeSession::Stats ServeSession::stats() const {
+    const std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    Stats stats;
+    stats.submitted = impl_->submitted;
+    stats.completed = impl_->completed;
+    stats.rejected = impl_->rejected;
+    if (impl_->latency.count() > 0) {
+        stats.latency_p50 = impl_->latency.percentile(0.5);
+        stats.latency_p99 = impl_->latency.percentile(0.99);
+        stats.latency_max = impl_->latency.max();
+    }
+    return stats;
+}
+
+int ServeSession::threads() const noexcept { return impl_->num_threads; }
+
+std::size_t ServeSession::queue_depth() const noexcept {
+    return impl_->queue.capacity();
+}
+
+ServeSession Engine::serve(const ServeOptions& options) {
+    return ServeSession(*this, options);
+}
+
+}  // namespace katric

@@ -1,0 +1,47 @@
+#include "error.hpp"
+
+#include "config.hpp"
+#include "core/algorithm.hpp"
+
+namespace katric {
+
+std::string serve_error_message(ServeError error) {
+    switch (error) {
+        case ServeError::kNone:
+            return "";
+        case ServeError::kRejected:
+            return "serve: admission queue full, submission rejected "
+                   "(raise --queue-depth or slow the offered load)";
+        case ServeError::kStopped:
+            return "serve: session drained, no further submissions accepted";
+        case ServeError::kUnsupported:
+            return "serve: query kind cannot be served concurrently "
+                   "(streaming mutates the views; use Engine::open_stream)";
+    }
+    return "";
+}
+
+Error make_error(core::RunError error, core::Algorithm algorithm) {
+    if (error == core::RunError::kNone) {
+        return {};
+    }
+    return {Error::Domain::kRun, static_cast<std::uint8_t>(error),
+            core::run_error_message(error, algorithm)};
+}
+
+Error make_error(ConfigError error, const std::string& detail) {
+    if (error == ConfigError::kNone) {
+        return {};
+    }
+    return {Error::Domain::kConfig, static_cast<std::uint8_t>(error),
+            config_error_message(error, detail)};
+}
+
+Error make_error(ServeError error) {
+    if (error == ServeError::kNone) {
+        return {};
+    }
+    return {Error::Domain::kServe, static_cast<std::uint8_t>(error), serve_error_message(error)};
+}
+
+}  // namespace katric

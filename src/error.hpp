@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace katric {
+
+namespace core {
+enum class RunError : std::uint8_t;
+enum class Algorithm;
+}  // namespace core
+
+enum class ConfigError : std::uint8_t;
+
+/// Typed serving failure reported by ServeSession::submit — the admission
+/// layer's analogue of core::RunError. Carried in Report::error with
+/// Error::Domain::kServe; a rejected submission never reaches a worker and
+/// its report carries no metrics.
+enum class ServeError : std::uint8_t {
+    kNone = 0,
+    /// The bounded admission queue was full (open-loop overload). Resubmit
+    /// later or raise --queue-depth.
+    kRejected,
+    /// The session was drained (or destroyed) before the submission.
+    kStopped,
+    /// The query kind cannot be served concurrently (streaming sessions
+    /// mutate the views; use Engine::open_stream directly).
+    kUnsupported,
+};
+
+[[nodiscard]] std::string serve_error_message(ServeError error);
+
+/// The library's one error surface: every typed failure — run preconditions
+/// (core::RunError), flag parsing (ConfigError), and serving admission
+/// (ServeError) — as a single (domain, code, message) value carried by
+/// Report::error and ConfigParse. The domain enums keep their definitions
+/// (and call sites keep comparing against them: `error == RunError::k...`
+/// works); Error just gives them one shape, so a caller can route on
+/// `error.domain` and log `error.message` without knowing which subsystem
+/// failed.
+struct Error {
+    enum class Domain : std::uint8_t {
+        kNone = 0,  ///< success: code 0, empty message
+        kRun,       ///< core::RunError
+        kConfig,    ///< katric::ConfigError
+        kServe,     ///< katric::ServeError
+    };
+
+    Domain domain = Domain::kNone;
+    std::uint8_t code = 0;  ///< the domain enum's value, 0 iff domain == kNone
+    std::string message;    ///< human-readable; empty on success
+
+    [[nodiscard]] bool ok() const noexcept { return domain == Domain::kNone; }
+
+    /// Domain accessors: the typed code when the domain matches, kNone
+    /// otherwise — so `report.error.run()` is safe to switch on regardless
+    /// of which subsystem produced the error.
+    [[nodiscard]] core::RunError run() const noexcept {
+        return domain == Domain::kRun ? static_cast<core::RunError>(code)
+                                      : static_cast<core::RunError>(0);
+    }
+    [[nodiscard]] ConfigError config() const noexcept {
+        return domain == Domain::kConfig ? static_cast<ConfigError>(code)
+                                         : static_cast<ConfigError>(0);
+    }
+    [[nodiscard]] ServeError serve() const noexcept {
+        return domain == Domain::kServe ? static_cast<ServeError>(code) : ServeError::kNone;
+    }
+
+    /// Errors compare by (domain, code); the message is presentation.
+    friend bool operator==(const Error& a, const Error& b) noexcept {
+        return a.domain == b.domain && a.code == b.code;
+    }
+
+    /// Comparisons against the domain enums, so call sites read naturally:
+    /// `report.error == core::RunError::kSinkUnsupported`. A domain's kNone
+    /// (value 0) matches any successful Error regardless of domain tag.
+    friend bool operator==(const Error& e, core::RunError r) noexcept {
+        const auto code = static_cast<std::uint8_t>(r);
+        return code == 0 ? e.ok() : (e.domain == Domain::kRun && e.code == code);
+    }
+    friend bool operator==(const Error& e, ConfigError c) noexcept {
+        const auto code = static_cast<std::uint8_t>(c);
+        return code == 0 ? e.ok() : (e.domain == Domain::kConfig && e.code == code);
+    }
+    friend bool operator==(const Error& e, ServeError s) noexcept {
+        const auto code = static_cast<std::uint8_t>(s);
+        return code == 0 ? e.ok() : (e.domain == Domain::kServe && e.code == code);
+    }
+};
+
+/// Factories: build a typed Error with the domain's canonical message. A
+/// kNone input yields a success Error (domain kNone) so call sites can
+/// funnel results unconditionally.
+[[nodiscard]] Error make_error(core::RunError error, core::Algorithm algorithm);
+[[nodiscard]] Error make_error(ConfigError error, const std::string& detail);
+[[nodiscard]] Error make_error(ServeError error);
+
+}  // namespace katric

@@ -40,6 +40,29 @@ std::vector<std::vector<WordVec>> all_to_all(Simulator& sim,
     return recv;
 }
 
+void charge_all_to_all(Simulator& sim,
+                       const std::vector<std::vector<std::uint64_t>>& words, bool sparse,
+                       const std::string& phase_name) {
+    const Rank p = sim.num_ranks();
+    KATRIC_ASSERT(words.size() == p);
+    sim.run_phase(
+        phase_name,
+        [&](RankHandle& self) {
+            const Rank r = self.rank();
+            KATRIC_ASSERT(words[r].size() == p);
+            // The self-payload moves without a send in all_to_all — nothing
+            // to charge here either.
+            for (Rank offset = 1; offset < p; ++offset) {
+                const Rank dest = static_cast<Rank>((r + offset) % p);
+                if (sparse && words[r][dest] == 0) { continue; }
+                self.send_sized(dest, words[r][dest], kTagAllToAll);
+            }
+        },
+        [](RankHandle&, Rank, int tag, std::span<const std::uint64_t>) {
+            KATRIC_ASSERT(tag == kTagAllToAll);
+        });
+}
+
 std::uint64_t allreduce_sum(Simulator& sim, const std::vector<std::uint64_t>& values,
                             const std::string& phase_name) {
     const Rank p = sim.num_ranks();

@@ -23,6 +23,19 @@ namespace katric::net {
     Simulator& sim, std::vector<std::vector<WordVec>> sends, bool sparse,
     const std::string& phase_name);
 
+/// Size-only replay of all_to_all: charges the machine exactly as an
+/// all_to_all whose payload sizes are words[src][dest] — same offset
+/// schedule, same timing, same message/volume metrics — but ships no data
+/// and delivers nothing. O(p²) host work instead of O(exchange volume);
+/// this is what lets a warm engine replay its preprocessing charges per
+/// query without serializing on payload materialization
+/// (core::charge_preprocessing). Metric identity with the real collective
+/// holds because all_to_all's receive handler only copies payload bytes —
+/// it charges no ops.
+void charge_all_to_all(Simulator& sim,
+                       const std::vector<std::vector<std::uint64_t>>& words, bool sparse,
+                       const std::string& phase_name);
+
 /// Binomial-tree all-reduce (sum) of one 64-bit value per PE: reduce to rank
 /// 0 along the tree, then broadcast back. Works for any p ≥ 1. Returns the
 /// global sum (identical on every PE; verified internally).

@@ -28,6 +28,10 @@ void RankHandle::send(Rank dest, WordVec payload, int tag) {
     sim_->send_from(rank_, dest, tag, std::move(payload));
 }
 
+void RankHandle::send_sized(Rank dest, std::uint64_t words, int tag) {
+    sim_->send_sized_from(rank_, dest, tag, words);
+}
+
 void RankHandle::charge_ops(std::uint64_t ops) {
     sim_->clocks_[rank_] += static_cast<double>(ops) * sim_->config_.compute_op;
     sim_->metrics_[rank_].compute_ops += ops;
@@ -58,18 +62,27 @@ Simulator::Simulator(Rank num_ranks, NetworkConfig config)
 }
 
 void Simulator::send_from(Rank src, Rank dest, int tag, WordVec payload) {
-    KATRIC_ASSERT(dest < num_ranks_);
     const auto len = static_cast<std::uint64_t>(payload.size());
+    enqueue(src, dest, tag, len, std::move(payload));
+}
+
+void Simulator::send_sized_from(Rank src, Rank dest, int tag, std::uint64_t words) {
+    enqueue(src, dest, tag, words, WordVec{});
+}
+
+void Simulator::enqueue(Rank src, Rank dest, int tag, std::uint64_t words,
+                        WordVec payload) {
+    KATRIC_ASSERT(dest < num_ranks_);
     double arrival = clocks_[src];
     if (src != dest) {
         // Single-ported injection: the sender's port is busy for α + β·ℓ.
-        const double cost = config_.alpha + config_.beta * static_cast<double>(len);
+        const double cost = config_.alpha + config_.beta * static_cast<double>(words);
         clocks_[src] += cost;
         arrival = clocks_[src];
         metrics_[src].messages_sent += 1;
-        metrics_[src].words_sent += len;
+        metrics_[src].words_sent += words;
     }
-    events_.push(Event{arrival, next_seq_++, src, dest, tag, std::move(payload)});
+    events_.push(Event{arrival, next_seq_++, src, dest, tag, words, std::move(payload)});
 }
 
 void Simulator::deliver_until_quiescent(const MessageHandler& on_message,
@@ -89,9 +102,9 @@ void Simulator::deliver_until_quiescent(const MessageHandler& on_message,
                 // paper's hotspot analysis ("p messages require time
                 // p(α+β)") charges the receiving PE per message.
                 clocks_[dest] += config_.alpha
-                                 + config_.beta * static_cast<double>(event.payload.size());
+                                 + config_.beta * static_cast<double>(event.words);
                 metrics_[dest].messages_received += 1;
-                metrics_[dest].words_received += event.payload.size();
+                metrics_[dest].words_received += event.words;
             }
             if (on_message) {
                 on_message(handle, event.src, event.tag,

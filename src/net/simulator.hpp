@@ -50,6 +50,14 @@ public:
     /// special case.
     void send(Rank dest, WordVec payload, int tag = 0);
 
+    /// Size-only send: identical timing, ordering, and metric charges to
+    /// send()ing a `words`-long payload, but no payload is materialized —
+    /// the delivered span is empty. O(1) instead of O(ℓ) on both ends; the
+    /// basis of the warm engine's preprocessing-cost replay
+    /// (core::charge_preprocessing), which needs the machine charges of an
+    /// exchange without its data.
+    void send_sized(Rank dest, std::uint64_t words, int tag = 0);
+
     /// Advances this PE's clock by ops elementary operations.
     void charge_ops(std::uint64_t ops);
     /// Advances this PE's clock by an explicit amount of seconds.
@@ -125,6 +133,9 @@ private:
         Rank src;
         Rank dest;
         int tag;
+        /// Charged message length in words. Equals payload.size() for real
+        /// sends; size-only sends carry the length with an empty payload.
+        std::uint64_t words;
         WordVec payload;
     };
     struct EventLater {
@@ -134,6 +145,8 @@ private:
     };
 
     void send_from(Rank src, Rank dest, int tag, WordVec payload);
+    void send_sized_from(Rank src, Rank dest, int tag, std::uint64_t words);
+    void enqueue(Rank src, Rank dest, int tag, std::uint64_t words, WordVec payload);
     void deliver_until_quiescent(const MessageHandler& on_message, const RankFn& on_idle);
 
     NetworkConfig config_;

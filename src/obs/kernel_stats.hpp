@@ -35,7 +35,9 @@ inline constexpr std::size_t kNumKernelChoices = 7;
 /// entirely skipped when no stats object is attached (the disabled default).
 ///
 /// Not thread-safe: the counting paths run intersections inside the
-/// simulator's serial event loop, so one instance per Engine suffices.
+/// simulator's serial event loop, so one instance per *query* suffices —
+/// the Engine records into a query-local instance and merges it into the
+/// session totals under Observability's record mutex on finalize.
 struct KernelStats {
     /// Smaller-operand log₂ buckets: bucket i covers sizes [2^(i-1), 2^i),
     /// bucket 0 is empty/size-0 operands, the last bucket saturates.

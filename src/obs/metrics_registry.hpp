@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,35 +22,51 @@ struct MetricRow {
 /// exact percentiles. Names are dotted paths ("query.count.latency_seconds",
 /// "comm.words_sent") — see docs/observability.md for the catalogue.
 ///
-/// Ordered maps keep snapshot output deterministic. Not thread-safe: all
-/// recording happens on the Engine's thread.
+/// Ordered maps keep snapshot output deterministic.
+///
+/// Thread safety: every mutator and lookup serializes on an internal mutex,
+/// so concurrent serve workers can record into one shared registry.
+/// histogram()/summary() return pointers to map nodes (stable across further
+/// inserts); reading *through* those pointers while another thread records
+/// is NOT synchronized — inspect them only at quiescence (after drain(), or
+/// under an external lock). snapshot()/to_string() are safe at any time.
 class MetricsRegistry {
 public:
     void count(const std::string& name, std::uint64_t delta = 1) {
+        const std::lock_guard<std::mutex> lock(mutex_);
         counters_[name] += delta;
     }
-    void gauge(const std::string& name, double value) { gauges_[name] = value; }
+    void gauge(const std::string& name, double value) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        gauges_[name] = value;
+    }
     void observe_size(const std::string& name, std::uint64_t value) {
+        const std::lock_guard<std::mutex> lock(mutex_);
         histograms_[name].add(value);
     }
     void observe_latency(const std::string& name, double seconds) {
+        const std::lock_guard<std::mutex> lock(mutex_);
         summaries_[name].add(seconds);
     }
 
     [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+        const std::lock_guard<std::mutex> lock(mutex_);
         const auto it = counters_.find(name);
         return it == counters_.end() ? 0 : it->second;
     }
     [[nodiscard]] const Log2Histogram* histogram(const std::string& name) const {
+        const std::lock_guard<std::mutex> lock(mutex_);
         const auto it = histograms_.find(name);
         return it == histograms_.end() ? nullptr : &it->second;
     }
     [[nodiscard]] const Summary* summary(const std::string& name) const {
+        const std::lock_guard<std::mutex> lock(mutex_);
         const auto it = summaries_.find(name);
         return it == summaries_.end() ? nullptr : &it->second;
     }
 
     [[nodiscard]] bool empty() const noexcept {
+        const std::lock_guard<std::mutex> lock(mutex_);
         return counters_.empty() && gauges_.empty() && histograms_.empty()
                && summaries_.empty();
     }
@@ -63,6 +80,7 @@ public:
     [[nodiscard]] std::string to_string() const;
 
 private:
+    mutable std::mutex mutex_;
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, Log2Histogram> histograms_;

@@ -9,8 +9,8 @@ namespace katric::obs {
 namespace {
 
 /// Path-keyed registry of live traced instances (see Observability docs).
-/// The mutex only guards acquire-time lookup; recording itself is
-/// single-threaded per session.
+/// The mutex guards acquire-time lookup; recording is serialized separately
+/// on each instance's record mutex.
 std::mutex g_registry_mutex;
 std::map<std::string, std::weak_ptr<Observability>>& traced_instances() {
     static std::map<std::string, std::weak_ptr<Observability>> instances;
@@ -42,7 +42,10 @@ std::shared_ptr<Observability> Observability::acquire(bool metrics,
 }
 
 void Observability::observe_query(const std::string& kind, const net::Simulator& sim,
-                                  double wall_seconds) {
+                                  double wall_seconds,
+                                  const KernelStats* kernel_stats) {
+    const std::lock_guard<std::mutex> record_lock(record_mutex_);
+    if (kernel_stats != nullptr) { kernel_stats_.merge(*kernel_stats); }
     if (tracing_enabled()) {
         std::ostringstream label;
         label << kind << '#' << tracer_.num_queries();
@@ -63,6 +66,7 @@ void Observability::observe_query(const std::string& kind, const net::Simulator&
 
 void Observability::observe_span(const std::string& kind, const std::string& label,
                                  double sim_seconds, double wall_seconds) {
+    const std::lock_guard<std::mutex> record_lock(record_mutex_);
     if (tracing_enabled()) { tracer_.record_span(label, kind, sim_seconds); }
     if (!metrics_) { return; }
     registry_.count("query." + kind);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "net/simulator.hpp"
@@ -42,6 +43,8 @@ public:
     [[nodiscard]] const MetricsRegistry& registry() const noexcept { return registry_; }
     /// The dispatch-mix sink to thread into AlgorithmOptions::kernel_stats
     /// (null unless metrics are enabled — recording stays zero-cost off).
+    /// NOT safe as a sink for concurrent queries: Engine queries record into
+    /// a query-local KernelStats and merge it via observe_query instead.
     [[nodiscard]] KernelStats* kernel_stats_sink() noexcept {
         return metrics_ ? &kernel_stats_ : nullptr;
     }
@@ -55,8 +58,11 @@ public:
     /// its host wall-clock to the per-kind latency summary
     /// ("query.<kind>.latency_seconds" — the warm-serving p50/p99), and its
     /// per-rank communication totals to the comm counters and histograms.
+    /// When `kernel_stats` is non-null its per-query dispatch mix is merged
+    /// into the session totals. Serialized on an internal record mutex, so
+    /// concurrent serve workers can finish queries against one instance.
     void observe_query(const std::string& kind, const net::Simulator& sim,
-                       double wall_seconds);
+                       double wall_seconds, const KernelStats* kernel_stats = nullptr);
 
     /// Host-side span + latency sample with no simulator behind it (stream
     /// ingest batches). `sim_seconds` is the simulated span length.
@@ -75,6 +81,9 @@ private:
 
     bool metrics_ = false;
     std::string trace_path_;
+    /// Serializes observe_query/observe_span so the trace label numbering
+    /// ("count#3") and the kernel-stats merge stay atomic per query.
+    std::mutex record_mutex_;
     MetricsRegistry registry_;
     KernelStats kernel_stats_;
     Tracer tracer_;

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,12 @@ struct TraceSpan {
 ///   tid 0      — control lane: query spans, phase-group spans, supersteps
 ///   tid 1 + r  — rank r: one busy span per superstep it participated in,
 ///                with ops/words-sent args (needs record_phase_details)
+///
+/// Thread safety: record_query / record_span / to_json / write serialize on
+/// an internal mutex, so concurrent serve workers (and a StreamSession on
+/// another thread) can append to one shared timeline. Appended queries are
+/// placed at the cursor in arrival order. spans() is NOT synchronized — call
+/// it only when no recorder can be running (tests, post-drain inspection).
 class Tracer {
 public:
     /// Appends the spans of one finished query run. `label` names the query
@@ -52,7 +60,9 @@ public:
     void record_span(const std::string& label, const std::string& cat, double seconds);
 
     [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept { return spans_; }
-    [[nodiscard]] std::size_t num_queries() const noexcept { return queries_; }
+    [[nodiscard]] std::size_t num_queries() const noexcept {
+        return queries_.load(std::memory_order_relaxed);
+    }
 
     /// Serializes to Chrome trace-event JSON: sorted begin/end event pairs
     /// plus process/thread metadata naming the lanes.
@@ -62,10 +72,11 @@ public:
     bool write(const std::string& path) const;
 
 private:
+    mutable std::mutex mutex_;    ///< guards spans_/cursor_us_/max_tid_
     std::vector<TraceSpan> spans_;
     double cursor_us_ = 0.0;      ///< end of the last recorded query
     std::uint32_t max_tid_ = 0;   ///< widest rank lane seen
-    std::size_t queries_ = 0;
+    std::atomic<std::size_t> queries_{0};
 };
 
 }  // namespace katric::obs

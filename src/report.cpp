@@ -131,9 +131,7 @@ JsonWriter& JsonWriter::report_fields(const Report& report) {
     field("query", query_name(report.query));
     field("algorithm", core::algorithm_name(report.algorithm));
     field("ok", std::uint64_t{report.ok() ? 1u : 0u});
-    if (report.error != core::RunError::kNone) {
-        field("error", report.error_message);
-    }
+    if (!report.error.ok()) { field("error", report.error.message); }
     field("oom", std::uint64_t{report.count.oom ? 1u : 0u});
     field("triangles", report.count.triangles);
     field("total_time", report.count.total_time);

@@ -8,6 +8,7 @@
 
 #include "core/enumerate.hpp"
 #include "core/runner.hpp"
+#include "error.hpp"
 #include "net/metrics.hpp"
 #include "stream/incremental.hpp"
 
@@ -34,10 +35,13 @@ struct Report {
     Query query = Query::kCount;
     core::Algorithm algorithm = core::Algorithm::kDitric;
 
-    /// kNone on success. On error the run did not execute: all metrics are
-    /// zero and error_message says what was rejected.
-    core::RunError error = core::RunError::kNone;
-    std::string error_message;
+    /// The unified typed error (katric::Error): ok() on success. On error
+    /// the run did not execute — all metrics are zero, `error.domain` says
+    /// which subsystem rejected it (run precondition / serving admission),
+    /// and `error.message` says why. Compares directly against the domain
+    /// enums: `report.error == core::RunError::kSinkUnsupported`,
+    /// `report.error == ServeError::kRejected`.
+    Error error;
 
     /// The count and every paper metric (time breakdown, exact message and
     /// volume counters, OOM flag). For kApprox, triangles holds the rounded
@@ -82,9 +86,7 @@ struct Report {
     std::vector<stream::BatchStats> batches;  ///< one entry per ingested batch
     double stream_seconds = 0.0;              ///< simulated stream time
 
-    [[nodiscard]] bool ok() const noexcept {
-        return error == core::RunError::kNone && !count.oom;
-    }
+    [[nodiscard]] bool ok() const noexcept { return error.ok() && !count.oom; }
 
     /// The single JSON emitter: one flat object with the query name, the
     /// algorithm, every CountResult metric, the ops telemetry, and the

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace katric::detail {
+
+/// The bounded admission queue behind ServeSession: multi-producer (any
+/// thread may submit), multi-consumer (the worker pool), with non-blocking
+/// rejection on overflow — a full queue turns the submitter away instead of
+/// applying backpressure, so a serving front-end can degrade by shedding
+/// load rather than stalling.
+///
+/// Ordering: higher priority drains first; FIFO (by admission sequence)
+/// within a priority class. close() stops admission but lets consumers
+/// drain everything already accepted.
+template <typename T>
+class AdmissionQueue {
+public:
+    explicit AdmissionQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    enum class Push : std::uint8_t {
+        kAccepted,  ///< item moved into the queue
+        kRejected,  ///< queue full — item untouched, caller still owns it
+        kClosed,    ///< close() happened — item untouched
+    };
+
+    /// Never blocks. Moves from `item` only on kAccepted, so a rejected
+    /// caller can still complete the request it failed to enqueue.
+    Push push(T&& item, int priority = 0) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_) { return Push::kClosed; }
+        if (entries_.size() >= capacity_) { return Push::kRejected; }
+        entries_.push(Entry{priority, next_seq_++, std::move(item)});
+        lock.unlock();
+        ready_.notify_one();
+        return Push::kAccepted;
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; nullopt means no item will ever come again.
+    std::optional<T> pop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [&] { return closed_ || !entries_.empty(); });
+        return pop_locked();
+    }
+
+    /// Non-blocking pop: nullopt when nothing is currently queued.
+    std::optional<T> try_pop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return pop_locked();
+    }
+
+    /// Stops admission (pushes return kClosed); queued items stay poppable.
+    /// Idempotent.
+    void close() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] bool closed() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+private:
+    struct Entry {
+        int priority = 0;
+        std::uint64_t seq = 0;
+        T item;
+    };
+    /// priority_queue pops its *largest* element: larger priority wins, and
+    /// within a class the *smaller* sequence number is "larger" (FIFO).
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.priority != b.priority) { return a.priority < b.priority; }
+            return a.seq > b.seq;
+        }
+    };
+
+    std::optional<T> pop_locked() {
+        if (entries_.empty()) { return std::nullopt; }
+        // The heap top is const by interface, but moving out right before
+        // pop() never observes the moved-from state.
+        auto& top = const_cast<Entry&>(entries_.top());
+        std::optional<T> item(std::move(top.item));
+        entries_.pop();
+        return item;
+    }
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::priority_queue<Entry, std::vector<Entry>, Later> entries_;
+    std::uint64_t next_seq_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace katric::detail

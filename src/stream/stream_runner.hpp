@@ -56,6 +56,9 @@ struct StreamResult {
 /// spec.initial_algorithm, builds every rank's DynamicDistGraph, then
 /// maintains the count incrementally over `batches` on a fresh simulated
 /// machine, invoking `observer` (if any) after each batch.
+[[deprecated("one-shot shim — build a katric::Engine and call stream() / "
+             "open_stream(); it reuses the engine's partition for the "
+             "dynamic views")]]  //
 [[nodiscard]] StreamResult count_triangles_streaming(const graph::CsrGraph& initial,
                                                      const std::vector<EdgeBatch>& batches,
                                                      const StreamRunSpec& spec,

@@ -6,6 +6,7 @@
 
 #include "core/runner.hpp"
 #include "seq/edge_iterator.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric::core {
@@ -18,12 +19,12 @@ TEST(CetricAmq, Type12ExactAndType3WithinTolerance) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 8;
-    const auto exact_run = count_triangles(g, spec);
+    const auto exact_run = test::engine_count(g, spec);
     ASSERT_EQ(exact_run.triangles, exact);
 
     AmqOptions amq;
     amq.target_fpr = 0.01;
-    const auto approx = count_triangles_cetric_amq(g, spec, amq);
+    const auto approx = test::engine_approx(g, spec, amq);
     EXPECT_EQ(approx.exact_type12, exact_run.local_phase_triangles);
     // Type-3 estimate within 15% of the true value (plus small absolute slack
     // for tiny counts).
@@ -41,16 +42,16 @@ TEST(CetricAmq, TruthfulCorrectionBeatsRawCount) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 8;
-    const auto exact_run = count_triangles(g, spec);
+    const auto exact_run = test::engine_count(g, spec);
     const auto true_type3 = static_cast<double>(exact_run.global_phase_triangles);
     ASSERT_GT(true_type3, 100.0);
 
     AmqOptions sloppy;
     sloppy.target_fpr = 0.2;
     sloppy.truthful = false;
-    const auto raw = count_triangles_cetric_amq(g, spec, sloppy);
+    const auto raw = test::engine_approx(g, spec, sloppy);
     sloppy.truthful = true;
-    const auto corrected = count_triangles_cetric_amq(g, spec, sloppy);
+    const auto corrected = test::engine_approx(g, spec, sloppy);
 
     EXPECT_GT(raw.estimated_type3, true_type3);  // FPs only ever add
     EXPECT_LT(std::abs(corrected.estimated_type3 - true_type3),
@@ -64,10 +65,10 @@ TEST(CetricAmq, ReducesGlobalVolumeOnCutHeavyInstance) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 16;
-    const auto exact_run = count_triangles(g, spec);
+    const auto exact_run = test::engine_count(g, spec);
     AmqOptions amq;
     amq.target_fpr = 0.05;
-    const auto approx = count_triangles_cetric_amq(g, spec, amq);
+    const auto approx = test::engine_approx(g, spec, amq);
     EXPECT_LT(approx.metrics.total_words_sent, exact_run.total_words_sent);
 }
 
@@ -76,7 +77,7 @@ TEST(CetricAmq, SingleRankHasNoType3) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 1;
-    const auto approx = count_triangles_cetric_amq(g, spec, AmqOptions{});
+    const auto approx = test::engine_approx(g, spec, AmqOptions{});
     EXPECT_DOUBLE_EQ(approx.estimated_type3, 0.0);
     EXPECT_EQ(approx.exact_type12, 220u);  // C(12,3)
 }
@@ -95,7 +96,7 @@ TEST(Doulion, SparsifiesAndEstimates) {
         RunSpec spec;
         spec.algorithm = Algorithm::kDitric;
         spec.num_ranks = 4;
-        estimate_sum += static_cast<double>(count_triangles(sparse, spec).triangles)
+        estimate_sum += static_cast<double>(test::engine_count(sparse, spec).triangles)
                         * doulion_scale(keep);
     }
     const double estimate = estimate_sum / trials;
@@ -121,7 +122,7 @@ TEST(Colorful, MonochromaticSparsificationEstimates) {
         RunSpec spec;
         spec.algorithm = Algorithm::kCetric;
         spec.num_ranks = 4;
-        estimate_sum += static_cast<double>(count_triangles(sparse, spec).triangles)
+        estimate_sum += static_cast<double>(test::engine_count(sparse, spec).triangles)
                         * colorful_scale(colors);
     }
     EXPECT_NEAR(estimate_sum / trials, exact, 0.35 * exact);
@@ -147,15 +148,15 @@ TEST(CetricAmqAdaptive, VolumeNeverWorseAndErrorNeverWorse) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 16;
-    const auto exact = count_triangles(g, spec);
+    const auto exact = test::engine_count(g, spec);
     const auto true_total = static_cast<double>(exact.triangles);
 
     AmqOptions plain;
     plain.target_fpr = 0.05;
     AmqOptions adaptive = plain;
     adaptive.adaptive = true;
-    const auto plain_run = count_triangles_cetric_amq(g, spec, plain);
-    const auto adaptive_run = count_triangles_cetric_amq(g, spec, adaptive);
+    const auto plain_run = test::engine_approx(g, spec, plain);
+    const auto adaptive_run = test::engine_approx(g, spec, adaptive);
 
     EXPECT_LE(adaptive_run.metrics.total_words_sent, plain_run.metrics.total_words_sent);
     const double plain_err = std::abs(plain_run.estimated_triangles - true_total);
@@ -171,11 +172,11 @@ TEST(CetricAmqAdaptive, AllRawListsEqualsExactCount) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 8;
-    const auto exact = count_triangles(g, spec);
+    const auto exact = test::engine_count(g, spec);
     AmqOptions amq;
     amq.target_fpr = 0.3;  // 2.5 bits/key — still ≥ 1 word + 5-word header
     amq.adaptive = true;
-    const auto approx = count_triangles_cetric_amq(g, spec, amq);
+    const auto approx = test::engine_approx(g, spec, amq);
     EXPECT_DOUBLE_EQ(approx.estimated_triangles,
                      static_cast<double>(exact.triangles));
 }

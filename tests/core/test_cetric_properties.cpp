@@ -4,6 +4,7 @@
 #include "core/runner.hpp"
 #include "graph/distributed_graph.hpp"
 #include "seq/edge_iterator.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric::core {
@@ -54,7 +55,7 @@ TEST_P(CetricPhaseTest, LocalPhaseFindsType12GlobalFindsType3) {
     const auto partition = make_partition(g, spec);
     const auto types = classify(g, partition);
 
-    const auto result = count_triangles(g, spec);
+    const auto result = test::engine_count(g, spec);
     EXPECT_EQ(result.local_phase_triangles, types.type1 + types.type2)
         << "local phase must find exactly the type-1+type-2 triangles";
     EXPECT_EQ(result.global_phase_triangles, types.type3)
@@ -75,8 +76,8 @@ TEST(CetricProperties, GlobalPhaseVolumeBoundedByCutStructure) {
     cetric.num_ranks = 8;
     RunSpec ditric = cetric;
     ditric.algorithm = Algorithm::kDitric;
-    const auto cetric_result = count_triangles(g, cetric);
-    const auto ditric_result = count_triangles(g, ditric);
+    const auto cetric_result = test::engine_count(g, cetric);
+    const auto ditric_result = test::engine_count(g, ditric);
     EXPECT_EQ(cetric_result.triangles, ditric_result.triangles);
     EXPECT_LT(cetric_result.total_words_sent, ditric_result.total_words_sent);
     EXPECT_LT(cetric_result.max_words_sent, ditric_result.max_words_sent);
@@ -91,8 +92,8 @@ TEST(CetricProperties, NoLocalityMeansNoVolumeWin) {
     cetric.num_ranks = 8;
     RunSpec ditric = cetric;
     ditric.algorithm = Algorithm::kDitric;
-    const auto cetric_result = count_triangles(g, cetric);
-    const auto ditric_result = count_triangles(g, ditric);
+    const auto cetric_result = test::engine_count(g, cetric);
+    const auto ditric_result = test::engine_count(g, ditric);
     EXPECT_GT(static_cast<double>(cetric_result.total_words_sent),
               0.5 * static_cast<double>(ditric_result.total_words_sent));
 }
@@ -123,7 +124,7 @@ TEST(CetricProperties, PhaseTimesArePopulated) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric2;
     spec.num_ranks = 8;
-    const auto result = count_triangles(g, spec);
+    const auto result = test::engine_count(g, spec);
     EXPECT_GT(result.preprocessing_time, 0.0);
     EXPECT_GT(result.local_time, 0.0);
     EXPECT_GT(result.contraction_time, 0.0);
@@ -140,7 +141,7 @@ TEST(CetricProperties, DitricHasNoContractionPhase) {
     RunSpec spec;
     spec.algorithm = Algorithm::kDitric;
     spec.num_ranks = 4;
-    const auto result = count_triangles(g, spec);
+    const auto result = test::engine_count(g, spec);
     EXPECT_EQ(result.contraction_time, 0.0);
 }
 

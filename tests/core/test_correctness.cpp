@@ -5,6 +5,7 @@
 
 #include "core/runner.hpp"
 #include "seq/edge_iterator.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric::core {
@@ -23,7 +24,7 @@ TEST_P(DistributedCorrectnessTest, MatchesSequentialReference) {
     RunSpec spec;
     spec.algorithm = algorithm;
     spec.num_ranks = p;
-    const auto result = count_triangles(g, spec);
+    const auto result = test::engine_count(g, spec);
     ASSERT_FALSE(result.oom);
     EXPECT_EQ(result.triangles, expected);
     EXPECT_EQ(result.local_phase_triangles + result.global_phase_triangles, expected);
@@ -62,7 +63,7 @@ TEST_P(OddRanksTest, AllAlgorithmsAgree) {
         RunSpec spec;
         spec.algorithm = algorithm;
         spec.num_ranks = GetParam();
-        const auto result = count_triangles(g, spec);
+        const auto result = test::engine_count(g, spec);
         ASSERT_FALSE(result.oom);
         EXPECT_EQ(result.triangles, expected);
     }
@@ -79,7 +80,7 @@ TEST(DistributedCorrectness, MorePartsThanVerticesStillExact) {
         spec.algorithm = algorithm;
         spec.num_ranks = 13;
         spec.partition = PartitionStrategy::kUniformVertices;
-        EXPECT_EQ(count_triangles(g, spec).triangles, 20u);
+        EXPECT_EQ(test::engine_count(g, spec).triangles, 20u);
     }
 }
 
@@ -92,7 +93,7 @@ TEST(DistributedCorrectness, UniformAndEdgeBalancedPartitionsAgree) {
         spec.algorithm = Algorithm::kCetric;
         spec.num_ranks = 8;
         spec.partition = strategy;
-        EXPECT_EQ(count_triangles(g, spec).triangles, expected);
+        EXPECT_EQ(test::engine_count(g, spec).triangles, expected);
     }
 }
 
@@ -107,7 +108,7 @@ TEST(DistributedCorrectness, IntersectionKernelChoiceIsTransparent) {
         // A tiny threshold makes nearly every row a hub, so the bitmap
         // kernels really fire instead of quietly falling back.
         spec.options.hub_threshold = 2;
-        EXPECT_EQ(count_triangles(g, spec).triangles, expected)
+        EXPECT_EQ(test::engine_count(g, spec).triangles, expected)
             << seq::intersect_kind_name(kind);
     }
 }
@@ -126,8 +127,8 @@ TEST(DistributedCorrectness, AdaptiveMatchesMergeBitIdenticallyAcrossAlgorithms)
         RunSpec adaptive_spec = merge_spec;
         adaptive_spec.options.intersect = seq::IntersectKind::kAdaptive;
         adaptive_spec.options.hub_threshold = 4;
-        const auto expected = count_triangles(g, merge_spec);
-        const auto actual = count_triangles(g, adaptive_spec);
+        const auto expected = test::engine_count(g, merge_spec);
+        const auto actual = test::engine_count(g, adaptive_spec);
         ASSERT_FALSE(expected.oom);
         ASSERT_FALSE(actual.oom);
         EXPECT_EQ(actual.triangles, expected.triangles) << algorithm_name(algorithm);
@@ -145,10 +146,10 @@ TEST(DistributedCorrectness, TinyThresholdForcesManyFlushesButStaysExact) {
     spec.algorithm = Algorithm::kDitric;
     spec.num_ranks = 8;
     spec.options.buffer_threshold_words = 8;  // pathological δ
-    EXPECT_EQ(count_triangles(g, spec).triangles, expected);
+    EXPECT_EQ(test::engine_count(g, spec).triangles, expected);
 
     spec.algorithm = Algorithm::kCetric2;
-    EXPECT_EQ(count_triangles(g, spec).triangles, expected);
+    EXPECT_EQ(test::engine_count(g, spec).triangles, expected);
 }
 
 TEST(DistributedCorrectness, EmptyAndEdgelessGraphs) {
@@ -159,8 +160,8 @@ TEST(DistributedCorrectness, EmptyAndEdgelessGraphs) {
         spec.algorithm = algorithm;
         spec.num_ranks = 4;
         spec.partition = PartitionStrategy::kUniformVertices;
-        EXPECT_EQ(count_triangles(empty, spec).triangles, 0u);
-        EXPECT_EQ(count_triangles(edgeless, spec).triangles, 0u);
+        EXPECT_EQ(test::engine_count(empty, spec).triangles, 0u);
+        EXPECT_EQ(test::engine_count(edgeless, spec).triangles, 0u);
     }
 }
 
@@ -172,7 +173,7 @@ TEST(DistributedCorrectness, SingleRankEqualsSequentialEverywhere) {
             RunSpec spec;
             spec.algorithm = algorithm;
             spec.num_ranks = 1;
-            const auto result = count_triangles(fc.graph, spec);
+            const auto result = test::engine_count(fc.graph, spec);
             EXPECT_EQ(result.triangles, expected) << algorithm_name(algorithm);
             // p = 1: everything is local, nothing crosses the network.
             EXPECT_EQ(result.total_words_sent, 0u) << algorithm_name(algorithm);
@@ -195,7 +196,7 @@ TEST_P(TerminationDetectionTest, VerdictCoincidesWithExactCount) {
     spec.algorithm = GetParam();
     spec.num_ranks = 8;
     spec.options.detect_termination = true;
-    const auto result = count_triangles(g, spec);
+    const auto result = test::engine_count(g, spec);
     ASSERT_FALSE(result.oom);
     EXPECT_EQ(result.triangles, expected);
 }
@@ -205,9 +206,9 @@ TEST_P(TerminationDetectionTest, ProtocolCostsExtraMessagesOnly) {
     RunSpec spec;
     spec.algorithm = GetParam();
     spec.num_ranks = 8;
-    const auto omniscient = count_triangles(g, spec);
+    const auto omniscient = test::engine_count(g, spec);
     spec.options.detect_termination = true;
-    const auto detected = count_triangles(g, spec);
+    const auto detected = test::engine_count(g, spec);
     EXPECT_EQ(detected.triangles, omniscient.triangles);
     // Control traffic (reports + verdicts) adds messages and time, never
     // removes any.

@@ -8,6 +8,7 @@
 
 #include "seq/edge_iterator.hpp"
 #include "seq/lcc.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric::core {
@@ -24,7 +25,7 @@ TEST_P(DistLccTest, DeltaAndLccMatchSequential) {
     RunSpec spec;
     spec.algorithm = algorithm;
     spec.num_ranks = p;
-    const auto result = compute_distributed_lcc(g, spec);
+    const auto result = test::engine_lcc(g, spec);
 
     const auto expected_delta = seq::per_vertex_triangles(g);
     ASSERT_EQ(result.delta.size(), expected_delta.size());
@@ -49,7 +50,7 @@ TEST(DistLcc, DeltaSumsToThreeTimesTriangles) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 5;
-    const auto result = compute_distributed_lcc(g, spec);
+    const auto result = test::engine_lcc(g, spec);
     const auto total =
         std::accumulate(result.delta.begin(), result.delta.end(), std::uint64_t{0});
     EXPECT_EQ(total, 3 * result.count.triangles);
@@ -61,7 +62,7 @@ TEST(DistLcc, PostprocessingIsAccounted) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 8;
-    const auto result = compute_distributed_lcc(g, spec);
+    const auto result = test::engine_lcc(g, spec);
     EXPECT_GT(result.postprocess_time, 0.0);
     EXPECT_GE(result.count.total_time, result.postprocess_time);
 }
@@ -123,7 +124,7 @@ TEST(DistLcc, BaselineAlgorithmsRejected) {
         RunSpec spec;
         spec.algorithm = algorithm;
         spec.num_ranks = 2;
-        const auto result = compute_distributed_lcc(g, spec);
+        const auto result = test::engine_lcc(g, spec);
         EXPECT_EQ(result.count.error, RunError::kSinkUnsupported);
         EXPECT_EQ(result.count.triangles, 0u);
         EXPECT_TRUE(result.delta.empty());

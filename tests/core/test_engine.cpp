@@ -16,6 +16,11 @@
 #include "support/expect_count.hpp"
 #include "support/test_graphs.hpp"
 
+// These suites intentionally call the deprecated one-shot shims — proving
+// Engine equivalence against them is their entire purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace katric {
 namespace {
 
@@ -176,7 +181,7 @@ TEST(Engine, SinkUnsupportedIsTypedErrorNotACrash) {
         const auto lcc = engine.lcc();
         EXPECT_FALSE(lcc.ok());
         EXPECT_EQ(lcc.error, core::RunError::kSinkUnsupported);
-        EXPECT_FALSE(lcc.error_message.empty());
+        EXPECT_FALSE(lcc.error.message.empty());
         EXPECT_TRUE(lcc.delta.empty());
 
         const auto enumerated = engine.enumerate();
@@ -256,3 +261,5 @@ TEST(Engine, FamilySweepMatchesSequentialReference) {
 
 }  // namespace
 }  // namespace katric
+
+#pragma GCC diagnostic pop

@@ -26,6 +26,11 @@
 #include "support/test_graphs.hpp"
 #include "util/assert.hpp"
 
+// These suites intentionally call the deprecated one-shot shims — proving
+// Engine equivalence against them is their entire purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace katric {
 namespace {
 
@@ -259,7 +264,7 @@ TEST(EngineWarm, SinkUnsupportedSurvivesWarmReuse) {
         const auto lcc = warm.lcc();
         EXPECT_FALSE(lcc.ok());
         EXPECT_EQ(lcc.error, core::RunError::kSinkUnsupported);
-        EXPECT_FALSE(lcc.error_message.empty());
+        EXPECT_FALSE(lcc.error.message.empty());
         EXPECT_TRUE(lcc.delta.empty());
         EXPECT_NE(lcc.to_json().find("\"error\""), std::string::npos)
             << "JSON emission must carry the typed error for warm queries";
@@ -333,3 +338,5 @@ TEST(EngineWarm, WarmMonitorPresetIsWarm) {
 
 }  // namespace
 }  // namespace katric
+
+#pragma GCC diagnostic pop

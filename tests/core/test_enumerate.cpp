@@ -6,6 +6,7 @@
 #include <set>
 
 #include "seq/edge_iterator.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric::core {
@@ -35,7 +36,7 @@ TEST_P(EnumerateTest, ExactlyOnceAndComplete) {
     RunSpec spec;
     spec.algorithm = algorithm;
     spec.num_ranks = p;
-    const auto result = enumerate_triangles(g, spec);
+    const auto result = test::engine_enumerate(g, spec);
 
     const auto expected = brute_force_triangles(g);
     ASSERT_EQ(result.triangles.size(), expected.size());
@@ -61,7 +62,7 @@ TEST(Enumerate, CompleteGraphListsAllTriples) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 5;
-    const auto result = enumerate_triangles(katric::test::complete_graph(10), spec);
+    const auto result = test::engine_enumerate(katric::test::complete_graph(10), spec);
     EXPECT_EQ(result.triangles.size(), 120u);  // C(10,3)
     EXPECT_EQ(result.triangles.front(), (Triangle{0, 1, 2}));
     EXPECT_EQ(result.triangles.back(), (Triangle{7, 8, 9}));
@@ -71,7 +72,7 @@ TEST(Enumerate, TriangleFreeGraphIsEmpty) {
     RunSpec spec;
     spec.algorithm = Algorithm::kDitric2;
     spec.num_ranks = 3;
-    const auto result = enumerate_triangles(katric::test::petersen_graph(), spec);
+    const auto result = test::engine_enumerate(katric::test::petersen_graph(), spec);
     EXPECT_TRUE(result.triangles.empty());
     EXPECT_EQ(result.count.triangles, 0u);
 }

@@ -1,0 +1,86 @@
+// katric::Error — the unified (domain, code, message) error surface. The
+// load-bearing properties: domain-enum comparisons read naturally at call
+// sites, a domain's zero value matches any success, the factories attach
+// the canonical messages, and cross-domain codes never alias.
+
+#include "error.hpp"
+
+#include <gtest/gtest.h>
+
+#include "config.hpp"
+#include "core/algorithm.hpp"
+
+namespace katric {
+namespace {
+
+TEST(Error, DefaultIsSuccessInEveryDomain) {
+    const Error error;
+    EXPECT_TRUE(error.ok());
+    EXPECT_EQ(error, core::RunError::kNone);
+    EXPECT_EQ(error, ConfigError::kNone);
+    EXPECT_EQ(error, ServeError::kNone);
+    EXPECT_TRUE(error.message.empty());
+}
+
+TEST(Error, RunFactoryCarriesDomainCodeAndMessage) {
+    const auto error =
+        make_error(core::RunError::kSinkUnsupported, core::Algorithm::kTricStyle);
+    EXPECT_FALSE(error.ok());
+    EXPECT_EQ(error.domain, Error::Domain::kRun);
+    EXPECT_EQ(error, core::RunError::kSinkUnsupported);
+    EXPECT_EQ(error.run(), core::RunError::kSinkUnsupported);
+    EXPECT_EQ(error.message,
+              core::run_error_message(core::RunError::kSinkUnsupported,
+                                      core::Algorithm::kTricStyle));
+    // Wrong-domain comparisons and accessors stay negative/neutral.
+    EXPECT_FALSE(error == ServeError::kRejected);
+    EXPECT_EQ(error.serve(), ServeError::kNone);
+    EXPECT_EQ(error.config(), ConfigError::kNone);
+}
+
+TEST(Error, ServeFactoryCoversEveryCode) {
+    for (const auto code :
+         {ServeError::kRejected, ServeError::kStopped, ServeError::kUnsupported}) {
+        const auto error = make_error(code);
+        EXPECT_FALSE(error.ok());
+        EXPECT_EQ(error.domain, Error::Domain::kServe);
+        EXPECT_EQ(error, code);
+        EXPECT_EQ(error.serve(), code);
+        EXPECT_EQ(error.message, serve_error_message(code));
+        EXPECT_FALSE(error.message.empty());
+    }
+}
+
+TEST(Error, ConfigFactoryEmbedsTheDetail) {
+    const auto error = make_error(ConfigError::kUnknownFlag, "--no-such-flag");
+    EXPECT_FALSE(error.ok());
+    EXPECT_EQ(error, ConfigError::kUnknownFlag);
+    EXPECT_EQ(error.config(), ConfigError::kUnknownFlag);
+    EXPECT_NE(error.message.find("--no-such-flag"), std::string::npos);
+}
+
+TEST(Error, NoneFactoryInputsYieldSuccess) {
+    EXPECT_TRUE(make_error(core::RunError::kNone, core::Algorithm::kDitric).ok());
+    EXPECT_TRUE(make_error(ConfigError::kNone, "").ok());
+    EXPECT_TRUE(make_error(ServeError::kNone).ok());
+}
+
+TEST(Error, SameCodeDifferentDomainNeverAliases) {
+    // RunError::kSinkUnsupported and ServeError::kRejected could share a
+    // numeric value; the domain tag must keep them distinct.
+    const auto run =
+        make_error(core::RunError::kSinkUnsupported, core::Algorithm::kDitric);
+    const auto serve = make_error(ServeError::kRejected);
+    EXPECT_FALSE(run == serve);
+    EXPECT_FALSE(serve == core::RunError::kSinkUnsupported);
+}
+
+TEST(Error, ErrorToErrorComparisonIgnoresMessage) {
+    auto a = make_error(ServeError::kRejected);
+    auto b = make_error(ServeError::kRejected);
+    b.message = "different presentation";
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace katric

@@ -13,6 +13,7 @@
 #include "gen/rmat.hpp"
 #include "seq/edge_iterator.hpp"
 #include "util/random.hpp"
+#include "support/engine_query.hpp"
 
 namespace katric::core {
 namespace {
@@ -71,7 +72,7 @@ TEST_P(FuzzTest, RandomScenarioStaysExact) {
                  << " threads=" << spec.options.threads
                  << " intersect=" << seq::intersect_kind_name(spec.options.intersect)
                  << " hub_threshold=" << spec.options.hub_threshold);
-    const auto result = count_triangles(g, spec);
+    const auto result = test::engine_count(g, spec);
     ASSERT_FALSE(result.oom);
     EXPECT_EQ(result.triangles, expected);
     EXPECT_EQ(result.local_phase_triangles + result.global_phase_triangles, expected);

@@ -4,6 +4,7 @@
 
 #include "core/runner.hpp"
 #include "seq/edge_iterator.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric::core {
@@ -53,7 +54,7 @@ TEST_P(HybridThreadsTest, CountsStayExact) {
         spec.algorithm = algorithm;
         spec.num_ranks = 4;
         spec.options.threads = threads;
-        EXPECT_EQ(count_triangles(g, spec).triangles, expected);
+        EXPECT_EQ(test::engine_count(g, spec).triangles, expected);
     }
 }
 
@@ -65,9 +66,9 @@ TEST(Hybrid, MoreThreadsShrinkLocalPhaseTime) {
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 4;
     spec.options.threads = 1;
-    const auto single = count_triangles(g, spec);
+    const auto single = test::engine_count(g, spec);
     spec.options.threads = 12;
-    const auto hybrid = count_triangles(g, spec);
+    const auto hybrid = test::engine_count(g, spec);
     EXPECT_EQ(single.triangles, hybrid.triangles);
     EXPECT_LT(hybrid.local_time, single.local_time);
     EXPECT_GT(hybrid.local_time, single.local_time / 14.0);  // no superlinear magic
@@ -84,8 +85,8 @@ TEST(Hybrid, FewerFatterRanksReduceCommunicationVolume) {
     RunSpec hybrid = flat;
     hybrid.num_ranks = 4;
     hybrid.options.threads = 12;
-    const auto flat_run = count_triangles(g, flat);
-    const auto hybrid_run = count_triangles(g, hybrid);
+    const auto flat_run = test::engine_count(g, flat);
+    const auto hybrid_run = test::engine_count(g, hybrid);
     EXPECT_EQ(flat_run.triangles, hybrid_run.triangles);
     EXPECT_LT(hybrid_run.total_words_sent, flat_run.total_words_sent / 2);
 }

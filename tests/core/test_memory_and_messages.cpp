@@ -8,6 +8,7 @@
 #include "gen/rgg2d.hpp"
 #include "gen/rmat.hpp"
 #include "seq/edge_iterator.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric::core {
@@ -21,7 +22,7 @@ TEST(MemoryBounds, DitricPeakBufferRespectsDelta) {
     spec.algorithm = Algorithm::kDitric;
     spec.num_ranks = 16;
     spec.options.buffer_threshold_words = 512;
-    const auto result = count_triangles(g, spec);
+    const auto result = test::engine_count(g, spec);
     ASSERT_FALSE(result.oom);
     graph::Degree max_degree = 0;
     for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -41,12 +42,12 @@ TEST(MemoryBounds, TricStyleBufferGrowsWithVolumeAndOoms) {
     spec.network.memory_limit_words = 6000;
 
     spec.algorithm = Algorithm::kTricStyle;
-    const auto tric = count_triangles(g, spec);
+    const auto tric = test::engine_count(g, spec);
     EXPECT_TRUE(tric.oom) << "static buffering should exhaust the budget";
 
     spec.algorithm = Algorithm::kDitric;
     spec.options.buffer_threshold_words = 1024;
-    const auto ditric = count_triangles(g, spec);
+    const auto ditric = test::engine_count(g, spec);
     EXPECT_FALSE(ditric.oom);
     EXPECT_EQ(ditric.triangles, seq::count_edge_iterator(g).triangles);
 }
@@ -57,7 +58,7 @@ TEST(MemoryBounds, TricStyleSucceedsWithEnoughMemory) {
     spec.algorithm = Algorithm::kTricStyle;
     spec.num_ranks = 8;
     spec.network.memory_limit_words = std::uint64_t{1} << 24;
-    const auto result = count_triangles(g, spec);
+    const auto result = test::engine_count(g, spec);
     EXPECT_FALSE(result.oom);
     EXPECT_EQ(result.triangles, seq::count_edge_iterator(g).triangles);
 }
@@ -88,7 +89,7 @@ TEST(Messages, SurrogateRuleSendsEachNeighborhoodOncePerPe) {
     // Degree-exchange preprocessing adds at most 2 words per (interface
     // vertex, neighbor PE) pair; reduce adds 2(p−1) single words.
     volume_bound += 4 * g.num_edges() + 4 * spec.num_ranks;
-    const auto result = count_triangles(g, spec);
+    const auto result = test::engine_count(g, spec);
     EXPECT_LE(result.total_words_sent, volume_bound);
 }
 
@@ -98,9 +99,9 @@ TEST(Messages, UnbufferedSendsFarMoreMessagesThanDitric) {
     RunSpec spec;
     spec.num_ranks = 16;
     spec.algorithm = Algorithm::kEdgeIteratorUnbuffered;
-    const auto unbuffered = count_triangles(g, spec);
+    const auto unbuffered = test::engine_count(g, spec);
     spec.algorithm = Algorithm::kDitric;
-    const auto buffered = count_triangles(g, spec);
+    const auto buffered = test::engine_count(g, spec);
     EXPECT_EQ(unbuffered.triangles, buffered.triangles);
     EXPECT_GT(unbuffered.total_messages_sent, 4 * buffered.total_messages_sent);
     EXPECT_GT(unbuffered.total_time, buffered.total_time);
@@ -116,9 +117,9 @@ TEST(Messages, IndirectionReducesMaxMessagesAtScale) {
     RunSpec spec;
     spec.num_ranks = 64;
     spec.algorithm = Algorithm::kDitric;
-    const auto direct = count_triangles(g, spec);
+    const auto direct = test::engine_count(g, spec);
     spec.algorithm = Algorithm::kDitric2;
-    const auto indirect = count_triangles(g, spec);
+    const auto indirect = test::engine_count(g, spec);
     EXPECT_EQ(direct.triangles, indirect.triangles);
     EXPECT_LT(indirect.max_messages_sent, direct.max_messages_sent);
     // Indirection pays with up to 2× volume (each record travels twice).
@@ -161,9 +162,9 @@ TEST(Messages, CloudNetworkFavorsCetric) {
     spec.num_ranks = 16;
     spec.network = net::NetworkConfig::cloud_like();
     spec.algorithm = Algorithm::kDitric;
-    const auto ditric = count_triangles(g, spec);
+    const auto ditric = test::engine_count(g, spec);
     spec.algorithm = Algorithm::kCetric;
-    const auto cetric = count_triangles(g, spec);
+    const auto cetric = test::engine_count(g, spec);
     EXPECT_EQ(cetric.triangles, ditric.triangles);
     EXPECT_LT(cetric.global_time, ditric.global_time);
 }
@@ -184,9 +185,9 @@ TEST_P(CompressionTest, CountsUnchangedVolumeReducedOnLocalIds) {
     RunSpec spec;
     spec.algorithm = GetParam();
     spec.num_ranks = 8;
-    const auto plain = count_triangles(g, spec);
+    const auto plain = test::engine_count(g, spec);
     spec.options.compress_neighborhoods = true;
-    const auto compressed = count_triangles(g, spec);
+    const auto compressed = test::engine_count(g, spec);
     EXPECT_EQ(compressed.triangles, plain.triangles);
     EXPECT_EQ(compressed.local_phase_triangles, plain.local_phase_triangles);
     EXPECT_LT(compressed.total_words_sent, plain.total_words_sent);
@@ -201,7 +202,7 @@ TEST_P(CompressionTest, ExactOnShuffledIdsToo) {
     spec.algorithm = GetParam();
     spec.num_ranks = 12;
     spec.options.compress_neighborhoods = true;
-    EXPECT_EQ(count_triangles(g, spec).triangles, expected);
+    EXPECT_EQ(test::engine_count(g, spec).triangles, expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(CompressibleAlgorithms, CompressionTest,
@@ -218,7 +219,7 @@ TEST(Compression, ComposesWithSinkAndTermination) {
     spec.options.detect_termination = true;
     std::uint64_t sink_calls = 0;
     const TriangleSink sink = [&](Rank, VertexId, VertexId, VertexId) { ++sink_calls; };
-    const auto result = count_triangles(g, spec, &sink);
+    const auto result = test::engine_count(g, spec, &sink);
     EXPECT_EQ(result.triangles, seq::count_edge_iterator(g).triangles);
     EXPECT_EQ(sink_calls, result.triangles);
 }

@@ -1,0 +1,113 @@
+// detail::AdmissionQueue — the bounded priority queue behind Engine::serve.
+// Deterministic single-thread coverage of ordering (FIFO within a priority
+// class, higher class first), overflow rejection without moving from the
+// item, close semantics (admission stops, the backlog drains), and the
+// capacity clamp.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve_queue.hpp"
+
+namespace katric::detail {
+namespace {
+
+using Queue = AdmissionQueue<std::string>;
+
+TEST(AdmissionQueue, FifoWithinOnePriorityClass) {
+    Queue queue(8);
+    for (const auto* s : {"a", "b", "c"}) {
+        EXPECT_EQ(queue.push(std::string(s)), Queue::Push::kAccepted);
+    }
+    EXPECT_EQ(queue.try_pop(), "a");
+    EXPECT_EQ(queue.try_pop(), "b");
+    EXPECT_EQ(queue.try_pop(), "c");
+    EXPECT_EQ(queue.try_pop(), std::nullopt);
+}
+
+TEST(AdmissionQueue, HigherPriorityDrainsFirstFifoWithin) {
+    Queue queue(8);
+    ASSERT_EQ(queue.push("low1", 0), Queue::Push::kAccepted);
+    ASSERT_EQ(queue.push("high1", 5), Queue::Push::kAccepted);
+    ASSERT_EQ(queue.push("low2", 0), Queue::Push::kAccepted);
+    ASSERT_EQ(queue.push("high2", 5), Queue::Push::kAccepted);
+    EXPECT_EQ(queue.try_pop(), "high1");
+    EXPECT_EQ(queue.try_pop(), "high2");
+    EXPECT_EQ(queue.try_pop(), "low1");
+    EXPECT_EQ(queue.try_pop(), "low2");
+}
+
+TEST(AdmissionQueue, OverflowRejectsWithoutConsumingTheItem) {
+    Queue queue(2);
+    ASSERT_EQ(queue.push("a"), Queue::Push::kAccepted);
+    ASSERT_EQ(queue.push("b"), Queue::Push::kAccepted);
+    std::string survivor = "still-mine";
+    EXPECT_EQ(queue.push(std::move(survivor)), Queue::Push::kRejected);
+    // kRejected must leave the caller's object untouched — ServeSession
+    // still fulfils the promise inside a rejected task.
+    EXPECT_EQ(survivor, "still-mine");
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(AdmissionQueue, RejectionFreesNoSlotAcceptanceResumesAfterPop) {
+    Queue queue(1);
+    ASSERT_EQ(queue.push("a"), Queue::Push::kAccepted);
+    EXPECT_EQ(queue.push("b"), Queue::Push::kRejected);
+    EXPECT_EQ(queue.try_pop(), "a");
+    EXPECT_EQ(queue.push("b"), Queue::Push::kAccepted);
+    EXPECT_EQ(queue.try_pop(), "b");
+}
+
+TEST(AdmissionQueue, CloseStopsAdmissionButDrainsBacklog) {
+    Queue queue(4);
+    ASSERT_EQ(queue.push("a"), Queue::Push::kAccepted);
+    ASSERT_EQ(queue.push("b"), Queue::Push::kAccepted);
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    EXPECT_EQ(queue.push("c"), Queue::Push::kClosed);
+    // Blocking pop on a closed queue drains the backlog, then reports end.
+    EXPECT_EQ(queue.pop(), "a");
+    EXPECT_EQ(queue.pop(), "b");
+    EXPECT_EQ(queue.pop(), std::nullopt);
+    EXPECT_EQ(queue.pop(), std::nullopt);  // idempotent
+}
+
+TEST(AdmissionQueue, CloseIsIdempotent) {
+    Queue queue(4);
+    queue.close();
+    queue.close();
+    EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(AdmissionQueue, ZeroCapacityClampsToOne) {
+    Queue queue(0);
+    EXPECT_EQ(queue.capacity(), 1u);
+    EXPECT_EQ(queue.push("a"), Queue::Push::kAccepted);
+    EXPECT_EQ(queue.push("b"), Queue::Push::kRejected);
+}
+
+TEST(AdmissionQueue, BlockingPopWakesOnPush) {
+    Queue queue(2);
+    std::string got;
+    std::thread consumer([&] {
+        const auto item = queue.pop();
+        ASSERT_TRUE(item.has_value());
+        got = *item;
+    });
+    ASSERT_EQ(queue.push("wake"), Queue::Push::kAccepted);
+    consumer.join();
+    EXPECT_EQ(got, "wake");
+}
+
+TEST(AdmissionQueue, BlockingPopWakesOnClose) {
+    Queue queue(2);
+    std::thread consumer([&] { EXPECT_EQ(queue.pop(), std::nullopt); });
+    queue.close();
+    consumer.join();
+}
+
+}  // namespace
+}  // namespace katric::detail

@@ -9,6 +9,7 @@
 #include "graph/io.hpp"
 #include "seq/edge_iterator.hpp"
 #include "seq/lcc.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric {
@@ -29,7 +30,7 @@ TEST(Pipeline, GenerateDistributeCountValidateEveryProxy) {
             RunSpec spec;
             spec.algorithm = algorithm;
             spec.num_ranks = 8;
-            const auto result = core::count_triangles(g, spec);
+            const auto result = test::engine_count(g, spec);
             ASSERT_FALSE(result.oom) << core::algorithm_name(algorithm);
             EXPECT_EQ(result.triangles, expected) << core::algorithm_name(algorithm);
         }
@@ -47,7 +48,7 @@ TEST(Pipeline, FileRoundTripThenDistributedCount) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 12;
-    EXPECT_EQ(core::count_triangles(loaded, spec).triangles,
+    EXPECT_EQ(test::engine_count(loaded, spec).triangles,
               seq::count_edge_iterator(g).triangles);
     std::filesystem::remove_all(dir);
 }
@@ -59,7 +60,7 @@ TEST(Pipeline, ScalingSweepKeepsCountInvariant) {
         RunSpec spec;
         spec.algorithm = Algorithm::kDitric2;
         spec.num_ranks = p;
-        EXPECT_EQ(core::count_triangles(g, spec).triangles, expected) << "p=" << p;
+        EXPECT_EQ(test::engine_count(g, spec).triangles, expected) << "p=" << p;
     }
 }
 
@@ -68,7 +69,7 @@ TEST(Pipeline, LccOnWebProxyMatchesSequential) {
     RunSpec spec;
     spec.algorithm = Algorithm::kCetric;
     spec.num_ranks = 8;
-    const auto dist = core::compute_distributed_lcc(g, spec);
+    const auto dist = test::engine_lcc(g, spec);
     EXPECT_EQ(dist.delta, seq::per_vertex_triangles(g));
 }
 

@@ -13,6 +13,7 @@
 #include "gen/rmat.hpp"
 #include "seq/edge_iterator.hpp"
 #include "stream/stream_runner.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 
 namespace katric::stream {
@@ -55,7 +56,7 @@ TEST(HubBitmapStreaming, DirtyInvalidationKeepsBitmapsExact) {
     const auto spec = bitmap_spec(4);
     auto views = distribute_dynamic(base, spec);
     net::Simulator sim(spec.num_ranks, spec.network);
-    const auto initial = core::count_triangles(base, spec.static_spec());
+    const auto initial = test::engine_count(base, spec.static_spec());
     ASSERT_FALSE(initial.oom);
     IncrementalCounter counter(sim, views, spec.options, spec.indirect,
                                initial.triangles);
@@ -79,14 +80,14 @@ TEST(HubBitmapStreaming, CountsMatchRecountWithBitmapsForcedOn) {
 
         auto views = distribute_dynamic(base, spec);
         net::Simulator sim(spec.num_ranks, spec.network);
-        const auto initial = core::count_triangles(base, spec.static_spec());
+        const auto initial = test::engine_count(base, spec.static_spec());
         ASSERT_FALSE(initial.oom);
         IncrementalCounter counter(sim, views, spec.options, spec.indirect,
                                    initial.triangles);
         for (const auto& batch : stream.batches_of(30)) {
             const auto stats = counter.apply_batch(batch);
             const auto recount =
-                core::count_triangles(materialize_global(views), spec.static_spec());
+                test::engine_count(materialize_global(views), spec.static_spec());
             ASSERT_FALSE(recount.oom);
             ASSERT_EQ(counter.triangles(), recount.triangles)
                 << "p=" << p << ", batch " << stats.batch_index;
@@ -99,7 +100,7 @@ TEST(HubBitmapStreaming, LccStaysExactUnderBitmapKernels) {
     const auto spec = bitmap_spec(5);
     auto views = distribute_dynamic(base, spec);
     net::Simulator sim(spec.num_ranks, spec.network);
-    const auto initial = core::compute_distributed_lcc(base, spec.static_spec());
+    const auto initial = test::engine_lcc(base, spec.static_spec());
     ASSERT_FALSE(initial.count.oom);
     IncrementalCounter counter(sim, views, spec.options, spec.indirect,
                                initial.count.triangles);
@@ -111,7 +112,7 @@ TEST(HubBitmapStreaming, LccStaysExactUnderBitmapKernels) {
         counter.apply_batch(batch);
         lcc.finish_batch();
         const auto current = materialize_global(views);
-        const auto full = core::compute_distributed_lcc(current, spec.static_spec());
+        const auto full = test::engine_lcc(current, spec.static_spec());
         ASSERT_FALSE(full.count.oom);
         ASSERT_EQ(lcc.delta(), full.delta);
     }

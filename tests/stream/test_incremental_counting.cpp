@@ -9,6 +9,7 @@
 #include "gen/rmat.hpp"
 #include "seq/edge_iterator.hpp"
 #include "stream/stream_runner.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 #include "util/assert.hpp"
 
@@ -51,7 +52,7 @@ TEST_P(IncrementalMatchesRecountTest, EveryBatchAgreesWithStaticCount) {
 
     auto views = distribute_dynamic(base, spec);
     net::Simulator sim(spec.num_ranks, spec.network);
-    const auto initial = core::count_triangles(base, spec.static_spec());
+    const auto initial = test::engine_count(base, spec.static_spec());
     ASSERT_FALSE(initial.oom);
     IncrementalCounter counter(sim, views, spec.options, spec.indirect, initial.triangles);
 
@@ -59,7 +60,7 @@ TEST_P(IncrementalMatchesRecountTest, EveryBatchAgreesWithStaticCount) {
         const auto stats = counter.apply_batch(batch);
         const auto current = materialize_global(views);
         // Fresh static recount through the full distributed pipeline.
-        const auto recount = core::count_triangles(current, spec.static_spec());
+        const auto recount = test::engine_count(current, spec.static_spec());
         ASSERT_FALSE(recount.oom);
         ASSERT_EQ(counter.triangles(), recount.triangles)
             << "batch " << stats.batch_index << " (" << stats.net_inserts << " ins, "
@@ -95,7 +96,7 @@ TEST(CountTrianglesStreaming, RunnerMatchesFinalRecountAndReportsBatches) {
     const auto batches = stream.batches_of(50);
 
     std::size_t observed = 0;
-    const auto result = count_triangles_streaming(
+    const auto result = test::engine_stream(
         base, batches, spec, [&](const BatchStats& stats) {
             EXPECT_EQ(stats.batch_index, observed);
             ++observed;
@@ -132,7 +133,7 @@ TEST(IncrementalCounting, IndirectRoutingStaysExact) {
 
     auto views = distribute_dynamic(base, spec);
     net::Simulator sim(spec.num_ranks, spec.network);
-    const auto initial = core::count_triangles(base, spec.static_spec());
+    const auto initial = test::engine_count(base, spec.static_spec());
     IncrementalCounter counter(sim, views, spec.options, spec.indirect, initial.triangles);
     for (const auto& batch : batches) {
         counter.apply_batch(batch);
@@ -147,7 +148,7 @@ TEST(IncrementalCounting, PathologicalThresholdForcesManyFlushesButStaysExact) {
     spec.num_ranks = 8;
     spec.options.buffer_threshold_words = 8;  // pathological δ
     const auto stream = make_churn_stream(base, 150, 0.5, 31);
-    const auto result = count_triangles_streaming(base, stream.batches_of(25), spec);
+    const auto result = test::engine_stream(base, stream.batches_of(25), spec);
 
     auto views = distribute_dynamic(base, spec);
     net::Simulator sim(spec.num_ranks, spec.network);

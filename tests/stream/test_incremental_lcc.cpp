@@ -10,6 +10,7 @@
 #include "graph/builder.hpp"
 #include "seq/lcc.hpp"
 #include "stream/stream_runner.hpp"
+#include "support/engine_query.hpp"
 #include "support/test_graphs.hpp"
 #include "util/assert.hpp"
 
@@ -33,7 +34,7 @@ void expect_lcc_tracks_recompute(const graph::CsrGraph& base,
                                  const StreamRunSpec& spec) {
     auto views = distribute_dynamic(base, spec);
     net::Simulator sim(spec.num_ranks, spec.network);
-    const auto initial = core::compute_distributed_lcc(base, spec.static_spec());
+    const auto initial = test::engine_lcc(base, spec.static_spec());
     ASSERT_FALSE(initial.count.oom);
     IncrementalCounter counter(sim, views, spec.options, spec.indirect,
                                initial.count.triangles);
@@ -46,7 +47,7 @@ void expect_lcc_tracks_recompute(const graph::CsrGraph& base,
         EXPECT_GE(flush_seconds, 0.0);
 
         const auto current = materialize_global(views);
-        const auto full = core::compute_distributed_lcc(current, spec.static_spec());
+        const auto full = test::engine_lcc(current, spec.static_spec());
         ASSERT_FALSE(full.count.oom);
         ASSERT_EQ(counter.triangles(), full.count.triangles)
             << "batch " << stats.batch_index;
@@ -129,7 +130,7 @@ TEST(StreamingLccEdgeCases, IsolatedAndDegreeOneVerticesReportZero) {
 
     auto views = distribute_dynamic(base, spec);
     net::Simulator sim(spec.num_ranks, spec.network);
-    const auto initial = core::compute_distributed_lcc(base, spec.static_spec());
+    const auto initial = test::engine_lcc(base, spec.static_spec());
     IncrementalCounter counter(sim, views, spec.options, spec.indirect,
                                initial.count.triangles);
     IncrementalLcc lcc(sim, views, spec.options, spec.indirect, initial.delta);
@@ -162,7 +163,7 @@ TEST(StreamingLccEdgeCases, DegreeDroppingBelowTwoZerosTheCoefficient) {
 
     auto views = distribute_dynamic(base, spec);
     net::Simulator sim(spec.num_ranks, spec.network);
-    const auto initial = core::compute_distributed_lcc(base, spec.static_spec());
+    const auto initial = test::engine_lcc(base, spec.static_spec());
     IncrementalCounter counter(sim, views, spec.options, spec.indirect,
                                initial.count.triangles);
     IncrementalLcc lcc(sim, views, spec.options, spec.indirect, initial.delta);
@@ -189,7 +190,7 @@ TEST(StreamingLccEdgeCases, DeleteThenReinsertWithinOneBatchIsInvisible) {
     spec.num_ranks = 2;
     auto views = distribute_dynamic(base, spec);
     net::Simulator sim(spec.num_ranks, spec.network);
-    const auto initial = core::compute_distributed_lcc(base, spec.static_spec());
+    const auto initial = test::engine_lcc(base, spec.static_spec());
     IncrementalCounter counter(sim, views, spec.options, spec.indirect,
                                initial.count.triangles);
     IncrementalLcc lcc(sim, views, spec.options, spec.indirect, initial.delta);
@@ -259,7 +260,7 @@ TEST(CountTrianglesStreamingLcc, RunnerMaintainsLccAndReportsFlushTimes) {
     const auto stream = make_churn_stream(base, 300, 0.4, 55);
     const auto batches = stream.batches_of(50);
 
-    const auto result = count_triangles_streaming(base, batches, spec);
+    const auto result = test::engine_stream(base, batches, spec);
     ASSERT_EQ(result.batches.size(), batches.size());
     for (const auto& stats : result.batches) { EXPECT_GE(stats.lcc_seconds, 0.0); }
 
@@ -282,7 +283,7 @@ TEST(CountTrianglesStreamingLcc, WithoutMaintenanceVectorsStayEmpty) {
     StreamRunSpec spec;
     spec.num_ranks = 2;
     const auto stream = make_churn_stream(base, 40, 0.3, 8);
-    const auto result = count_triangles_streaming(base, stream.batches_of(10), spec);
+    const auto result = test::engine_stream(base, stream.batches_of(10), spec);
     EXPECT_TRUE(result.delta.empty());
     EXPECT_TRUE(result.lcc.empty());
     for (const auto& stats : result.batches) { EXPECT_EQ(stats.lcc_seconds, 0.0); }

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "engine.hpp"
+
+namespace katric::test {
+
+/// Engine-backed replacements for the deprecated one-shot entry points
+/// (core::count_triangles and friends): same signature shape, same result
+/// types, routed through a temporary katric::Engine — the migration target
+/// the deprecation messages point at. Tests that only need "run query X on
+/// graph G under spec S" call these; the shim-equivalence suites keep
+/// calling the deprecated functions on purpose (under a local pragma).
+inline core::CountResult engine_count(const graph::CsrGraph& g,
+                                      const core::RunSpec& spec,
+                                      const core::TriangleSink* sink = nullptr) {
+    Engine engine(g, Config::from_run_spec(spec));
+    return engine.count(sink).count;
+}
+
+inline core::LccResult engine_lcc(const graph::CsrGraph& g, const core::RunSpec& spec) {
+    Engine engine(g, Config::from_run_spec(spec));
+    auto report = engine.lcc();
+    core::LccResult result;
+    result.count = std::move(report.count);
+    result.delta = std::move(report.delta);
+    result.lcc = std::move(report.lcc);
+    result.postprocess_time = report.postprocess_time;
+    return result;
+}
+
+inline core::EnumerateResult engine_enumerate(const graph::CsrGraph& g,
+                                              const core::RunSpec& spec) {
+    Engine engine(g, Config::from_run_spec(spec));
+    auto report = engine.enumerate();
+    core::EnumerateResult result;
+    result.count = std::move(report.count);
+    result.triangles = std::move(report.triangles);
+    result.found_per_rank = std::move(report.found_per_rank);
+    return result;
+}
+
+inline core::AmqResult engine_approx(const graph::CsrGraph& g,
+                                     const core::RunSpec& spec,
+                                     const core::AmqOptions& amq) {
+    Engine engine(g, Config::from_run_spec(spec));
+    auto report = engine.approx_count(amq);
+    core::AmqResult result;
+    result.estimated_triangles = report.estimated_triangles;
+    result.exact_type12 = report.exact_type12;
+    result.estimated_type3 = report.estimated_type3;
+    result.metrics = std::move(report.count);
+    return result;
+}
+
+inline stream::StreamResult engine_stream(const graph::CsrGraph& initial,
+                                          const std::vector<stream::EdgeBatch>& batches,
+                                          const stream::StreamRunSpec& spec,
+                                          const stream::BatchObserver& observer = {}) {
+    Engine engine(initial, Config::from_stream_spec(spec));
+    auto session = engine.open_stream();
+    for (const auto& batch : batches) {
+        const auto& stats = session.ingest(batch);
+        if (observer) { observer(stats); }
+    }
+    return session.result();
+}
+
+}  // namespace katric::test
