@@ -153,6 +153,22 @@ void Config::register_cli(CliParser& cli, const Config& defaults) {
     cli.option("queue-depth", std::to_string(defaults.queue_depth),
                "Engine::serve admission-queue capacity; submissions beyond it "
                "are rejected with ServeError::kRejected (0 = default of 64)");
+    cli.option("fault-spec", defaults.fault_spec,
+               "fault-injection plan, e.g. seed=42;drop=0.01;bitflip=0.005;"
+               "crash=2@3 (empty = none; non-empty implies --harden)");
+    cli.option("harden", format_bool(defaults.harden),
+               "hardened message layer: per-message checksums/sequencing, "
+               "dedup, retransmission on detected loss or corruption (0|1)");
+    cli.option("recovery", fault::recovery_policy_name(defaults.recovery),
+               "policy on unrecoverable faults (fail-fast|retry|degrade)");
+    cli.option("max-retries", std::to_string(defaults.max_retries),
+               "retransmission budget per frame under retry/degrade recovery");
+    cli.option("phase-timeout", format_double(defaults.phase_timeout),
+               "simulated-seconds ceiling per superstep; exceeding it is a "
+               "typed kTimeout error (0 = off)");
+    cli.option("deadline", format_double(defaults.deadline_seconds),
+               "default per-query deadline in wall-clock seconds, checked at "
+               "superstep boundaries (0 = none)");
     cli.option("amq-fpr", format_double(defaults.amq.target_fpr),
                "Bloom-filter false-positive-rate target for approx_count");
     cli.option("amq-truthful", format_bool(defaults.amq.truthful),
@@ -206,6 +222,23 @@ Config Config::from_args(const CliParser& cli) {
     config.trace_out = cli.get_string("trace-out");
     config.serve_threads = static_cast<int>(cli.get_uint("serve-threads"));
     config.queue_depth = static_cast<std::size_t>(cli.get_uint("queue-depth"));
+    config.fault_spec = cli.get_string("fault-spec");
+    if (!config.fault_spec.empty()) {
+        // Validate the grammar here so a typo is a typed parse failure, not
+        // a surprise mid-query; Engine re-parses the validated spec.
+        (void)fault::FaultPlan::parse(config.fault_spec);
+    }
+    config.harden = cli.get_uint("harden") != 0;
+    const auto recovery = fault::parse_recovery_policy(cli.get_string("recovery"));
+    KATRIC_ASSERT_MSG(recovery.has_value(), "unknown recovery policy '"
+                                                << cli.get_string("recovery")
+                                                << "' (fail-fast|retry|degrade)");
+    config.recovery = *recovery;
+    config.max_retries = static_cast<std::uint32_t>(cli.get_uint("max-retries"));
+    config.phase_timeout = cli.get_double("phase-timeout");
+    KATRIC_ASSERT_MSG(config.phase_timeout >= 0.0, "--phase-timeout must be >= 0");
+    config.deadline_seconds = cli.get_double("deadline");
+    KATRIC_ASSERT_MSG(config.deadline_seconds >= 0.0, "--deadline must be >= 0");
     config.amq.target_fpr = cli.get_double("amq-fpr");
     config.amq.truthful = cli.get_uint("amq-truthful") != 0;
     config.amq.adaptive = cli.get_uint("amq-adaptive") != 0;
@@ -319,6 +352,12 @@ std::vector<std::string> Config::to_flags() const {
     flags.push_back("--trace-out=" + trace_out);
     flags.push_back("--serve-threads=" + std::to_string(serve_threads));
     flags.push_back("--queue-depth=" + std::to_string(queue_depth));
+    flags.push_back("--fault-spec=" + fault_spec);
+    flags.push_back("--harden=" + format_bool(harden));
+    flags.push_back("--recovery=" + fault::recovery_policy_name(recovery));
+    flags.push_back("--max-retries=" + std::to_string(max_retries));
+    flags.push_back("--phase-timeout=" + format_double(phase_timeout));
+    flags.push_back("--deadline=" + format_double(deadline_seconds));
     flags.push_back("--amq-fpr=" + format_double(amq.target_fpr));
     flags.push_back("--amq-truthful=" + format_bool(amq.truthful));
     flags.push_back("--amq-adaptive=" + format_bool(amq.adaptive));
@@ -389,6 +428,18 @@ Config Config::preset(const std::string& name) {
         config.reuse_preprocessing = true;
         return config;
     }
+    if (name == "hardened-serve") {
+        // Production-serving posture: warm state, checksummed/retransmitting
+        // message layer, retry recovery, and the metrics to watch it all.
+        config.algorithm = core::Algorithm::kCetric;
+        config.num_ranks = 16;
+        config.options.intersect = seq::IntersectKind::kAdaptive;
+        config.reuse_preprocessing = true;
+        config.harden = true;
+        config.recovery = fault::RecoveryPolicy::kRetry;
+        config.metrics = true;
+        return config;
+    }
     KATRIC_THROW("unknown Config preset '" << name << "'");
 }
 
@@ -396,7 +447,7 @@ const std::vector<std::string>& Config::preset_names() {
     static const std::vector<std::string> names = {
         "default",          "paper-ditric", "paper-cetric",  "cloud-indirect",
         "adaptive-kernels", "hybrid",       "streaming-lcc", "approx-adaptive",
-        "warm-monitor",
+        "warm-monitor",     "hardened-serve",
     };
     return names;
 }

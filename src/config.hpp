@@ -7,6 +7,7 @@
 
 #include "core/approx.hpp"
 #include "core/runner.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/network_config.hpp"
 #include "stream/stream_runner.hpp"
 #include "util/cli.hpp"
@@ -87,6 +88,30 @@ struct Config {
     /// blocking the submitter. 0 falls back to the default of 64.
     std::size_t queue_depth = 0;
 
+    /// Fault injection (src/fault/): a FaultPlan in the --fault-spec grammar
+    /// ("seed=42;drop=0.01;crash=2@3"). Empty = no injection. A non-empty
+    /// spec implies the hardened message layer (harden below).
+    std::string fault_spec;
+    /// Hardened message layer without injection: per-message checksums and
+    /// sequence framing, verification + dedup at delivery, retransmission on
+    /// detected loss/corruption. Implied by fault_spec; off by default — the
+    /// disabled path is one null check per hot path, like obs.
+    bool harden = false;
+    /// What a query does when the hardened layer detects an unrecoverable
+    /// fault: surface it immediately (fail-fast), after the retry budget
+    /// (retry), or fall back to the approximate counter (degrade).
+    fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kRetry;
+    /// Retransmission budget per frame under kRetry/kDegrade; kFailFast
+    /// forces 0.
+    std::uint32_t max_retries = 3;
+    /// Simulated-seconds ceiling per superstep; a phase exceeding it throws
+    /// a typed kTimeout instead of silently absorbing a wedged link. 0 = off.
+    double phase_timeout = 0.0;
+    /// Default per-query deadline in host wall-clock seconds, checked
+    /// cooperatively at superstep boundaries; 0 = none. Per-request
+    /// deadlines (ServeRequest / QueryOptions) override it.
+    double deadline_seconds = 0.0;
+
     /// Approximate-counting knobs (Engine::approx_count).
     core::AmqOptions amq = {};
 
@@ -104,8 +129,9 @@ struct Config {
     /// --memory-limit --intersect --hub-threshold --buffer-threshold
     /// --threads --pes-per-node --compress --detect-termination --indirect
     /// --maintain-lcc --reuse-preprocessing --charge-reused-preprocessing
-    /// --metrics --trace-out --serve-threads --queue-depth --amq-fpr
-    /// --amq-truthful --amq-adaptive --amq-seed.
+    /// --metrics --trace-out --serve-threads --queue-depth --fault-spec
+    /// --harden --recovery --max-retries --phase-timeout --deadline
+    /// --amq-fpr --amq-truthful --amq-adaptive --amq-seed.
     static void register_cli(CliParser& cli, const Config& defaults);
     static void register_cli(CliParser& cli);  ///< defaults = Config{}
     /// Reads a parsed CliParser (register_cli must have declared the flags).
@@ -128,7 +154,8 @@ struct Config {
     // --- presets ---------------------------------------------------------
     /// Named presets: "default", "paper-ditric", "paper-cetric",
     /// "cloud-indirect", "adaptive-kernels", "hybrid", "streaming-lcc",
-    /// "approx-adaptive", "warm-monitor". Unknown names throw.
+    /// "approx-adaptive", "warm-monitor", "hardened-serve". Unknown names
+    /// throw.
     [[nodiscard]] static Config preset(const std::string& name);
     [[nodiscard]] static const std::vector<std::string>& preset_names();
 

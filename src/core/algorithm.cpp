@@ -35,6 +35,8 @@ std::string run_error_message(RunError error, Algorithm algorithm) {
             return algorithm_name(algorithm)
                    + " cannot drive a triangle sink (supported by the edge-iterator "
                      "family and CETRIC/CETRIC2)";
+        case RunError::kInvalidInput:
+            return "input failed validation; nothing was mutated";
     }
     return "unknown error";
 }

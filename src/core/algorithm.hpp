@@ -49,6 +49,11 @@ enum class RunError : std::uint8_t {
     /// A TriangleSink was requested with an algorithm that cannot drive one
     /// (see algorithm_supports_sink).
     kSinkUnsupported,
+    /// The input data failed validation before any work ran — an edge
+    /// endpoint outside the declared vertex universe, a stream batch whose
+    /// events are not time-ordered, or a similarly malformed payload. The
+    /// rejected operation mutated nothing.
+    kInvalidInput,
 };
 
 [[nodiscard]] std::string run_error_message(RunError error, Algorithm algorithm);

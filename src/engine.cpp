@@ -48,6 +48,9 @@ Engine::Engine(const graph::CsrGraph& graph, Config config)
       partition_(core::make_partition(graph, config_.run_spec())),
       views_(graph::distribute(graph, partition_)),
       obs_(obs::Observability::acquire(config_.metrics, config_.trace_out)) {
+    if (!config_.fault_spec.empty()) {
+        injector_.emplace(fault::FaultPlan::parse(config_.fault_spec));
+    }
     warm_build();
 }
 
@@ -57,7 +60,65 @@ Engine::Engine(const graph::CsrGraph& graph, Config config, graph::Partition1D p
       partition_(validated_partition(std::move(partition), graph, config_)),
       views_(graph::distribute(graph, partition_)),
       obs_(obs::Observability::acquire(config_.metrics, config_.trace_out)) {
+    if (!config_.fault_spec.empty()) {
+        injector_.emplace(fault::FaultPlan::parse(config_.fault_spec));
+    }
     warm_build();
+}
+
+void Engine::arm_simulator(net::Simulator& sim, const QueryOptions& query,
+                           QueryGuard& guard) {
+    const double deadline = query.deadline_seconds.value_or(config_.deadline_seconds);
+    const bool wants_cancel = deadline > 0.0 || query.cancel != nullptr;
+    const bool wants_harden = hardening_enabled();
+    const bool wants_timeout = config_.phase_timeout > 0.0;
+    if (!wants_harden && !wants_cancel && !wants_timeout) {
+        return;  // the zero-overhead path
+    }
+    if (deadline > 0.0) { guard.token.set_deadline_in(deadline); }
+    if (query.cancel != nullptr) { guard.token.chain(query.cancel); }
+    net::HardenOptions harden;
+    // Deadline/cancel without --harden arms only the superstep boundary
+    // check — no framing, no checksum cost on the payload path.
+    harden.frame = wants_harden;
+    if (wants_harden) {
+        harden.injector = injector_ ? &*injector_ : nullptr;
+        harden.stats = &guard.stats;
+    }
+    harden.cancel = wants_cancel ? &guard.token : nullptr;
+    const auto policy = query.recovery.value_or(config_.recovery);
+    harden.max_retries =
+        policy == fault::RecoveryPolicy::kFailFast ? 0 : config_.max_retries;
+    harden.phase_timeout = config_.phase_timeout;
+    sim.harden(harden);
+    guard.armed = true;
+}
+
+void Engine::record_faults(Report& report, const QueryGuard& guard) {
+    if (!guard.armed) { return; }
+    report.hardened = hardening_enabled();
+    report.faults = guard.stats;
+    if (obs_ && obs_->metrics_enabled()) {
+        auto& registry = obs_->registry();
+        registry.count("fault.frames_sent", guard.stats.frames_sent);
+        if (const auto injected = guard.stats.injected_total(); injected > 0) {
+            registry.count("fault.injected", injected);
+        }
+        if (guard.stats.corrupt_detected > 0) {
+            registry.count("fault.corrupt_detected", guard.stats.corrupt_detected);
+        }
+        if (guard.stats.duplicates_suppressed > 0) {
+            registry.count("fault.duplicates_suppressed",
+                           guard.stats.duplicates_suppressed);
+        }
+        if (guard.stats.retransmits > 0) {
+            registry.count("fault.retransmits", guard.stats.retransmits);
+        }
+        if (report.error.domain == Error::Domain::kNet) {
+            registry.count("fault.query_failed");
+        }
+        if (report.degraded) { registry.count("fault.query_degraded"); }
+    }
 }
 
 std::string Engine::metrics_summary() const { return obs_ ? obs_->summary() : ""; }
@@ -194,19 +255,49 @@ Report Engine::count(const core::TriangleSink* sink, const QueryOptions& query) 
     Report report;
     report.query = Query::kCount;
     report.algorithm = spec.algorithm;
-    const auto lock = lock_for_query(spec);
-    const auto prep = preprocess_policy(query);
-    report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
     if (obs_) { sim.record_phase_details(true); }
-    try {
-        report.count = core::dispatch_algorithm(sim, views_, spec, sink, prep);
-    } catch (const net::OomError&) {
-        report.count.oom = true;
-        core::fill_metrics(sim, report.count);
+    QueryGuard guard;
+    {
+        // Lock scope ends before the degrade fallback below re-enters the
+        // engine (a second lock_for_query on the same thread would deadlock
+        // on cold engines).
+        const auto lock = lock_for_query(spec);
+        const auto prep = preprocess_policy(query);
+        report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
+        arm_simulator(sim, query, guard);
+        try {
+            report.count = core::dispatch_algorithm(sim, views_, spec, sink, prep);
+        } catch (const net::OomError&) {
+            report.count.oom = true;
+            core::fill_metrics(sim, report.count);
+        } catch (const net::FaultError& e) {
+            report.error = make_error(e.code(), e.what());
+            core::fill_metrics(sim, report.count);
+        } catch (const net::CancelledError&) {
+            report.error = make_error(ServeError::kDeadline);
+            core::fill_metrics(sim, report.count);
+        }
     }
+    record_faults(report, guard);
     finalize(report, sim, timer.elapsed_seconds(),
              record_kernels ? &kernel_stats : nullptr);
+    if (sink == nullptr && report.error.domain == Error::Domain::kNet
+        && query.recovery.value_or(config_.recovery)
+               == fault::RecoveryPolicy::kDegrade) {
+        // Graceful degradation: the exact count could not be recovered, so
+        // answer with the AMQ estimate — computed with injection off (the
+        // faulty schedule already had its retries) — and say so explicitly.
+        Report fallback = approx_impl(query, /*arm=*/false);
+        fallback.query = Query::kCount;
+        fallback.degraded = true;
+        fallback.hardened = report.hardened;
+        fallback.faults = report.faults;  // what the failed exact attempt saw
+        if (obs_ && obs_->metrics_enabled()) {
+            obs_->registry().count("fault.query_degraded");
+        }
+        return fallback;
+    }
     return report;
 }
 
@@ -224,11 +315,22 @@ Report Engine::lcc(const QueryOptions& query) {
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
     if (obs_) { sim.record_phase_details(true); }
-    auto result = core::compute_distributed_lcc(sim, views_, *graph_, spec, prep);
-    report.count = std::move(result.count);
-    report.delta = std::move(result.delta);
-    report.lcc = std::move(result.lcc);
-    report.postprocess_time = result.postprocess_time;
+    QueryGuard guard;
+    arm_simulator(sim, query, guard);
+    try {
+        auto result = core::compute_distributed_lcc(sim, views_, *graph_, spec, prep);
+        report.count = std::move(result.count);
+        report.delta = std::move(result.delta);
+        report.lcc = std::move(result.lcc);
+        report.postprocess_time = result.postprocess_time;
+    } catch (const net::FaultError& e) {
+        report.error = make_error(e.code(), e.what());
+        core::fill_metrics(sim, report.count);
+    } catch (const net::CancelledError&) {
+        report.error = make_error(ServeError::kDeadline);
+        core::fill_metrics(sim, report.count);
+    }
+    record_faults(report, guard);
     finalize(report, sim, timer.elapsed_seconds(),
              record_kernels ? &kernel_stats : nullptr);
     return report;
@@ -268,6 +370,10 @@ Report Engine::enumerate(const core::TriangleSink* sink, const QueryOptions& que
 }
 
 Report Engine::approx_count(const QueryOptions& query) {
+    return approx_impl(query, /*arm=*/true);
+}
+
+Report Engine::approx_impl(const QueryOptions& query, bool arm) {
     WallTimer timer;
     auto spec = query_spec(query);
     obs::KernelStats kernel_stats;
@@ -287,11 +393,22 @@ Report Engine::approx_count(const QueryOptions& query) {
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     net::Simulator sim(spec.num_ranks, spec.network);
     if (obs_) { sim.record_phase_details(true); }
-    auto result = core::count_triangles_cetric_amq(sim, views_, spec, amq, prep);
-    report.count = std::move(result.metrics);
-    report.estimated_triangles = result.estimated_triangles;
-    report.exact_type12 = result.exact_type12;
-    report.estimated_type3 = result.estimated_type3;
+    QueryGuard guard;
+    if (arm) { arm_simulator(sim, query, guard); }
+    try {
+        auto result = core::count_triangles_cetric_amq(sim, views_, spec, amq, prep);
+        report.count = std::move(result.metrics);
+        report.estimated_triangles = result.estimated_triangles;
+        report.exact_type12 = result.exact_type12;
+        report.estimated_type3 = result.estimated_type3;
+    } catch (const net::FaultError& e) {
+        report.error = make_error(e.code(), e.what());
+        core::fill_metrics(sim, report.count);
+    } catch (const net::CancelledError&) {
+        report.error = make_error(ServeError::kDeadline);
+        core::fill_metrics(sim, report.count);
+    }
+    record_faults(report, guard);
     finalize(report, sim, timer.elapsed_seconds(),
              record_kernels ? &kernel_stats : nullptr);
     return report;
@@ -349,6 +466,14 @@ StreamSession::StreamSession(const graph::CsrGraph& graph,
           *sim_, *views_, config_.options, config_.stream_indirect,
           initial_.triangles)) {
     if (obs_) { sim_->record_phase_details(true); }
+    if (config_.harden || !config_.fault_spec.empty()) {
+        // Streaming sessions mutate the dynamic views mid-batch, so an
+        // injected fault could not abort cleanly — they get the hardened
+        // layer's framing/verification/dedup, but never injection (see
+        // docs/robustness.md). On a reliable simulated wire this is
+        // overhead-only and cannot throw.
+        sim_->harden(net::HardenOptions{});
+    }
     if (config_.maintain_lcc) {
         lcc_ = std::make_unique<stream::IncrementalLcc>(
             *sim_, *views_, config_.options, config_.stream_indirect, initial_delta);
@@ -371,6 +496,16 @@ stream::BatchStats StreamSession::ingest(const stream::EdgeBatch& batch) {
     WallTimer timer;
     const double sim_before = sim_->time();
     auto stats = counter_->apply_batch(batch);
+    if (!stats.error.ok()) {
+        // Rejected atomically before any superstep: record it (the report's
+        // batch log shows the typed error) but run no LCC flush and charge
+        // nothing.
+        batches_.push_back(stats);
+        if (obs_ && obs_->metrics_enabled()) {
+            obs_->registry().count("stream.batch_rejected");
+        }
+        return stats;
+    }
     if (lcc_) { stats.lcc_seconds = lcc_->finish_batch(); }
     batches_.push_back(stats);
     if (obs_ && obs_->metrics_enabled()) {

@@ -98,6 +98,17 @@ struct QueryOptions {
     /// request (or suppress) the metric-fidelity preprocessing re-charge for
     /// this query alone. Ignored on cold engines.
     std::optional<bool> charge_preprocessing;
+    /// Override Config::recovery for this query alone (what to do when the
+    /// hardened layer detects an unrecoverable fault).
+    std::optional<fault::RecoveryPolicy> recovery;
+    /// Per-query deadline in host wall-clock seconds, checked cooperatively
+    /// at superstep boundaries; overrides Config::deadline_seconds. An
+    /// expired deadline surfaces as ServeError::kDeadline. 0 = none.
+    std::optional<double> deadline_seconds;
+    /// Borrowed cooperative-cancellation handle: cancel() aborts the query
+    /// at the next superstep boundary (also ServeError::kDeadline). Must
+    /// outlive the query; null = deadline-only cancellation.
+    const fault::CancelToken* cancel = nullptr;
 };
 
 /// Engine::serve tuning. Zero-valued fields fall back to the engine's
@@ -116,6 +127,13 @@ struct ServeRequest {
     Query query = Query::kCount;
     QueryOptions options;
     int priority = 0;
+    /// Submit-to-completion deadline in host wall-clock seconds (0 = the
+    /// engine's Config::deadline_seconds, which may itself be 0 = none).
+    /// A request still queued past its deadline is load-shed — its future
+    /// resolves to ServeError::kDeadline without running; one picked up in
+    /// time runs with the remaining budget as its cooperative query
+    /// deadline, cancelled at the next superstep boundary once it expires.
+    double deadline_seconds = 0.0;
 };
 
 /// A concurrent query-serving session over one Engine's shared warm state
@@ -159,10 +177,23 @@ public:
 
     /// Monotone session counters plus submit-to-completion latency
     /// percentiles (host wall-clock seconds, sampled per completed query).
+    /// The rejection-reason breakdown makes overload diagnosable: queue-full
+    /// says raise --queue-depth or slow the clients, stopped says a client
+    /// submitted into a draining session, deadline-shed says the queue wait
+    /// alone already blew the latency budget.
     struct Stats {
         std::size_t submitted = 0;  ///< accepted into the queue
         std::size_t completed = 0;  ///< futures fulfilled by a worker
         std::size_t rejected = 0;   ///< kRejected + kStopped + kUnsupported
+        std::size_t rejected_queue_full = 0;    ///< ServeError::kRejected
+        std::size_t rejected_stopped = 0;       ///< ServeError::kStopped
+        std::size_t rejected_unsupported = 0;   ///< ServeError::kUnsupported
+        /// Admitted, but expired while still queued: load-shed by the worker
+        /// without running (future resolves to ServeError::kDeadline). Not
+        /// part of `rejected` — the request was accepted; counted neither in
+        /// `completed`. Requests cancelled mid-run count as completed (their
+        /// report carries the kDeadline error).
+        std::size_t shed_deadline = 0;
         double latency_p50 = 0.0;
         double latency_p99 = 0.0;
         double latency_max = 0.0;
@@ -255,6 +286,12 @@ public:
     /// empty when observability is off.
     [[nodiscard]] std::string metrics_summary() const;
 
+    /// True when queries run on the hardened message layer (Config::harden
+    /// or a non-empty Config::fault_spec).
+    [[nodiscard]] bool hardening_enabled() const noexcept {
+        return config_.harden || injector_.has_value();
+    }
+
     // --- queries (each runs on a fresh simulated machine) ----------------
     /// Exact triangle count with the configured algorithm, or per-query
     /// overrides (the sweep workload: one build, k algorithm/option sets).
@@ -325,6 +362,10 @@ private:
     };
 
     Report enumerate(const core::TriangleSink* sink, const QueryOptions& query);
+    /// approx_count body; `arm` gates the hardened layer so the kDegrade
+    /// fallback can run approximate counting with injection off (retrying
+    /// the same faulty machine would be pointless).
+    Report approx_impl(const QueryOptions& query, bool arm);
     /// Ops telemetry, per-phase breakdown, typed-error propagation, and
     /// observability recording shared by every query. `wall_seconds` is the
     /// query's host-side latency (the warm-serving p50/p99 substrate);
@@ -348,11 +389,31 @@ private:
     /// The preprocessing policy this query's dispatch should run under.
     [[nodiscard]] core::Preprocess preprocess_policy(const QueryOptions& query) const;
 
+    /// Per-query hardening context: the fault counters and the query's
+    /// cancel token (deadline-armed, chained onto a caller token). Lives on
+    /// the query method's stack; the simulator borrows it for the run.
+    struct QueryGuard {
+        fault::FaultStats stats;
+        fault::CancelToken token;
+        bool armed = false;
+    };
+    /// Arms the hardened message layer on a fresh simulator when the config
+    /// (harden / fault_spec) or the query (deadline, cancel) asks for it.
+    void arm_simulator(net::Simulator& sim, const QueryOptions& query,
+                       QueryGuard& guard);
+    /// Folds a finished (or failed) hardened run into the report and the
+    /// metrics registry: hardened/degraded flags, fault counters.
+    void record_faults(Report& report, const QueryGuard& guard);
+
     const graph::CsrGraph* graph_;
     Config config_;
     graph::Partition1D partition_;
     std::vector<graph::DistGraph> views_;
     std::shared_ptr<obs::Observability> obs_;
+    /// The session's deterministic fault oracle, parsed once from
+    /// Config::fault_spec; disengaged = no injection (hardening may still be
+    /// on via Config::harden).
+    std::optional<fault::FaultInjector> injector_;
     std::optional<WarmState> warm_;
     /// Guards views_ (and warm_'s cost ledger) against concurrent queries:
     /// shared = read-only algorithm run, exclusive = view mutation.

@@ -47,6 +47,10 @@ struct ServeSession::Impl {
     std::size_t submitted = 0;
     std::size_t completed = 0;
     std::size_t rejected = 0;
+    std::size_t rejected_queue_full = 0;
+    std::size_t rejected_stopped = 0;
+    std::size_t rejected_unsupported = 0;
+    std::size_t shed_deadline = 0;
     Summary latency;
 
     std::mutex drain_mutex;  ///< serializes drain() against itself
@@ -73,10 +77,42 @@ struct ServeSession::Impl {
         return unadmitted_report(request, ServeError::kUnsupported);
     }
 
+    /// The request's latency budget: its own deadline, else the per-query
+    /// override, else the engine's configured default. 0 = none.
+    [[nodiscard]] double effective_deadline(const ServeRequest& request) const {
+        if (request.deadline_seconds > 0.0) { return request.deadline_seconds; }
+        return request.options.deadline_seconds.value_or(
+            engine->config().deadline_seconds);
+    }
+
+    /// Load shedding: the task expired while still queued, so don't waste a
+    /// worker on an answer nobody is waiting for — resolve it typed.
+    void shed(Task& task) {
+        task.promise.set_value(unadmitted_report(task.request, ServeError::kDeadline));
+        {
+            const std::lock_guard<std::mutex> lock(stats_mutex);
+            ++shed_deadline;
+        }
+        if (const auto& obs = engine->observability(); obs && obs->metrics_enabled()) {
+            obs->registry().count("serve.shed_deadline");
+        }
+    }
+
     void run_worker() {
         // pop() returns nullopt only when the queue is closed AND drained —
         // every accepted task is finished before a worker exits.
         while (auto task = queue.pop()) {
+            const double deadline = effective_deadline(task->request);
+            if (deadline > 0.0) {
+                const double elapsed = task->timer.elapsed_seconds();
+                if (elapsed >= deadline) {
+                    shed(*task);
+                    continue;
+                }
+                // The time already spent queued comes out of the run budget:
+                // the query cancels cooperatively once the remainder is gone.
+                task->request.options.deadline_seconds = deadline - elapsed;
+            }
             Report report;
             try {
                 report = run(task->request);
@@ -117,6 +153,13 @@ struct ServeSession::Impl {
         {
             const std::lock_guard<std::mutex> lock(stats_mutex);
             ++rejected;
+            switch (code) {
+                case ServeError::kRejected: ++rejected_queue_full; break;
+                case ServeError::kStopped: ++rejected_stopped; break;
+                case ServeError::kUnsupported: ++rejected_unsupported; break;
+                case ServeError::kNone:
+                case ServeError::kDeadline: break;  // shed() counts deadlines
+            }
         }
         std::promise<Report> promise;
         promise.set_value(unadmitted_report(request, code));
@@ -171,6 +214,10 @@ ServeSession::Stats ServeSession::stats() const {
     stats.submitted = impl_->submitted;
     stats.completed = impl_->completed;
     stats.rejected = impl_->rejected;
+    stats.rejected_queue_full = impl_->rejected_queue_full;
+    stats.rejected_stopped = impl_->rejected_stopped;
+    stats.rejected_unsupported = impl_->rejected_unsupported;
+    stats.shed_deadline = impl_->shed_deadline;
     if (impl_->latency.count() > 0) {
         stats.latency_p50 = impl_->latency.percentile(0.5);
         stats.latency_p99 = impl_->latency.percentile(0.99);

@@ -17,6 +17,26 @@ std::string serve_error_message(ServeError error) {
         case ServeError::kUnsupported:
             return "serve: query kind cannot be served concurrently "
                    "(streaming mutates the views; use Engine::open_stream)";
+        case ServeError::kDeadline:
+            return "serve: request deadline expired (shed from the queue or "
+                   "cancelled at a superstep boundary)";
+    }
+    return "";
+}
+
+std::string net_error_message(NetError error) {
+    switch (error) {
+        case NetError::kNone:
+            return "";
+        case NetError::kCorrupt:
+            return "net: payload failed its frame checksum and bounded "
+                   "retransmission could not recover a clean copy";
+        case NetError::kTimeout:
+            return "net: message lost or superstep wedged past its timeout; "
+                   "retry-with-backoff budget exhausted";
+        case NetError::kRankLost:
+            return "net: a rank stopped participating (crash fault) — "
+                   "recovery requires checkpoint/restart, not implemented";
     }
     return "";
 }
@@ -27,6 +47,17 @@ Error make_error(core::RunError error, core::Algorithm algorithm) {
     }
     return {Error::Domain::kRun, static_cast<std::uint8_t>(error),
             core::run_error_message(error, algorithm)};
+}
+
+Error make_error(core::RunError error, const std::string& detail) {
+    if (error == core::RunError::kNone) {
+        return {};
+    }
+    // Algorithm-independent codes only (kInvalidInput): the algorithm slot
+    // of run_error_message is never consulted for them.
+    std::string message = core::run_error_message(error, core::Algorithm{});
+    if (!detail.empty()) { message += " — " + detail; }
+    return {Error::Domain::kRun, static_cast<std::uint8_t>(error), std::move(message)};
 }
 
 Error make_error(ConfigError error, const std::string& detail) {
@@ -42,6 +73,15 @@ Error make_error(ServeError error) {
         return {};
     }
     return {Error::Domain::kServe, static_cast<std::uint8_t>(error), serve_error_message(error)};
+}
+
+Error make_error(NetError error, const std::string& detail) {
+    if (error == NetError::kNone) {
+        return {};
+    }
+    std::string message = net_error_message(error);
+    if (!detail.empty()) { message += " — " + detail; }
+    return {Error::Domain::kNet, static_cast<std::uint8_t>(error), std::move(message)};
 }
 
 }  // namespace katric

@@ -26,9 +26,32 @@ enum class ServeError : std::uint8_t {
     /// The query kind cannot be served concurrently (streaming sessions
     /// mutate the views; use Engine::open_stream directly).
     kUnsupported,
+    /// The request's deadline expired: shed from the queue before a worker
+    /// picked it up, or cancelled cooperatively at a superstep boundary
+    /// mid-run. Either way no usable result was produced.
+    kDeadline,
 };
 
 [[nodiscard]] std::string serve_error_message(ServeError error);
+
+/// Typed communication failure detected by the hardened message layer
+/// (src/fault/ + net::Simulator framing): carried in Report::error with
+/// Error::Domain::kNet. The counting run either recovered (bounded
+/// retransmission, idempotent re-delivery) and produced the exact result, or
+/// it surfaces one of these — never a silently divergent count.
+enum class NetError : std::uint8_t {
+    kNone = 0,
+    /// A payload failed its frame checksum (bit flip / truncation) and
+    /// bounded retransmission could not obtain a clean copy.
+    kCorrupt,
+    /// A message was lost (or a superstep exceeded its configured
+    /// --phase-timeout) and retry-with-backoff exhausted its budget.
+    kTimeout,
+    /// A rank crashed (stopped participating) at a superstep boundary.
+    kRankLost,
+};
+
+[[nodiscard]] std::string net_error_message(NetError error);
 
 /// The library's one error surface: every typed failure — run preconditions
 /// (core::RunError), flag parsing (ConfigError), and serving admission
@@ -44,6 +67,7 @@ struct Error {
         kRun,       ///< core::RunError
         kConfig,    ///< katric::ConfigError
         kServe,     ///< katric::ServeError
+        kNet,       ///< katric::NetError (hardened message layer)
     };
 
     Domain domain = Domain::kNone;
@@ -66,6 +90,9 @@ struct Error {
     [[nodiscard]] ServeError serve() const noexcept {
         return domain == Domain::kServe ? static_cast<ServeError>(code) : ServeError::kNone;
     }
+    [[nodiscard]] NetError net() const noexcept {
+        return domain == Domain::kNet ? static_cast<NetError>(code) : NetError::kNone;
+    }
 
     /// Errors compare by (domain, code); the message is presentation.
     friend bool operator==(const Error& a, const Error& b) noexcept {
@@ -87,13 +114,23 @@ struct Error {
         const auto code = static_cast<std::uint8_t>(s);
         return code == 0 ? e.ok() : (e.domain == Domain::kServe && e.code == code);
     }
+    friend bool operator==(const Error& e, NetError n) noexcept {
+        const auto code = static_cast<std::uint8_t>(n);
+        return code == 0 ? e.ok() : (e.domain == Domain::kNet && e.code == code);
+    }
 };
 
 /// Factories: build a typed Error with the domain's canonical message. A
 /// kNone input yields a success Error (domain kNone) so call sites can
 /// funnel results unconditionally.
 [[nodiscard]] Error make_error(core::RunError error, core::Algorithm algorithm);
+/// Algorithm-independent kRun factory (input validation): `detail` — what
+/// was malformed and where — is appended to the canonical message.
+[[nodiscard]] Error make_error(core::RunError error, const std::string& detail);
 [[nodiscard]] Error make_error(ConfigError error, const std::string& detail);
 [[nodiscard]] Error make_error(ServeError error);
+/// kNet factory: `detail` (the throwing layer's diagnosis — which frame,
+/// which rank, how many retries) is appended to the canonical message.
+[[nodiscard]] Error make_error(NetError error, const std::string& detail);
 
 }  // namespace katric

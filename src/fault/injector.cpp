@@ -1,0 +1,68 @@
+#include "injector.hpp"
+
+#include "../util/hash.hpp"
+
+namespace katric::fault {
+
+namespace {
+
+/// Uniform deviate in [0,1) from the decision key. 53 mantissa bits keep the
+/// conversion exact in a double.
+double uniform(std::uint64_t seed, std::uint64_t frame_id, std::uint32_t attempt,
+               std::uint64_t stream) {
+    const std::uint64_t key =
+        hash_combine(hash64_seeded(frame_id * 31ULL + attempt, seed), stream);
+    return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::optional<Decision> FaultInjector::decide(std::uint64_t frame_id,
+                                              std::uint32_t attempt) const {
+    // Stream 0 picks the fault class from stacked probability intervals;
+    // streams 1+ draw the fault's parameter, so changing e.g. the bitflip
+    // rate never perturbs which frames get dropped.
+    double u = uniform(plan_.seed, frame_id, attempt, 0);
+    const auto draw = [&](std::uint64_t stream) {
+        return uniform(plan_.seed, frame_id, attempt, stream);
+    };
+
+    if (u < plan_.drop) { return Decision{FaultKind::kDrop, 0}; }
+    u -= plan_.drop;
+    if (u < plan_.duplicate) { return Decision{FaultKind::kDuplicate, 0}; }
+    u -= plan_.duplicate;
+    if (u < plan_.reorder) {
+        // Jitter of 1..4 queue steps — enough to break per-channel FIFO
+        // without teleporting the frame across a phase boundary.
+        return Decision{FaultKind::kReorder, 1 + static_cast<std::uint64_t>(draw(1) * 4.0)};
+    }
+    u -= plan_.reorder;
+    if (u < plan_.delay) { return Decision{FaultKind::kDelay, 0}; }
+    u -= plan_.delay;
+    if (u < plan_.truncate) {
+        // Cut 1..8 tail words (clamped to the payload by the applier).
+        return Decision{FaultKind::kTruncate, 1 + static_cast<std::uint64_t>(draw(2) * 8.0)};
+    }
+    u -= plan_.truncate;
+    if (u < plan_.bitflip) {
+        // Bit position within the frame, reduced modulo size by the applier.
+        return Decision{FaultKind::kBitFlip, static_cast<std::uint64_t>(draw(3) * 4096.0)};
+    }
+    return std::nullopt;
+}
+
+bool FaultInjector::crashed(std::uint32_t rank, std::uint32_t superstep) const {
+    for (const auto& fault : plan_.crashes) {
+        if (fault.rank == rank && superstep >= fault.superstep) { return true; }
+    }
+    return false;
+}
+
+bool FaultInjector::stalls(std::uint32_t rank, std::uint32_t superstep) const {
+    for (const auto& fault : plan_.stalls) {
+        if (fault.rank == rank && superstep == fault.superstep) { return true; }
+    }
+    return false;
+}
+
+}  // namespace katric::fault

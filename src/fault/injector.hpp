@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault_plan.hpp"
+
+namespace katric::fault {
+
+/// A per-message injection decision: at most one fault per (frame, attempt),
+/// chosen by stacking the plan's probabilities into disjoint intervals of a
+/// uniform deviate. `detail` parameterizes the fault — the bit index for
+/// kBitFlip, words cut for kTruncate, reorder jitter steps for kReorder.
+struct Decision {
+    FaultKind kind = FaultKind::kDrop;
+    std::uint64_t detail = 0;
+};
+
+/// Deterministic fault oracle. Decisions are pure functions of
+/// (plan.seed, frame id, delivery attempt) — independent of host timing,
+/// thread scheduling, and simulator state — so a seeded run replays the
+/// identical fault schedule every time, and a retransmitted frame (attempt+1)
+/// re-rolls instead of being doomed to the same fault forever.
+class FaultInjector {
+public:
+    explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+    [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+    /// The message fault (if any) to apply to delivery attempt `attempt` of
+    /// frame `frame_id`. Crash/stall are rank-level and never returned here.
+    [[nodiscard]] std::optional<Decision> decide(std::uint64_t frame_id,
+                                                 std::uint32_t attempt) const;
+
+    /// True when `rank` has crashed at or before global superstep `superstep`.
+    [[nodiscard]] bool crashed(std::uint32_t rank, std::uint32_t superstep) const;
+
+    /// True when `rank` stalls exactly at superstep `superstep`.
+    [[nodiscard]] bool stalls(std::uint32_t rank, std::uint32_t superstep) const;
+
+    /// The earliest superstep at which any rank crash fires, if any — lets
+    /// the simulator skip the per-rank scan on fault-free plans.
+    [[nodiscard]] bool has_rank_faults() const noexcept {
+        return !plan_.crashes.empty() || !plan_.stalls.empty();
+    }
+
+private:
+    FaultPlan plan_;
+};
+
+}  // namespace katric::fault

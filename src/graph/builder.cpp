@@ -2,19 +2,20 @@
 
 #include <algorithm>
 #include <span>
+#include <sstream>
+#include <utility>
 
+#include "core/algorithm.hpp"
 #include "util/assert.hpp"
 #include "util/prefix_sum.hpp"
 
 namespace katric::graph {
 
-CsrGraph build_undirected(EdgeList edges, VertexId num_vertices) {
-    edges.normalize();
-    const VertexId inferred = edges.max_vertex_plus_one();
-    const VertexId n = num_vertices == 0 ? inferred : num_vertices;
-    KATRIC_ASSERT_MSG(inferred <= n, "edge endpoint " << inferred - 1
-                                                      << " exceeds num_vertices " << n);
+namespace {
 
+/// The shared build body, entered only with validated input (every endpoint
+/// < n after normalization).
+CsrGraph build_validated(const EdgeList& edges, VertexId n) {
     std::vector<EdgeId> degree(n, 0);
     for (const auto& e : edges.edges()) {
         ++degree[e.u];
@@ -35,6 +36,35 @@ CsrGraph build_undirected(EdgeList edges, VertexId num_vertices) {
                   targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
     }
     return CsrGraph(std::move(offsets), std::move(targets), /*oriented=*/false);
+}
+
+}  // namespace
+
+CsrGraph build_undirected(EdgeList edges, VertexId num_vertices) {
+    edges.normalize();
+    const VertexId inferred = edges.max_vertex_plus_one();
+    const VertexId n = num_vertices == 0 ? inferred : num_vertices;
+    KATRIC_ASSERT_MSG(inferred <= n, "edge endpoint " << inferred - 1
+                                                      << " exceeds num_vertices " << n);
+    return build_validated(edges, n);
+}
+
+std::optional<CsrGraph> try_build_undirected(EdgeList edges, VertexId num_vertices,
+                                             Error* error) {
+    edges.normalize();
+    const VertexId inferred = edges.max_vertex_plus_one();
+    const VertexId n = num_vertices == 0 ? inferred : num_vertices;
+    if (inferred > n) {
+        if (error != nullptr) {
+            std::ostringstream detail;
+            detail << "edge endpoint " << inferred - 1
+                   << " outside the declared vertex universe [0, " << n << ")";
+            *error = make_error(core::RunError::kInvalidInput, detail.str());
+        }
+        return std::nullopt;
+    }
+    if (error != nullptr) { *error = Error{}; }
+    return build_validated(edges, n);
 }
 
 EdgeList to_edge_list(const CsrGraph& graph) {

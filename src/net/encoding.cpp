@@ -1,6 +1,7 @@
 #include "net/encoding.hpp"
 
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace katric::net {
 
@@ -94,6 +95,82 @@ void decode_sorted(std::span<const std::uint64_t> words, std::size_t count,
         previous = (i == 0) ? value : previous + value;
         out.push_back(previous);
     }
+}
+
+bool try_decode_sorted(std::span<const std::uint64_t> words, std::size_t count,
+                       std::vector<std::uint64_t>& out) {
+    out.clear();
+    // A varint needs at least one byte per value; cheap upfront reject keeps
+    // a hostile `count` from reserving unbounded memory.
+    const std::size_t byte_limit = words.size() * 8;
+    if (count > byte_limit) { return false; }
+    out.reserve(count);
+    std::size_t byte_index = 0;
+    std::uint64_t previous = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t value = 0;
+        int shift = 0;
+        while (true) {
+            if (byte_index >= byte_limit) {
+                out.clear();
+                return false;  // truncated stream
+            }
+            const std::uint8_t b = static_cast<std::uint8_t>(
+                words[byte_index / 8] >> (8 * (byte_index % 8)));
+            ++byte_index;
+            value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if ((b & 0x80) == 0) { break; }
+            shift += 7;
+            if (shift >= 64) {
+                out.clear();
+                return false;  // overlong varint
+            }
+        }
+        previous = (i == 0) ? value : previous + value;
+        out.push_back(previous);
+    }
+    return true;
+}
+
+std::uint64_t frame_checksum(std::uint64_t frame_id, std::uint32_t src,
+                             std::uint32_t dest, int tag,
+                             std::span<const std::uint64_t> payload) {
+    std::uint64_t h = hash64_seeded(frame_id, 0x6672616d65ULL /* "frame" */);
+    h = hash_combine(h, src);
+    h = hash_combine(h, dest);
+    h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+    h = hash_combine(h, payload.size());
+    for (const std::uint64_t word : payload) { h = hash_combine(h, word); }
+    return h;
+}
+
+WordVec frame_payload(std::uint64_t frame_id, std::uint32_t src, std::uint32_t dest,
+                      int tag, std::span<const std::uint64_t> payload) {
+    WordVec framed;
+    framed.reserve(kFrameHeaderWords + payload.size());
+    framed.push_back(frame_id);
+    framed.push_back(payload.size());
+    framed.push_back(frame_checksum(frame_id, src, dest, tag, payload));
+    framed.insert(framed.end(), payload.begin(), payload.end());
+    return framed;
+}
+
+FrameView verify_frame(std::span<const std::uint64_t> words, std::uint32_t src,
+                       std::uint32_t dest, int tag) {
+    FrameView view;
+    if (words.size() < kFrameHeaderWords) { return view; }  // kTruncated
+    const std::uint64_t frame_id = words[0];
+    const std::uint64_t declared = words[1];
+    view.frame_id = frame_id;
+    if (words.size() - kFrameHeaderWords < declared) { return view; }  // kTruncated
+    const auto payload = words.subspan(kFrameHeaderWords, declared);
+    if (frame_checksum(frame_id, src, dest, tag, payload) != words[2]) {
+        view.status = FrameStatus::kCorrupt;
+        return view;
+    }
+    view.status = FrameStatus::kOk;
+    view.payload = payload;
+    return view;
 }
 
 }  // namespace katric::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "net/encoding.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
@@ -19,6 +20,13 @@ std::string oom_message(Rank rank, std::uint64_t words) {
 
 OomError::OomError(Rank rank, std::uint64_t words)
     : std::runtime_error(oom_message(rank, words)), rank_(rank), words_(words) {}
+
+FaultError::FaultError(NetError code, const std::string& detail)
+    : std::runtime_error(detail), code_(code) {}
+
+CancelledError::CancelledError()
+    : std::runtime_error("query cancelled at a superstep boundary "
+                         "(deadline expired or caller cancelled)") {}
 
 Rank RankHandle::size() const noexcept { return sim_->num_ranks(); }
 
@@ -61,9 +69,139 @@ Simulator::Simulator(Rank num_ranks, NetworkConfig config)
     metrics_.assign(num_ranks_, RankMetrics{});
 }
 
+void Simulator::harden(const HardenOptions& options) {
+    fault_ = std::make_unique<FaultState>();
+    fault_->opts = options;
+}
+
 void Simulator::send_from(Rank src, Rank dest, int tag, WordVec payload) {
+    if (fault_ != nullptr && fault_->opts.frame && src != dest) {
+        // Hardened path: frame, retain for retransmission, inject. Self-sends
+        // never cross the network and keep the raw path; size-only sends
+        // (send_sized_from) carry no payload to protect and do the same.
+        KATRIC_ASSERT(dest < num_ranks_);
+        const std::uint64_t id = ++fault_->next_frame_id;
+        WordVec framed = frame_payload(id, src, dest, tag,
+                                       std::span<const std::uint64_t>(payload));
+        fault_->in_flight.emplace(id, InFlightFrame{src, dest, tag, std::move(framed), 1});
+        if (fault_->opts.stats != nullptr) { ++fault_->opts.stats->frames_sent; }
+        push_hardened(id);
+        return;
+    }
     const auto len = static_cast<std::uint64_t>(payload.size());
     enqueue(src, dest, tag, len, std::move(payload));
+}
+
+void Simulator::push_hardened(std::uint64_t frame_id) {
+    FaultState& st = *fault_;
+    const InFlightFrame& f = st.in_flight.at(frame_id);
+    WordVec buffer = f.framed;  // pristine retained copy; faults mutate this one
+    // Sender injection charge, including the 3-word frame header — the
+    // hardening overhead is visible in simulated time, as it would be on a
+    // real wire.
+    const auto words = static_cast<std::uint64_t>(buffer.size());
+    clocks_[f.src] += config_.alpha + config_.beta * static_cast<double>(words);
+    double arrival = clocks_[f.src];
+    metrics_[f.src].messages_sent += 1;
+    metrics_[f.src].words_sent += words;
+
+    bool duplicate = false;
+    if (st.opts.injector != nullptr) {
+        fault::FaultStats* stats = st.opts.stats;
+        if (const auto d = st.opts.injector->decide(frame_id, f.attempts)) {
+            switch (d->kind) {
+                case fault::FaultKind::kDrop:
+                    if (stats != nullptr) { ++stats->injected_drop; }
+                    return;  // no event; the quiescence sweep recovers it
+                case fault::FaultKind::kDuplicate:
+                    if (stats != nullptr) { ++stats->injected_duplicate; }
+                    duplicate = true;
+                    break;
+                case fault::FaultKind::kReorder:
+                    // Jitter by 1..4 message slots: enough for later sends
+                    // from the same rank to overtake this one (FIFO breaks),
+                    // small enough to stay inside the phase.
+                    if (stats != nullptr) { ++stats->injected_reorder; }
+                    arrival += static_cast<double>(d->detail)
+                               * (config_.alpha + config_.beta * static_cast<double>(words));
+                    break;
+                case fault::FaultKind::kDelay:
+                    if (stats != nullptr) { ++stats->injected_delay; }
+                    arrival += st.opts.injector->plan().delay_seconds;
+                    break;
+                case fault::FaultKind::kTruncate: {
+                    if (stats != nullptr) { ++stats->injected_truncate; }
+                    const auto cut = std::min<std::size_t>(
+                        static_cast<std::size_t>(d->detail), buffer.size());
+                    buffer.resize(buffer.size() - cut);
+                    break;
+                }
+                case fault::FaultKind::kBitFlip:
+                    if (stats != nullptr) { ++stats->injected_bitflip; }
+                    buffer[(d->detail / 64) % buffer.size()] ^= 1ULL << (d->detail % 64);
+                    break;
+                case fault::FaultKind::kStall:
+                case fault::FaultKind::kCrash:
+                    break;  // rank-level faults, never produced by decide()
+            }
+        }
+    }
+    const auto delivered_words = static_cast<std::uint64_t>(buffer.size());
+    if (duplicate) {
+        WordVec copy = buffer;
+        events_.push(Event{arrival, next_seq_++, f.src, f.dest, f.tag, delivered_words,
+                           std::move(copy), frame_id});
+    }
+    events_.push(Event{arrival, next_seq_++, f.src, f.dest, f.tag, delivered_words,
+                       std::move(buffer), frame_id});
+}
+
+void Simulator::retransmit(std::uint64_t frame_id, NetError exhausted_as) {
+    FaultState& st = *fault_;
+    const auto it = st.in_flight.find(frame_id);
+    KATRIC_ASSERT(it != st.in_flight.end());
+    InFlightFrame& f = it->second;
+    // attempts counts sends so far; the retry budget caps retransmissions.
+    if (f.attempts > st.opts.max_retries) {
+        std::ostringstream out;
+        out << "frame " << frame_id << " (" << f.src << "→" << f.dest << ", "
+            << f.framed.size() << " words) unrecovered after " << f.attempts
+            << " attempt(s); retry budget " << st.opts.max_retries << " exhausted";
+        throw FaultError(exhausted_as, out.str());
+    }
+    ++f.attempts;
+    if (st.opts.stats != nullptr) { ++st.opts.stats->retransmits; }
+    // Exponential backoff: the sender's port idles α·2^attempt before the
+    // re-injection charge, so repeated failures slow the offered load instead
+    // of hammering the link.
+    const auto shift = std::min<std::uint32_t>(f.attempts, 16);
+    clocks_[f.src] += config_.alpha * static_cast<double>(1ULL << shift);
+    push_hardened(frame_id);
+}
+
+std::optional<std::span<const std::uint64_t>> Simulator::receive_hardened(
+    const Event& event) {
+    FaultState& st = *fault_;
+    const FrameView view =
+        verify_frame(std::span<const std::uint64_t>(event.payload),
+                     static_cast<std::uint32_t>(event.src),
+                     static_cast<std::uint32_t>(event.dest), event.tag);
+    if (view.status != FrameStatus::kOk) {
+        // Detected truncation/corruption: request a fresh copy immediately.
+        // The lookup keys on the event's frame id — the network's own record
+        // of the send — so a flipped header word cannot misroute recovery.
+        if (st.opts.stats != nullptr) { ++st.opts.stats->corrupt_detected; }
+        retransmit(event.frame, NetError::kCorrupt);
+        return std::nullopt;
+    }
+    if (!st.delivered.insert(event.frame).second) {
+        // Idempotent re-delivery: duplicates (injected, or a retransmission
+        // racing a delayed original) are verified, then suppressed.
+        if (st.opts.stats != nullptr) { ++st.opts.stats->duplicates_suppressed; }
+        return std::nullopt;
+    }
+    st.in_flight.erase(event.frame);
+    return view.payload;
 }
 
 void Simulator::send_sized_from(Rank src, Rank dest, int tag, std::uint64_t words) {
@@ -106,10 +244,24 @@ void Simulator::deliver_until_quiescent(const MessageHandler& on_message,
                 metrics_[dest].messages_received += 1;
                 metrics_[dest].words_received += event.words;
             }
-            if (on_message) {
-                on_message(handle, event.src, event.tag,
-                           std::span<const std::uint64_t>(event.payload));
+            std::span<const std::uint64_t> payload(event.payload);
+            if (event.frame != 0) {
+                const auto verified = receive_hardened(event);
+                if (!verified.has_value()) { continue; }  // suppressed or re-sent
+                payload = *verified;
             }
+            if (on_message) { on_message(handle, event.src, event.tag, payload); }
+        }
+        if (fault_ != nullptr && !fault_->in_flight.empty()) {
+            // The queue drained but frames are unaccounted for: they were
+            // dropped in flight. Re-send each (deterministic id order) and
+            // keep delivering; budget exhaustion surfaces as kTimeout — a
+            // loss, unlike corruption, is only observable as absence.
+            std::vector<std::uint64_t> lost;
+            lost.reserve(fault_->in_flight.size());
+            for (const auto& [id, frame] : fault_->in_flight) { lost.push_back(id); }
+            for (const std::uint64_t id : lost) { retransmit(id, NetError::kTimeout); }
+            continue;
         }
         if (!on_idle) { break; }
         for (Rank r = 0; r < num_ranks_; ++r) {
@@ -124,6 +276,30 @@ double Simulator::run_phase(const std::string& name, const RankFn& start,
                             const MessageHandler& on_message, const RankFn& on_idle) {
     const double phase_start = barrier_time_;
     std::fill(clocks_.begin(), clocks_.end(), phase_start);
+    if (fault_ != nullptr) {
+        FaultState& st = *fault_;
+        // Cooperative cancellation and rank-level faults land at superstep
+        // boundaries: a superstep either runs to completion or not at all.
+        if (st.opts.cancel != nullptr && st.opts.cancel->expired()) {
+            throw CancelledError();
+        }
+        if (st.opts.injector != nullptr && st.opts.injector->has_rank_faults()) {
+            for (Rank r = 0; r < num_ranks_; ++r) {
+                if (st.opts.injector->crashed(static_cast<std::uint32_t>(r),
+                                              st.superstep)) {
+                    std::ostringstream out;
+                    out << "rank " << r << " crashed before superstep " << st.superstep
+                        << " ('" << name << "')";
+                    throw FaultError(NetError::kRankLost, out.str());
+                }
+                if (st.opts.injector->stalls(static_cast<std::uint32_t>(r),
+                                             st.superstep)) {
+                    if (st.opts.stats != nullptr) { ++st.opts.stats->injected_stall; }
+                    clocks_[r] += st.opts.injector->plan().stall_seconds;
+                }
+            }
+        }
+    }
     std::vector<RankMetrics> metrics_before;
     if (record_phase_details_) { metrics_before = metrics_; }
     if (start) {
@@ -158,6 +334,21 @@ double Simulator::run_phase(const std::string& name, const RankFn& start,
         }
     }
     phases_.push_back(std::move(record));
+    if (fault_ != nullptr) {
+        FaultState& st = *fault_;
+        ++st.superstep;
+        // Frame ids are globally unique and the quiescence sweep guarantees
+        // every frame resolved within its phase, so the dedup set can reset.
+        st.delivered.clear();
+        if (st.opts.phase_timeout > 0.0
+            && barrier_time_ - phase_start > st.opts.phase_timeout) {
+            std::ostringstream out;
+            out << "superstep '" << name << "' took " << (barrier_time_ - phase_start)
+                << "s simulated, over the --phase-timeout of " << st.opts.phase_timeout
+                << "s";
+            throw FaultError(NetError::kTimeout, out.str());
+        }
+    }
     return barrier_time_ - phase_start;
 }
 

@@ -2,12 +2,18 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
+#include <optional>
 #include <queue>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "error.hpp"
+#include "fault/injector.hpp"
 #include "graph/types.hpp"
 #include "net/metrics.hpp"
 #include "net/network_config.hpp"
@@ -29,6 +35,52 @@ public:
 private:
     Rank rank_;
     std::uint64_t words_;
+};
+
+/// Raised by the hardened message layer when detection/recovery cannot
+/// transparently absorb a fault: checksum failures past the retransmission
+/// budget (kCorrupt), lost messages or a wedged superstep (kTimeout), a rank
+/// that stopped participating (kRankLost). Follows the OomError pattern —
+/// thrown out of the counting run, caught at the Engine boundary, reported
+/// as a typed Error in Domain::kNet. Never results in a divergent count.
+class FaultError : public std::runtime_error {
+public:
+    FaultError(NetError code, const std::string& detail);
+    [[nodiscard]] NetError code() const noexcept { return code_; }
+
+private:
+    NetError code_;
+};
+
+/// Raised at a superstep boundary when the query's CancelToken has expired
+/// (deadline passed or explicit cancel). Cooperative: a superstep always
+/// completes; cancellation lands between supersteps.
+class CancelledError : public std::runtime_error {
+public:
+    CancelledError();
+};
+
+/// Arms the hardened message layer on a Simulator. All pointers are borrowed
+/// and must outlive the run; each may be null independently (e.g. harden
+/// framing with no injector = checksum/dedup machinery only, the overhead
+/// bench's hardened mode).
+struct HardenOptions {
+    /// Frame/checksum/retransmit the payload path. Off = only the superstep
+    /// boundary checks (cancel token, phase timeout) are armed — what a
+    /// deadline without --harden wants: zero cost on the message path.
+    bool frame = true;
+    /// Deterministic fault oracle; null = no injection.
+    const fault::FaultInjector* injector = nullptr;
+    /// Counter sink; null = don't count.
+    fault::FaultStats* stats = nullptr;
+    /// Cooperative cancellation, checked at each superstep boundary.
+    const fault::CancelToken* cancel = nullptr;
+    /// Retransmission budget per frame; 0 = fail-fast on first detection.
+    std::uint32_t max_retries = 3;
+    /// Simulated-seconds ceiling per superstep; 0 = no timeout. A phase
+    /// whose makespan exceeds it throws FaultError(kTimeout) instead of
+    /// silently absorbing a wedged link into the total.
+    double phase_timeout = 0.0;
 };
 
 class Simulator;
@@ -124,6 +176,17 @@ public:
         return record_phase_details_;
     }
 
+    /// Turns on the hardened message layer: every cross-rank payload send is
+    /// framed with [frame_id, length, checksum] (encoding.hpp), verified and
+    /// deduplicated at delivery, retransmitted with exponential backoff on
+    /// detected loss or corruption, and every superstep boundary checks the
+    /// injector's crash/stall schedule, the cancel token, and the phase
+    /// timeout. Off (the default) the simulator is bit-identical to the
+    /// unhardened build: the only added cost on every hot path is one null
+    /// check on fault_ — the same discipline obs uses.
+    void harden(const HardenOptions& options);
+    [[nodiscard]] bool hardened() const noexcept { return fault_ != nullptr; }
+
 private:
     friend class RankHandle;
 
@@ -137,6 +200,10 @@ private:
         /// sends; size-only sends carry the length with an empty payload.
         std::uint64_t words;
         WordVec payload;
+        /// Hardened-path frame id; 0 = unframed (self-send, size-only send,
+        /// or hardening off). The network's own knowledge of which send this
+        /// is — corruption mutates the payload buffer, never this.
+        std::uint64_t frame = 0;
     };
     struct EventLater {
         bool operator()(const Event& a, const Event& b) const noexcept {
@@ -149,6 +216,43 @@ private:
     void enqueue(Rank src, Rank dest, int tag, std::uint64_t words, WordVec payload);
     void deliver_until_quiescent(const MessageHandler& on_message, const RankFn& on_idle);
 
+    /// Retained copy of a hardened in-flight frame, kept until its verified
+    /// delivery so loss and corruption can be repaired by retransmission.
+    struct InFlightFrame {
+        Rank src;
+        Rank dest;
+        int tag;
+        WordVec framed;          ///< pristine framed buffer (header + payload)
+        std::uint32_t attempts;  ///< delivery attempts so far (1 = first send)
+    };
+
+    /// All hardened-path state, allocated only when harden() is called so
+    /// the disabled path stays a single null check.
+    struct FaultState {
+        HardenOptions opts;
+        std::uint64_t next_frame_id = 0;
+        std::uint32_t superstep = 0;
+        /// frame_id → retained frame; std::map for a deterministic
+        /// retransmission sweep order.
+        std::map<std::uint64_t, InFlightFrame> in_flight;
+        /// Verified-delivered frame ids this phase (idempotent re-delivery).
+        std::unordered_set<std::uint64_t> delivered;
+    };
+
+    /// Charges the sender and pushes the retained frame's event(s) through
+    /// the injector: 0 (drop), 1, or 2 (duplicate) events, possibly with a
+    /// mutated copy of the buffer (truncate/bitflip) or a perturbed arrival
+    /// (reorder/delay). Used by both the first send and retransmissions.
+    void push_hardened(std::uint64_t frame_id);
+    /// Re-sends a frame after detected loss/corruption, charging the sender
+    /// the backoff α·2^attempt on top of the normal injection cost. Throws
+    /// FaultError when the retry budget is exhausted.
+    void retransmit(std::uint64_t frame_id, NetError exhausted_as);
+    /// Verified-delivery bookkeeping for one hardened event. Returns the
+    /// payload span to hand the handler, or nullopt when the event must be
+    /// suppressed (duplicate) — retransmission on corruption happens inside.
+    std::optional<std::span<const std::uint64_t>> receive_hardened(const Event& event);
+
     NetworkConfig config_;
     Rank num_ranks_;
     std::vector<double> clocks_;
@@ -158,6 +262,7 @@ private:
     double barrier_time_ = 0.0;
     std::vector<PhaseRecord> phases_;
     bool record_phase_details_ = false;
+    std::unique_ptr<FaultState> fault_;
 };
 
 }  // namespace katric::net

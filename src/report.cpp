@@ -150,6 +150,15 @@ JsonWriter& JsonWriter::report_fields(const Report& report) {
     field("total_compute_ops", report.total_compute_ops);
     field("max_compute_ops", report.max_compute_ops);
     field("reused_preprocessing", std::uint64_t{report.reused_preprocessing ? 1u : 0u});
+    field("hardened", std::uint64_t{report.hardened ? 1u : 0u});
+    if (report.hardened) {
+        field("degraded", std::uint64_t{report.degraded ? 1u : 0u});
+        field("frames_sent", report.faults.frames_sent);
+        field("faults_injected", report.faults.injected_total());
+        field("corrupt_detected", report.faults.corrupt_detected);
+        field("duplicates_suppressed", report.faults.duplicates_suppressed);
+        field("retransmits", report.faults.retransmits);
+    }
     if (!report.phases.empty()) {
         // Per-phase breakdown as parallel arrays — fig7's sections, one
         // entry per phase group, same index across the four arrays.

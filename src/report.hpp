@@ -9,6 +9,7 @@
 #include "core/enumerate.hpp"
 #include "core/runner.hpp"
 #include "error.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/metrics.hpp"
 #include "stream/incremental.hpp"
 
@@ -66,6 +67,19 @@ struct Report {
     /// counters are absent from this report. A warm query that replayed the
     /// recorded costs is metric-identical to a cold run and reports false.
     bool reused_preprocessing = false;
+
+    /// True when the query ran on the hardened message layer (Config::harden
+    /// or a FaultPlan): every cross-rank payload carried checksum/sequence
+    /// framing, and `faults` says what the layer detected and absorbed.
+    bool hardened = false;
+    /// True when recovery policy kDegrade converted an unrecoverable fault
+    /// into an approximate answer: the result lives in estimated_triangles,
+    /// count.triangles is NOT an exact count, and error is clear — the
+    /// explicitly-marked estimate, never a silent one.
+    bool degraded = false;
+    /// Injection/detection/recovery counters for this query (all zero when
+    /// not hardened, or hardened with nothing injected).
+    fault::FaultStats faults;
 
     // --- kLcc ------------------------------------------------------------
     std::vector<std::uint64_t> delta;  ///< Δ(v) for every global vertex

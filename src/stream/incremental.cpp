@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <unordered_map>
 
 #include "util/assert.hpp"
@@ -33,6 +36,34 @@ constexpr std::uint64_t kChangedFlag = std::uint64_t{1} << 63;
     std::uint64_t total = 0;
     for (const auto& m : sim.rank_metrics()) { total += m.words_sent; }
     return total;
+}
+
+/// First validation violation in a batch, or nullopt when well-formed:
+/// events time-ordered (folding is last-write-wins) and every endpoint
+/// inside the partition's vertex universe. Self-loops are NOT violations —
+/// the streaming model treats them as no-op requests.
+[[nodiscard]] std::optional<std::string> batch_violation(const EdgeBatch& batch,
+                                                         std::uint64_t num_vertices) {
+    double previous_time = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < batch.events.size(); ++i) {
+        const auto& event = batch.events[i];
+        if (event.time < previous_time) {
+            std::ostringstream out;
+            out << "batch event " << i << " at t=" << event.time
+                << " precedes its predecessor at t=" << previous_time
+                << "; batch events must be time-ordered";
+            return out.str();
+        }
+        previous_time = event.time;
+        if (event.u >= num_vertices || event.v >= num_vertices) {
+            std::ostringstream out;
+            out << "batch event " << i << " touches edge {" << event.u << ", "
+                << event.v << "} outside the vertex universe [0, " << num_vertices
+                << ")";
+            return out.str();
+        }
+    }
+    return std::nullopt;
 }
 
 }  // namespace
@@ -293,6 +324,18 @@ std::uint64_t IncrementalCounter::take_triangle_sixths() {
 }
 
 BatchStats IncrementalCounter::apply_batch(const EdgeBatch& batch) {
+    // Reject-before-mutate: a malformed batch must leave the distributed
+    // state (and the batch index) exactly as it was.
+    const auto& partition = views_->front().partition();
+    if (auto violation = batch_violation(batch, partition.num_vertices())) {
+        BatchStats rejected;
+        rejected.batch_index = batch_index_;
+        rejected.events = batch.events.size();
+        rejected.triangles = triangles_;
+        rejected.error = make_error(core::RunError::kInvalidInput, *violation);
+        return rejected;
+    }
+
     const NetEffect net = fold_batch(batch);
     EdgeSet deleted;
     for (const auto& e : net.deletes) { deleted.insert(EdgeKey{e.u, e.v}); }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/algorithm.hpp"
+#include "error.hpp"
 #include "net/indirection.hpp"
 #include "net/message_queue.hpp"
 #include "net/simulator.hpp"
@@ -31,6 +32,12 @@ struct BatchStats {
                                       ///< (0 unless LCC maintenance is attached)
     std::uint64_t messages_sent = 0;  ///< total over PEs, this batch only
     std::uint64_t words_sent = 0;     ///< total over PEs, this batch only
+    /// kNone on success. core::RunError::kInvalidInput when the batch failed
+    /// validation (an event's vertex outside the partition's universe, or
+    /// events out of time order): the batch was rejected atomically — no
+    /// adjacency changed, no superstep ran, every stat above is zero and the
+    /// triangle count is the pre-batch value.
+    Error error;
 };
 
 /// Router + δ policy shared by the counter's and the LCC tracker's queues:
@@ -88,10 +95,13 @@ public:
                        const core::AlgorithmOptions& options, bool indirect,
                        std::uint64_t initial_triangles);
 
-    /// Ingests one batch; returns its stats. Events referencing vertices
-    /// outside the partition's universe are a precondition violation;
-    /// no-op events (re-inserts, deletes of absent edges, insert/delete
-    /// pairs cancelling within the batch) are folded away.
+    /// Ingests one batch; returns its stats. The batch is validated before
+    /// anything mutates: an event referencing a vertex outside the
+    /// partition's universe, or events out of time order, reject the whole
+    /// batch with a typed BatchStats::error (RunError::kInvalidInput) and
+    /// change nothing. No-op events (self-loops, re-inserts, deletes of
+    /// absent edges, insert/delete pairs cancelling within the batch) are
+    /// valid and folded away — the streaming model's best-effort contract.
     BatchStats apply_batch(const EdgeBatch& batch);
 
     [[nodiscard]] std::uint64_t triangles() const noexcept { return triangles_; }

@@ -75,6 +75,37 @@ TEST(Error, SameCodeDifferentDomainNeverAliases) {
     EXPECT_FALSE(serve == core::RunError::kSinkUnsupported);
 }
 
+TEST(Error, NetFactoryCoversEveryCodeAndEmbedsTheDetail) {
+    for (const auto code :
+         {NetError::kCorrupt, NetError::kTimeout, NetError::kRankLost}) {
+        const auto error = make_error(code, "frame 42 on rank 3");
+        EXPECT_FALSE(error.ok());
+        EXPECT_EQ(error.domain, Error::Domain::kNet);
+        EXPECT_EQ(error, code);
+        EXPECT_EQ(error.net(), code);
+        EXPECT_NE(error.message.find(net_error_message(code)), std::string::npos);
+        EXPECT_NE(error.message.find("frame 42 on rank 3"), std::string::npos);
+        // Wrong-domain accessors and comparisons stay neutral.
+        EXPECT_EQ(error.serve(), ServeError::kNone);
+        EXPECT_EQ(error.run(), core::RunError::kNone);
+        EXPECT_FALSE(error == ServeError::kRejected);
+    }
+    EXPECT_TRUE(make_error(NetError::kNone, "").ok());
+    EXPECT_EQ(Error{}.net(), NetError::kNone);
+    EXPECT_EQ(Error{}, NetError::kNone);
+}
+
+TEST(Error, InvalidInputFactoryIsAlgorithmIndependent) {
+    const auto error =
+        make_error(core::RunError::kInvalidInput, "event 3 out of universe");
+    EXPECT_FALSE(error.ok());
+    EXPECT_EQ(error.domain, Error::Domain::kRun);
+    EXPECT_EQ(error, core::RunError::kInvalidInput);
+    EXPECT_NE(error.message.find("event 3 out of universe"), std::string::npos);
+    // The canonical prefix names the contract, not any algorithm.
+    EXPECT_NE(error.message.find("nothing was mutated"), std::string::npos);
+}
+
 TEST(Error, ErrorToErrorComparisonIgnoresMessage) {
     auto a = make_error(ServeError::kRejected);
     auto b = make_error(ServeError::kRejected);

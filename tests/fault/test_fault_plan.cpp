@@ -1,0 +1,136 @@
+// FaultPlan — the --fault-spec grammar and the recovery-policy vocabulary.
+// The load-bearing properties: parse(to_spec()) is the identity (specs are a
+// faithful serialization, so a logged spec reproduces its run), malformed
+// clauses fail typed (naming the clause) instead of silently defaulting, and
+// an empty spec is an empty plan.
+
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace katric::fault {
+namespace {
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+    const auto plan = FaultPlan::parse("");
+    EXPECT_TRUE(plan.empty());
+    EXPECT_EQ(plan, FaultPlan{});
+    EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(FaultPlan, ParsesEveryClause) {
+    const auto plan = FaultPlan::parse(
+        "seed=42;drop=0.05;dup=0.01;reorder=0.1;delay=0.2;truncate=0.03;"
+        "bitflip=0.02;delay-secs=0.5;stall-secs=0.25;crash=2@7,0@3;stall=1@4");
+    EXPECT_EQ(plan.seed, 42u);
+    EXPECT_DOUBLE_EQ(plan.drop, 0.05);
+    EXPECT_DOUBLE_EQ(plan.duplicate, 0.01);
+    EXPECT_DOUBLE_EQ(plan.reorder, 0.1);
+    EXPECT_DOUBLE_EQ(plan.delay, 0.2);
+    EXPECT_DOUBLE_EQ(plan.truncate, 0.03);
+    EXPECT_DOUBLE_EQ(plan.bitflip, 0.02);
+    EXPECT_DOUBLE_EQ(plan.delay_seconds, 0.5);
+    EXPECT_DOUBLE_EQ(plan.stall_seconds, 0.25);
+    ASSERT_EQ(plan.crashes.size(), 2u);
+    EXPECT_EQ(plan.crashes[0], (RankFault{2, 7}));
+    EXPECT_EQ(plan.crashes[1], (RankFault{0, 3}));
+    ASSERT_EQ(plan.stalls.size(), 1u);
+    EXPECT_EQ(plan.stalls[0], (RankFault{1, 4}));
+    EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, SpecRoundTripsThroughToSpec) {
+    const auto original = FaultPlan::parse(
+        "seed=7;drop=0.125;bitflip=0.25;stall-secs=0.5;crash=1@2;stall=3@0");
+    const auto replayed = FaultPlan::parse(original.to_spec());
+    EXPECT_EQ(replayed, original);
+
+    // A default plan serializes to just its seed — no noise clauses — and
+    // round-trips to itself.
+    EXPECT_EQ(FaultPlan{}.to_spec(), "seed=1");
+    EXPECT_EQ(FaultPlan::parse(FaultPlan{}.to_spec()), FaultPlan{});
+}
+
+TEST(FaultPlan, MalformedClausesFailTypedAndNameTheClause) {
+    const char* bad_specs[] = {
+        "drop",             // no '='
+        "drop=",            // empty value
+        "drop=abc",         // not a number
+        "drop=1.5",         // probability above 1
+        "drop=-0.1",        // negative probability
+        "drop=nan",         // NaN
+        "seed=abc",         // not an integer
+        "wobble=0.1",       // unknown clause
+        "crash=2",          // missing @superstep
+        "crash=2@",         // empty superstep
+        "crash=@3",         // empty rank
+        "crash=a@b",        // non-numeric rank fault
+        "delay-secs=-1",    // negative seconds
+    };
+    for (const auto* spec : bad_specs) {
+        std::string error;
+        EXPECT_EQ(FaultPlan::try_parse(spec, &error), std::nullopt) << spec;
+        EXPECT_FALSE(error.empty()) << spec;
+        EXPECT_THROW((void)FaultPlan::parse(spec), assertion_error) << spec;
+    }
+}
+
+TEST(FaultPlan, TryParseAcceptsWhatParseAccepts) {
+    std::string error;
+    const auto plan = FaultPlan::try_parse("seed=9;dup=1.0", &error);
+    ASSERT_TRUE(plan.has_value()) << error;
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(*plan, FaultPlan::parse("seed=9;dup=1.0"));
+}
+
+TEST(FaultPlan, ZeroProbabilityPlanWithRankFaultsIsNotEmpty) {
+    EXPECT_FALSE(FaultPlan::parse("crash=0@0").empty());
+    EXPECT_FALSE(FaultPlan::parse("stall=0@0").empty());
+    // seed alone injects nothing.
+    EXPECT_TRUE(FaultPlan::parse("seed=123").empty());
+}
+
+TEST(FaultKindAndPolicy, NamesAreDistinctAndPoliciesRoundTrip) {
+    const FaultKind kinds[] = {FaultKind::kDrop,     FaultKind::kDuplicate,
+                               FaultKind::kReorder,  FaultKind::kDelay,
+                               FaultKind::kTruncate, FaultKind::kBitFlip,
+                               FaultKind::kStall,    FaultKind::kCrash};
+    for (const auto a : kinds) {
+        EXPECT_FALSE(fault_kind_name(a).empty());
+        for (const auto b : kinds) {
+            if (a != b) { EXPECT_NE(fault_kind_name(a), fault_kind_name(b)); }
+        }
+    }
+
+    for (const auto policy : {RecoveryPolicy::kFailFast, RecoveryPolicy::kRetry,
+                              RecoveryPolicy::kDegrade}) {
+        EXPECT_EQ(parse_recovery_policy(recovery_policy_name(policy)), policy);
+    }
+    EXPECT_EQ(parse_recovery_policy("no-such-policy"), std::nullopt);
+}
+
+TEST(CancelToken, CancelDeadlineAndChaining) {
+    CancelToken token;
+    EXPECT_FALSE(token.expired());
+    token.cancel();
+    EXPECT_TRUE(token.expired());
+
+    CancelToken deadline;
+    deadline.set_deadline_in(3600.0);
+    EXPECT_FALSE(deadline.expired());
+    deadline.set_deadline_in(-1.0);  // already past
+    EXPECT_TRUE(deadline.expired());
+
+    CancelToken parent;
+    CancelToken child;
+    child.chain(&parent);
+    EXPECT_FALSE(child.expired());
+    parent.cancel();
+    EXPECT_TRUE(child.expired());
+    EXPECT_TRUE(parent.expired());
+}
+
+}  // namespace
+}  // namespace katric::fault
