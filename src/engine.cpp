@@ -255,9 +255,12 @@ Report Engine::count(const core::TriangleSink* sink, const QueryOptions& query) 
     Report report;
     report.query = Query::kCount;
     report.algorithm = spec.algorithm;
+    // The guard is declared before the simulator everywhere: arm_simulator
+    // lends the simulator the guard's stats/cancel pointers, so the borrower
+    // must be destroyed first.
+    QueryGuard guard;
     net::Simulator sim(spec.num_ranks, spec.network);
     if (obs_) { sim.record_phase_details(true); }
-    QueryGuard guard;
     {
         // Lock scope ends before the degrade fallback below re-enters the
         // engine (a second lock_for_query on the same thread would deadlock
@@ -313,9 +316,9 @@ Report Engine::lcc(const QueryOptions& query) {
     const auto lock = lock_for_query(spec);
     const auto prep = preprocess_policy(query);
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
+    QueryGuard guard;
     net::Simulator sim(spec.num_ranks, spec.network);
     if (obs_) { sim.record_phase_details(true); }
-    QueryGuard guard;
     arm_simulator(sim, query, guard);
     try {
         auto result = core::compute_distributed_lcc(sim, views_, *graph_, spec, prep);
@@ -391,9 +394,9 @@ Report Engine::approx_impl(const QueryOptions& query, bool arm) {
     const auto lock = lock_for_query(hub_spec);
     const auto prep = preprocess_policy(query);
     report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
+    QueryGuard guard;
     net::Simulator sim(spec.num_ranks, spec.network);
     if (obs_) { sim.record_phase_details(true); }
-    QueryGuard guard;
     if (arm) { arm_simulator(sim, query, guard); }
     try {
         auto result = core::count_triangles_cetric_amq(sim, views_, spec, amq, prep);

@@ -45,8 +45,10 @@ std::optional<Decision> FaultInjector::decide(std::uint64_t frame_id,
     }
     u -= plan_.truncate;
     if (u < plan_.bitflip) {
-        // Bit position within the frame, reduced modulo size by the applier.
-        return Decision{FaultKind::kBitFlip, static_cast<std::uint64_t>(draw(3) * 4096.0)};
+        // Bit position drawn over the full 53-bit range; the applier reduces
+        // it modulo the frame's actual bit-length, so tails of frames longer
+        // than 64 words are reachable too.
+        return Decision{FaultKind::kBitFlip, static_cast<std::uint64_t>(draw(3) * 0x1.0p53)};
     }
     return std::nullopt;
 }

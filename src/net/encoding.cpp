@@ -87,6 +87,9 @@ void decode_sorted(std::span<const std::uint64_t> words, std::size_t count,
         int shift = 0;
         while (true) {
             const std::uint8_t b = next_byte();
+            // The 10th byte contributes only bit 0 (shift 63); any higher
+            // payload bit would be silently shifted out of the uint64.
+            KATRIC_ASSERT_MSG(shift < 63 || (b & 0x7e) == 0, "varint overlong");
             value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
             if ((b & 0x80) == 0) { break; }
             shift += 7;
@@ -118,6 +121,13 @@ bool try_decode_sorted(std::span<const std::uint64_t> words, std::size_t count,
             const std::uint8_t b = static_cast<std::uint8_t>(
                 words[byte_index / 8] >> (8 * (byte_index % 8)));
             ++byte_index;
+            if (shift == 63 && (b & 0x7e) != 0) {
+                out.clear();
+                // Overlong: the 10th byte contributes only bit 0; higher
+                // payload bits would be silently shifted out of the uint64,
+                // decoding a corrupted stream to a wrong value.
+                return false;
+            }
             value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
             if ((b & 0x80) == 0) { break; }
             shift += 7;

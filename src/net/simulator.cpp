@@ -136,10 +136,13 @@ void Simulator::push_hardened(std::uint64_t frame_id) {
                     buffer.resize(buffer.size() - cut);
                     break;
                 }
-                case fault::FaultKind::kBitFlip:
+                case fault::FaultKind::kBitFlip: {
                     if (stats != nullptr) { ++stats->injected_bitflip; }
-                    buffer[(d->detail / 64) % buffer.size()] ^= 1ULL << (d->detail % 64);
+                    const std::uint64_t bit =
+                        d->detail % (static_cast<std::uint64_t>(buffer.size()) * 64);
+                    buffer[bit / 64] ^= 1ULL << (bit % 64);
                     break;
+                }
                 case fault::FaultKind::kStall:
                 case fault::FaultKind::kCrash:
                     break;  // rank-level faults, never produced by decide()
@@ -268,7 +271,14 @@ void Simulator::deliver_until_quiescent(const MessageHandler& on_message,
             RankHandle handle(*this, r);
             on_idle(handle);
         }
-        if (events_.empty()) { break; }
+        // A frame sent during the idle round may itself have been dropped:
+        // the event queue is then empty but the frame is unaccounted for.
+        // Loop back so the lost-frame sweep above runs; only true quiescence
+        // — no events AND no in-flight frames — ends the phase.
+        if (events_.empty()
+            && (fault_ == nullptr || fault_->in_flight.empty())) {
+            break;
+        }
     }
 }
 
@@ -336,6 +346,8 @@ double Simulator::run_phase(const std::string& name, const RankFn& start,
     phases_.push_back(std::move(record));
     if (fault_ != nullptr) {
         FaultState& st = *fault_;
+        KATRIC_ASSERT_MSG(st.in_flight.empty(),
+                          "hardened frame(s) unresolved past phase quiescence");
         ++st.superstep;
         // Frame ids are globally unique and the quiescence sweep guarantees
         // every frame resolved within its phase, so the dedup set can reset.

@@ -178,6 +178,68 @@ TEST(HardenedChannel, DropsAreRecoveredByTheQuiescenceSweep) {
     EXPECT_EQ(stats.duplicates_suppressed, 0u);
 }
 
+/// One phase whose only traffic originates in the idle round — the path the
+/// buffered-queue flushes and termination tokens take. A frame dropped there
+/// empties the event queue with the frame still in flight, so quiescence
+/// detection must consult in-flight frames, not just the queue.
+std::vector<Delivery> idle_flush_phase(Simulator& sim, Rank p) {
+    std::vector<Delivery> deliveries;
+    std::vector<char> flushed(static_cast<std::size_t>(p), 0);
+    sim.run_phase(
+        "idle-flush", nullptr,
+        [&](net::RankHandle& self, Rank src, int /*tag*/,
+            std::span<const std::uint64_t> payload) {
+            deliveries.emplace_back(src, self.rank(),
+                                    std::vector<std::uint64_t>(payload.begin(),
+                                                               payload.end()));
+        },
+        [&](net::RankHandle& self) {
+            auto& sent = flushed[static_cast<std::size_t>(self.rank())];
+            if (sent) { return; }
+            sent = true;
+            self.send((self.rank() + 1) % self.size(),
+                      WordVec{static_cast<std::uint64_t>(self.rank()), 0xF1u});
+        });
+    std::sort(deliveries.begin(), deliveries.end());
+    return deliveries;
+}
+
+TEST(HardenedChannel, IdleRoundDropsAreRecoveredNotSilentlyLost) {
+    const Rank p = 4;
+    Simulator sim(p, NetworkConfig{});
+    const FaultInjector injector(FaultPlan::parse("seed=5;drop=0.5"));
+    FaultStats stats;
+    HardenOptions harden;
+    harden.injector = &injector;
+    harden.stats = &stats;
+    harden.max_retries = 32;
+    sim.harden(harden);
+
+    const auto deliveries = idle_flush_phase(sim, p);
+    ASSERT_EQ(deliveries.size(), static_cast<std::size_t>(p));
+    for (Rank src = 0; src < p; ++src) {
+        EXPECT_EQ(deliveries[static_cast<std::size_t>(src)],
+                  Delivery(src, (src + 1) % p,
+                           {static_cast<std::uint64_t>(src), 0xF1u}));
+    }
+    // The seed must actually drop an idle-round frame for this to regress.
+    EXPECT_GT(stats.injected_drop, 0u);
+    EXPECT_GE(stats.retransmits, stats.injected_drop);
+}
+
+TEST(HardenedChannel, IdleRoundCertainDropSurfacesAsTimeoutNotSilence) {
+    Simulator sim(2, NetworkConfig{});
+    const FaultInjector injector(FaultPlan::parse("seed=1;drop=1.0"));
+    HardenOptions harden;
+    harden.injector = &injector;
+    harden.max_retries = 3;
+    sim.harden(harden);
+
+    // Before quiescence consulted in-flight frames, this returned "success"
+    // with zero deliveries — the silently-lost-frame bug.
+    EXPECT_THROW(idle_flush_phase(sim, 2), net::FaultError);
+}
+
 TEST(HardenedChannel, CertainDropExhaustsRetriesAsTimeout) {
     Simulator sim(2, NetworkConfig{});
     const FaultInjector injector(FaultPlan::parse("seed=1;drop=1.0"));

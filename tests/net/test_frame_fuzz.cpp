@@ -82,6 +82,35 @@ TEST(TryDecodeSorted, AbsurdCountsAreRejectedUpFront) {
     EXPECT_FALSE(try_decode_sorted({}, 1, out));
 }
 
+TEST(TryDecodeSorted, OverlongTenthByteIsRejectedNotSilentlyTruncated) {
+    // Hand-pack a 10-byte varint: nine continuation bytes carry 63 payload
+    // bits, so the 10th byte may contribute only bit 0. A 10th byte with
+    // continuation clear but bits 1-6 set would silently shift payload out
+    // of the uint64 — it must decode to false, not a wrong value.
+    const auto pack = [](const std::vector<std::uint8_t>& bytes) {
+        WordVec words((bytes.size() + 7) / 8, 0);
+        for (std::size_t i = 0; i < bytes.size(); ++i) {
+            words[i / 8] |= static_cast<std::uint64_t>(bytes[i]) << (8 * (i % 8));
+        }
+        return words;
+    };
+
+    std::vector<std::uint8_t> valid(9, 0xFF);
+    valid.push_back(0x01);  // bit 63 set → UINT64_MAX, the widest legal varint
+    std::vector<std::uint64_t> out;
+    ASSERT_TRUE(try_decode_sorted(pack(valid), 1, out));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0xFFFFFFFFFFFFFFFFULL);
+
+    for (const std::uint8_t last : {0x02, 0x7e, 0x40, 0x03}) {
+        std::vector<std::uint8_t> overlong(9, 0xFF);
+        overlong.push_back(last);
+        EXPECT_FALSE(try_decode_sorted(pack(overlong), 1, out))
+            << "10th byte 0x" << std::hex << static_cast<int>(last);
+        EXPECT_TRUE(out.empty());
+    }
+}
+
 TEST(TryDecodeSorted, RandomBitFlipsNeverCrash) {
     Xoshiro256 rng(303);
     const auto values = fuzz_values(rng, 100);
