@@ -154,6 +154,9 @@ CountResult run_edge_iterator(net::Simulator& sim, const std::vector<DistGraph>&
                     if (mode.buffered) {
                         queues[r].post(self, owner, record);
                     } else {
+                        // TriC's static mode is deliberately unbuffered —
+                        // one message per pull, as the baseline specifies.
+                        // katric-lint: allow(raw-send): unbuffered by design
                         self.send(owner, record, kTagCount);
                     }
                 }

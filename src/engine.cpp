@@ -42,28 +42,34 @@ void accumulate_ops(Report& report, const net::Simulator& sim) {
 
 // --- Engine ------------------------------------------------------------
 
+// Constructor bodies run pre-publication — no other thread can hold
+// state_mutex_ yet, and thread-safety analysis treats constructors as
+// unchecked — so warm_build() runs without (and must not take) the lock.
+
 Engine::Engine(const graph::CsrGraph& graph, Config config)
     : graph_(&graph),
       config_(validated(std::move(config))),
       partition_(core::make_partition(graph, config_.run_spec())),
-      views_(graph::distribute(graph, partition_)),
-      obs_(obs::Observability::acquire(config_.metrics, config_.trace_out)) {
+      obs_(obs::Observability::acquire(config_.metrics, config_.trace_out)),
+      views_(graph::distribute(graph, partition_)) {
     if (!config_.fault_spec.empty()) {
         injector_.emplace(fault::FaultPlan::parse(config_.fault_spec));
     }
     warm_build();
+    warm_enabled_ = warm_.has_value();
 }
 
 Engine::Engine(const graph::CsrGraph& graph, Config config, graph::Partition1D partition)
     : graph_(&graph),
       config_(validated(std::move(config))),
       partition_(validated_partition(std::move(partition), graph, config_)),
-      views_(graph::distribute(graph, partition_)),
-      obs_(obs::Observability::acquire(config_.metrics, config_.trace_out)) {
+      obs_(obs::Observability::acquire(config_.metrics, config_.trace_out)),
+      views_(graph::distribute(graph, partition_)) {
     if (!config_.fault_spec.empty()) {
         injector_.emplace(fault::FaultPlan::parse(config_.fault_spec));
     }
     warm_build();
+    warm_enabled_ = warm_.has_value();
 }
 
 void Engine::arm_simulator(net::Simulator& sim, const QueryOptions& query,
@@ -187,26 +193,6 @@ void Engine::rebuild_warm_hubs(const core::RunSpec& spec) {
     if (rebuilt) { ++preprocess_builds_; }
 }
 
-Engine::QueryLock Engine::lock_for_query(const core::RunSpec& spec) {
-    QueryLock lock;
-    if (!warm_) {
-        // Cold engines build preprocessing inside every run, mutating the
-        // views — queries serialize on the exclusive hold.
-        lock.exclusive = std::unique_lock<std::shared_mutex>(state_mutex_);
-        return lock;
-    }
-    // Warm fast path: shared hold when the views already fit the spec. A
-    // hub-config change upgrades to exclusive and rebuilds (re-checked —
-    // another thread may have rebuilt in the unlock window); the query then
-    // runs under the exclusive hold it already owns.
-    lock.shared = std::shared_lock<std::shared_mutex>(state_mutex_);
-    if (warm_hubs_current(spec)) { return lock; }
-    lock.shared.unlock();
-    lock.exclusive = std::unique_lock<std::shared_mutex>(state_mutex_);
-    if (!warm_hubs_current(spec)) { rebuild_warm_hubs(spec); }
-    return lock;
-}
-
 core::Preprocess Engine::preprocess_policy(const QueryOptions& query) const {
     core::Preprocess prep;  // cold default: build + charge inside the run
     if (warm_) {
@@ -261,26 +247,24 @@ Report Engine::count(const core::TriangleSink* sink, const QueryOptions& query) 
     QueryGuard guard;
     net::Simulator sim(spec.num_ranks, spec.network);
     if (obs_) { sim.record_phase_details(true); }
-    {
-        // Lock scope ends before the degrade fallback below re-enters the
-        // engine (a second lock_for_query on the same thread would deadlock
-        // on cold engines).
-        const auto lock = lock_for_query(spec);
-        const auto prep = preprocess_policy(query);
-        report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
-        arm_simulator(sim, query, guard);
-        try {
-            report.count = core::dispatch_algorithm(sim, views_, spec, sink, prep);
-        } catch (const net::OomError&) {
-            report.count.oom = true;
-            core::fill_metrics(sim, report.count);
-        } catch (const net::FaultError& e) {
-            report.error = make_error(e.code(), e.what());
-            core::fill_metrics(sim, report.count);
-        } catch (const net::CancelledError&) {
-            report.error = make_error(ServeError::kDeadline);
-            core::fill_metrics(sim, report.count);
+    // Warm fast path: shared hold when the views already fit the spec. A
+    // cold engine (or a warm hub-config change) falls through to the
+    // exclusive hold, re-checks (another thread may have rebuilt in the
+    // unlock window), rebuilds if still needed, and runs under it. Both
+    // holds end before the degrade fallback below re-enters the engine —
+    // re-locking on the same thread would deadlock on cold engines.
+    bool ran = false;
+    if (warm_enabled_) {
+        const util::ReaderLock lock(state_mutex_);
+        if (warm_hubs_current(spec)) {
+            count_body(report, sim, spec, query, sink, guard);
+            ran = true;
         }
+    }
+    if (!ran) {
+        const util::WriterLock lock(state_mutex_);
+        if (warm_enabled_ && !warm_hubs_current(spec)) { rebuild_warm_hubs(spec); }
+        count_body(report, sim, spec, query, sink, guard);
     }
     record_faults(report, guard);
     finalize(report, sim, timer.elapsed_seconds(),
@@ -304,6 +288,26 @@ Report Engine::count(const core::TriangleSink* sink, const QueryOptions& query) 
     return report;
 }
 
+void Engine::count_body(Report& report, net::Simulator& sim, const core::RunSpec& spec,
+                        const QueryOptions& query, const core::TriangleSink* sink,
+                        QueryGuard& guard) {
+    const auto prep = preprocess_policy(query);
+    report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
+    arm_simulator(sim, query, guard);
+    try {
+        report.count = core::dispatch_algorithm(sim, locked_views(), spec, sink, prep);
+    } catch (const net::OomError&) {
+        report.count.oom = true;
+        core::fill_metrics(sim, report.count);
+    } catch (const net::FaultError& e) {
+        report.error = make_error(e.code(), e.what());
+        core::fill_metrics(sim, report.count);
+    } catch (const net::CancelledError&) {
+        report.error = make_error(ServeError::kDeadline);
+        core::fill_metrics(sim, report.count);
+    }
+}
+
 Report Engine::lcc(const QueryOptions& query) {
     WallTimer timer;
     auto spec = query_spec(query);
@@ -313,15 +317,36 @@ Report Engine::lcc(const QueryOptions& query) {
     Report report;
     report.query = Query::kLcc;
     report.algorithm = spec.algorithm;
-    const auto lock = lock_for_query(spec);
-    const auto prep = preprocess_policy(query);
-    report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     QueryGuard guard;
     net::Simulator sim(spec.num_ranks, spec.network);
     if (obs_) { sim.record_phase_details(true); }
+    bool ran = false;
+    if (warm_enabled_) {
+        const util::ReaderLock lock(state_mutex_);
+        if (warm_hubs_current(spec)) {
+            lcc_body(report, sim, spec, query, guard);
+            ran = true;
+        }
+    }
+    if (!ran) {
+        const util::WriterLock lock(state_mutex_);
+        if (warm_enabled_ && !warm_hubs_current(spec)) { rebuild_warm_hubs(spec); }
+        lcc_body(report, sim, spec, query, guard);
+    }
+    record_faults(report, guard);
+    finalize(report, sim, timer.elapsed_seconds(),
+             record_kernels ? &kernel_stats : nullptr);
+    return report;
+}
+
+void Engine::lcc_body(Report& report, net::Simulator& sim, const core::RunSpec& spec,
+                      const QueryOptions& query, QueryGuard& guard) {
+    const auto prep = preprocess_policy(query);
+    report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     arm_simulator(sim, query, guard);
     try {
-        auto result = core::compute_distributed_lcc(sim, views_, *graph_, spec, prep);
+        auto result =
+            core::compute_distributed_lcc(sim, locked_views(), *graph_, spec, prep);
         report.count = std::move(result.count);
         report.delta = std::move(result.delta);
         report.lcc = std::move(result.lcc);
@@ -333,10 +358,6 @@ Report Engine::lcc(const QueryOptions& query) {
         report.error = make_error(ServeError::kDeadline);
         core::fill_metrics(sim, report.count);
     }
-    record_faults(report, guard);
-    finalize(report, sim, timer.elapsed_seconds(),
-             record_kernels ? &kernel_stats : nullptr);
-    return report;
 }
 
 Report Engine::enumerate(const core::TriangleSink* sink, const QueryOptions& query) {
@@ -389,17 +410,43 @@ Report Engine::approx_impl(const QueryOptions& query, bool arm) {
     // phase + Bloom-filter global phase), whatever Config::algorithm says —
     // label the report (and the warm hub preparation) accordingly.
     report.algorithm = core::Algorithm::kCetric;
+    // Hub preparation (and so the lock decision) follows the pipeline's
+    // actual algorithm, not Config::algorithm.
     auto hub_spec = spec;
     hub_spec.algorithm = core::Algorithm::kCetric;
-    const auto lock = lock_for_query(hub_spec);
-    const auto prep = preprocess_policy(query);
-    report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     QueryGuard guard;
     net::Simulator sim(spec.num_ranks, spec.network);
     if (obs_) { sim.record_phase_details(true); }
+    bool ran = false;
+    if (warm_enabled_) {
+        const util::ReaderLock lock(state_mutex_);
+        if (warm_hubs_current(hub_spec)) {
+            approx_body(report, sim, spec, query, amq, arm, guard);
+            ran = true;
+        }
+    }
+    if (!ran) {
+        const util::WriterLock lock(state_mutex_);
+        if (warm_enabled_ && !warm_hubs_current(hub_spec)) {
+            rebuild_warm_hubs(hub_spec);
+        }
+        approx_body(report, sim, spec, query, amq, arm, guard);
+    }
+    record_faults(report, guard);
+    finalize(report, sim, timer.elapsed_seconds(),
+             record_kernels ? &kernel_stats : nullptr);
+    return report;
+}
+
+void Engine::approx_body(Report& report, net::Simulator& sim,
+                         const core::RunSpec& spec, const QueryOptions& query,
+                         const core::AmqOptions& amq, bool arm, QueryGuard& guard) {
+    const auto prep = preprocess_policy(query);
+    report.reused_preprocessing = prep.mode == core::Preprocess::Mode::kSkip;
     if (arm) { arm_simulator(sim, query, guard); }
     try {
-        auto result = core::count_triangles_cetric_amq(sim, views_, spec, amq, prep);
+        auto result =
+            core::count_triangles_cetric_amq(sim, locked_views(), spec, amq, prep);
         report.count = std::move(result.metrics);
         report.estimated_triangles = result.estimated_triangles;
         report.exact_type12 = result.exact_type12;
@@ -411,10 +458,6 @@ Report Engine::approx_impl(const QueryOptions& query, bool arm) {
         report.error = make_error(ServeError::kDeadline);
         core::fill_metrics(sim, report.count);
     }
-    record_faults(report, guard);
-    finalize(report, sim, timer.elapsed_seconds(),
-             record_kernels ? &kernel_stats : nullptr);
-    return report;
 }
 
 StreamSession Engine::open_stream() {

@@ -4,7 +4,6 @@
 #include <future>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <vector>
 
 #include "config.hpp"
@@ -16,6 +15,8 @@
 #include "obs/observability.hpp"
 #include "report.hpp"
 #include "stream/stream_runner.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace katric {
 
@@ -267,11 +268,12 @@ public:
         return queries_.load(std::memory_order_relaxed);
     }
     /// True when this engine holds reusable preprocessing state.
-    [[nodiscard]] bool warm() const noexcept { return warm_.has_value(); }
+    [[nodiscard]] bool warm() const noexcept { return warm_enabled_; }
     /// Warm sessions: preprocessing (re)builds paid — 1 at construction plus
     /// one per hub-index config change. Cold engines report 0 (each query
     /// rebuilds inside its own simulated run instead).
-    [[nodiscard]] std::size_t preprocess_builds() const noexcept {
+    [[nodiscard]] std::size_t preprocess_builds() const {
+        const util::ReaderLock lock(state_mutex_);
         return preprocess_builds_;
     }
 
@@ -353,14 +355,6 @@ private:
         core::PreprocessCosts costs;
     };
 
-    /// The per-query hold on the shared views: shared for warm queries that
-    /// only read them, exclusive for queries that mutate them (cold builds,
-    /// hub-index rebuilds). Held across the whole dispatch.
-    struct QueryLock {
-        std::shared_lock<std::shared_mutex> shared;
-        std::unique_lock<std::shared_mutex> exclusive;
-    };
-
     Report enumerate(const core::TriangleSink* sink, const QueryOptions& query);
     /// approx_count body; `arm` gates the hardened layer so the kDegrade
     /// fallback can run approximate counting with injection off (retrying
@@ -374,20 +368,28 @@ private:
                   const obs::KernelStats* kernel_stats = nullptr);
     /// Config::run_spec with the query's overrides applied.
     [[nodiscard]] core::RunSpec query_spec(const QueryOptions& query) const;
-    /// Warm sessions: runs the recorded preprocessing build at construction.
-    void warm_build();
+    /// Warm sessions: runs the recorded preprocessing build at construction
+    /// (exclusive access by construction — no other thread has the engine).
+    void warm_build() KATRIC_REQUIRES(state_mutex_);
     /// Warm sessions: do the views already hold the hub indices this spec's
-    /// kernel config wants? (True as well when it wants none.) Caller must
-    /// hold the view lock.
-    [[nodiscard]] bool warm_hubs_current(const core::RunSpec& spec) const;
+    /// kernel config wants? (True as well when it wants none.)
+    [[nodiscard]] bool warm_hubs_current(const core::RunSpec& spec) const
+        KATRIC_REQUIRES_SHARED(state_mutex_);
     /// Warm sessions: (re)builds hub indices for the spec's kernel config.
-    /// Caller must hold the view lock exclusively.
-    void rebuild_warm_hubs(const core::RunSpec& spec);
-    /// Acquires the right hold for this spec: exclusive on cold engines and
-    /// for warm hub-config changes, shared otherwise.
-    [[nodiscard]] QueryLock lock_for_query(const core::RunSpec& spec);
+    void rebuild_warm_hubs(const core::RunSpec& spec) KATRIC_REQUIRES(state_mutex_);
     /// The preprocessing policy this query's dispatch should run under.
-    [[nodiscard]] core::Preprocess preprocess_policy(const QueryOptions& query) const;
+    [[nodiscard]] core::Preprocess preprocess_policy(const QueryOptions& query) const
+        KATRIC_REQUIRES_SHARED(state_mutex_);
+
+    /// The views under an active hold. Non-const because the cold build mode
+    /// mutates them inside the run; warm shared-hold callers only read — the
+    /// one shared-vs-exclusive distinction the annotations cannot express
+    /// (enforced by the equivalence and TSan suites instead), hence the one
+    /// analysis escape in Engine.
+    [[nodiscard]] std::vector<graph::DistGraph>& locked_views()
+        KATRIC_REQUIRES_SHARED(state_mutex_) KATRIC_NO_THREAD_SAFETY_ANALYSIS {
+        return views_;
+    }
 
     /// Per-query hardening context: the fault counters and the query's
     /// cancel token (deadline-armed, chained onto a caller token). Lives on
@@ -405,21 +407,41 @@ private:
     /// metrics registry: hardened/degraded flags, fault counters.
     void record_faults(Report& report, const QueryGuard& guard);
 
+    // --- locked query bodies ---------------------------------------------
+    // Each query method acquires the right hold — shared when the warm views
+    // already fit the spec, exclusive for cold builds and warm hub-config
+    // rebuilds — and runs the corresponding *_body under it. The
+    // KATRIC_REQUIRES_SHARED contract makes a body call without a hold a
+    // compile error under -Werror=thread-safety.
+    void count_body(Report& report, net::Simulator& sim, const core::RunSpec& spec,
+                    const QueryOptions& query, const core::TriangleSink* sink,
+                    QueryGuard& guard) KATRIC_REQUIRES_SHARED(state_mutex_);
+    void lcc_body(Report& report, net::Simulator& sim, const core::RunSpec& spec,
+                  const QueryOptions& query, QueryGuard& guard)
+        KATRIC_REQUIRES_SHARED(state_mutex_);
+    void approx_body(Report& report, net::Simulator& sim, const core::RunSpec& spec,
+                     const QueryOptions& query, const core::AmqOptions& amq, bool arm,
+                     QueryGuard& guard) KATRIC_REQUIRES_SHARED(state_mutex_);
+
     const graph::CsrGraph* graph_;
     Config config_;
     graph::Partition1D partition_;
-    std::vector<graph::DistGraph> views_;
     std::shared_ptr<obs::Observability> obs_;
     /// The session's deterministic fault oracle, parsed once from
     /// Config::fault_spec; disengaged = no injection (hardening may still be
     /// on via Config::harden).
     std::optional<fault::FaultInjector> injector_;
-    std::optional<WarmState> warm_;
-    /// Guards views_ (and warm_'s cost ledger) against concurrent queries:
-    /// shared = read-only algorithm run, exclusive = view mutation.
-    mutable std::shared_mutex state_mutex_;
+    /// Guards views_, warm_'s cost ledger, and the preprocessing-build
+    /// counter against concurrent queries: shared = read-only algorithm run,
+    /// exclusive = view mutation.
+    mutable util::SharedMutex state_mutex_;
+    std::vector<graph::DistGraph> views_ KATRIC_GUARDED_BY(state_mutex_);
+    std::optional<WarmState> warm_ KATRIC_GUARDED_BY(state_mutex_);
+    std::size_t preprocess_builds_ KATRIC_GUARDED_BY(state_mutex_) = 0;
+    /// warm_.has_value(), frozen after construction — the lock-free engaged
+    /// check the query prologues branch on before taking a hold.
+    bool warm_enabled_ = false;
     std::size_t build_passes_ = 1;
-    std::size_t preprocess_builds_ = 0;
     std::atomic<std::size_t> queries_{0};
 };
 

@@ -1,5 +1,4 @@
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -8,6 +7,8 @@
 #include "serve_queue.hpp"
 #include "util/assert.hpp"
 #include "util/statistics.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace katric {
@@ -41,20 +42,22 @@ struct ServeSession::Impl {
     Engine* engine;
     detail::AdmissionQueue<Task> queue;
     int num_threads;
-    std::vector<std::thread> workers;
+    /// Spawned in the constructor (pre-publication), joined+cleared only
+    /// under drain_mutex — the drain() idempotence hold.
+    std::vector<std::thread> workers KATRIC_GUARDED_BY(drain_mutex);
 
-    mutable std::mutex stats_mutex;
-    std::size_t submitted = 0;
-    std::size_t completed = 0;
-    std::size_t rejected = 0;
-    std::size_t rejected_queue_full = 0;
-    std::size_t rejected_stopped = 0;
-    std::size_t rejected_unsupported = 0;
-    std::size_t shed_deadline = 0;
-    Summary latency;
+    mutable util::Mutex stats_mutex;
+    std::size_t submitted KATRIC_GUARDED_BY(stats_mutex) = 0;
+    std::size_t completed KATRIC_GUARDED_BY(stats_mutex) = 0;
+    std::size_t rejected KATRIC_GUARDED_BY(stats_mutex) = 0;
+    std::size_t rejected_queue_full KATRIC_GUARDED_BY(stats_mutex) = 0;
+    std::size_t rejected_stopped KATRIC_GUARDED_BY(stats_mutex) = 0;
+    std::size_t rejected_unsupported KATRIC_GUARDED_BY(stats_mutex) = 0;
+    std::size_t shed_deadline KATRIC_GUARDED_BY(stats_mutex) = 0;
+    Summary latency KATRIC_GUARDED_BY(stats_mutex);
 
-    std::mutex drain_mutex;  ///< serializes drain() against itself
-    bool drained = false;
+    util::Mutex drain_mutex;  ///< serializes drain() against itself
+    bool drained KATRIC_GUARDED_BY(drain_mutex) = false;
 
     Impl(Engine& owner, int threads, std::size_t depth)
         : engine(&owner), queue(depth), num_threads(threads) {
@@ -90,7 +93,7 @@ struct ServeSession::Impl {
     void shed(Task& task) {
         task.promise.set_value(unadmitted_report(task.request, ServeError::kDeadline));
         {
-            const std::lock_guard<std::mutex> lock(stats_mutex);
+            const util::MutexLock lock(stats_mutex);
             ++shed_deadline;
         }
         if (const auto& obs = engine->observability(); obs && obs->metrics_enabled()) {
@@ -122,7 +125,7 @@ struct ServeSession::Impl {
             }
             const double seconds = task->timer.elapsed_seconds();
             task->promise.set_value(std::move(report));
-            const std::lock_guard<std::mutex> lock(stats_mutex);
+            const util::MutexLock lock(stats_mutex);
             ++completed;
             latency.add(seconds);
         }
@@ -137,7 +140,7 @@ struct ServeSession::Impl {
         auto future = task.promise.get_future();
         switch (queue.push(std::move(task), request.priority)) {
             case detail::AdmissionQueue<Task>::Push::kAccepted: {
-                const std::lock_guard<std::mutex> lock(stats_mutex);
+                const util::MutexLock lock(stats_mutex);
                 ++submitted;
                 return future;
             }
@@ -151,7 +154,7 @@ struct ServeSession::Impl {
 
     std::future<Report> refused(const ServeRequest& request, ServeError code) {
         {
-            const std::lock_guard<std::mutex> lock(stats_mutex);
+            const util::MutexLock lock(stats_mutex);
             ++rejected;
             switch (code) {
                 case ServeError::kRejected: ++rejected_queue_full; break;
@@ -167,7 +170,7 @@ struct ServeSession::Impl {
     }
 
     void drain() {
-        const std::lock_guard<std::mutex> lock(drain_mutex);
+        const util::MutexLock lock(drain_mutex);
         if (drained) { return; }
         drained = true;
         queue.close();
@@ -209,7 +212,7 @@ std::future<Report> ServeSession::submit(const ServeRequest& request) {
 void ServeSession::drain() { impl_->drain(); }
 
 ServeSession::Stats ServeSession::stats() const {
-    const std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    const util::MutexLock lock(impl_->stats_mutex);
     Stats stats;
     stats.submitted = impl_->submitted;
     stats.completed = impl_->completed;

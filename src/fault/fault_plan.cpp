@@ -1,9 +1,12 @@
 #include "fault_plan.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
-#include "../util/assert.hpp"
+#include "util/assert.hpp"
 
 namespace katric::fault {
 
@@ -59,22 +62,28 @@ void append_probability(std::ostringstream& out, const char* key, double value) 
     out << ';' << key << '=' << value;
 }
 
-/// Parses a nonnegative double covering the whole token; false on garbage.
+/// Parses a nonnegative finite double covering the whole token; false on
+/// garbage (including "inf" — no fault parameter means forever).
 bool parse_double(const std::string& token, double& out) {
     if (token.empty()) { return false; }
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) { return false; }
-    if (!(value >= 0.0)) { return false; }  // also rejects NaN
+    if (!(value >= 0.0) || !std::isfinite(value)) { return false; }  // also NaN
     out = value;
     return true;
 }
 
 bool parse_u64(const std::string& token, std::uint64_t& out) {
-    if (token.empty()) { return false; }
+    // strtoull silently wraps a leading '-' to a huge positive value; demand
+    // a digit up front so "-1" is malformed, not ~0.
+    if (token.empty() || std::isdigit(static_cast<unsigned char>(token[0])) == 0) {
+        return false;
+    }
+    errno = 0;
     char* end = nullptr;
     const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
-    if (end != token.c_str() + token.size()) { return false; }
+    if (end != token.c_str() + token.size() || errno == ERANGE) { return false; }
     out = value;
     return true;
 }

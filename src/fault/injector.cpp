@@ -1,6 +1,6 @@
 #include "injector.hpp"
 
-#include "../util/hash.hpp"
+#include "util/hash.hpp"
 
 namespace katric::fault {
 

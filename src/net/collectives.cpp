@@ -97,7 +97,8 @@ std::uint64_t allreduce_sum(Simulator& sim, const std::vector<std::uint64_t>& va
                 self.send(parent(r), WordVec{acc[r]}, kTagReduce);
             }
         },
-        [&](RankHandle& self, Rank src, int tag, std::span<const std::uint64_t> payload) {
+        [&](RankHandle& self, Rank /*src*/, int tag,
+            std::span<const std::uint64_t> payload) {
             const Rank r = self.rank();
             KATRIC_ASSERT(payload.size() == 1);
             if (tag == kTagReduce) {

@@ -326,7 +326,10 @@ double Simulator::run_phase(const std::string& name, const RankFn& start,
         makespan += config_.alpha * static_cast<double>(katric::ceil_log2(num_ranks_));
     }
     barrier_time_ = makespan;
-    PhaseRecord record{name, phase_start, barrier_time_};
+    PhaseRecord record;
+    record.name = name;
+    record.start_time = phase_start;
+    record.end_time = barrier_time_;
     if (record_phase_details_) {
         record.rank_busy_end = clocks_;
         record.rank_delta.resize(static_cast<std::size_t>(num_ranks_));

@@ -5,7 +5,7 @@
 namespace katric::obs {
 
 std::vector<MetricRow> MetricsRegistry::snapshot() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     std::vector<MetricRow> rows;
     for (const auto& [name, value] : counters_) {
         rows.push_back(MetricRow{name, static_cast<double>(value)});

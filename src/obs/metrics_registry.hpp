@@ -2,11 +2,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/statistics.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace katric::obs {
 
@@ -33,40 +34,40 @@ struct MetricRow {
 class MetricsRegistry {
 public:
     void count(const std::string& name, std::uint64_t delta = 1) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         counters_[name] += delta;
     }
     void gauge(const std::string& name, double value) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         gauges_[name] = value;
     }
     void observe_size(const std::string& name, std::uint64_t value) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         histograms_[name].add(value);
     }
     void observe_latency(const std::string& name, double seconds) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         summaries_[name].add(seconds);
     }
 
     [[nodiscard]] std::uint64_t counter(const std::string& name) const {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         const auto it = counters_.find(name);
         return it == counters_.end() ? 0 : it->second;
     }
     [[nodiscard]] const Log2Histogram* histogram(const std::string& name) const {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         const auto it = histograms_.find(name);
         return it == histograms_.end() ? nullptr : &it->second;
     }
     [[nodiscard]] const Summary* summary(const std::string& name) const {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         const auto it = summaries_.find(name);
         return it == summaries_.end() ? nullptr : &it->second;
     }
 
-    [[nodiscard]] bool empty() const noexcept {
-        const std::lock_guard<std::mutex> lock(mutex_);
+    [[nodiscard]] bool empty() const {
+        const util::MutexLock lock(mutex_);
         return counters_.empty() && gauges_.empty() && histograms_.empty()
                && summaries_.empty();
     }
@@ -80,11 +81,11 @@ public:
     [[nodiscard]] std::string to_string() const;
 
 private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::uint64_t> counters_;
-    std::map<std::string, double> gauges_;
-    std::map<std::string, Log2Histogram> histograms_;
-    std::map<std::string, Summary> summaries_;
+    mutable util::Mutex mutex_;
+    std::map<std::string, std::uint64_t> counters_ KATRIC_GUARDED_BY(mutex_);
+    std::map<std::string, double> gauges_ KATRIC_GUARDED_BY(mutex_);
+    std::map<std::string, Log2Histogram> histograms_ KATRIC_GUARDED_BY(mutex_);
+    std::map<std::string, Summary> summaries_ KATRIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace katric::obs

@@ -33,7 +33,9 @@ std::shared_ptr<Observability> Observability::acquire(bool metrics,
     std::lock_guard<std::mutex> lock(g_registry_mutex);
     auto& instances = traced_instances();
     if (auto existing = instances[trace_path].lock()) {
-        existing->metrics_ = existing->metrics_ || metrics;
+        // Sticky-or: once any acquirer wants metrics, the shared instance
+        // records them. Atomic — other engines on this path may be mid-query.
+        if (metrics) { existing->metrics_.store(true, std::memory_order_relaxed); }
         return existing;
     }
     std::shared_ptr<Observability> fresh(new Observability(metrics, trace_path));
@@ -44,14 +46,14 @@ std::shared_ptr<Observability> Observability::acquire(bool metrics,
 void Observability::observe_query(const std::string& kind, const net::Simulator& sim,
                                   double wall_seconds,
                                   const KernelStats* kernel_stats) {
-    const std::lock_guard<std::mutex> record_lock(record_mutex_);
+    const util::MutexLock record_lock(record_mutex_);
     if (kernel_stats != nullptr) { kernel_stats_.merge(*kernel_stats); }
     if (tracing_enabled()) {
         std::ostringstream label;
         label << kind << '#' << tracer_.num_queries();
         tracer_.record_query(label.str(), sim);
     }
-    if (!metrics_) { return; }
+    if (!metrics_enabled()) { return; }
     registry_.count("query." + kind);
     registry_.observe_latency("query." + kind + ".latency_seconds", wall_seconds);
     registry_.observe_latency("query." + kind + ".sim_seconds", sim.time());
@@ -66,9 +68,9 @@ void Observability::observe_query(const std::string& kind, const net::Simulator&
 
 void Observability::observe_span(const std::string& kind, const std::string& label,
                                  double sim_seconds, double wall_seconds) {
-    const std::lock_guard<std::mutex> record_lock(record_mutex_);
+    const util::MutexLock record_lock(record_mutex_);
     if (tracing_enabled()) { tracer_.record_span(label, kind, sim_seconds); }
-    if (!metrics_) { return; }
+    if (!metrics_enabled()) { return; }
     registry_.count("query." + kind);
     registry_.observe_latency("query." + kind + ".latency_seconds", wall_seconds);
 }
@@ -76,6 +78,7 @@ void Observability::observe_span(const std::string& kind, const std::string& lab
 std::string Observability::summary() const {
     std::ostringstream out;
     out << registry_.to_string();
+    const util::MutexLock record_lock(record_mutex_);
     if (kernel_stats_.total() > 0 || kernel_stats_.hub_hits + kernel_stats_.hub_misses > 0) {
         out << "-- kernel dispatch mix --\n" << kernel_stats_.to_string();
     }

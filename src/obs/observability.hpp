@@ -1,13 +1,15 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "net/simulator.hpp"
 #include "obs/kernel_stats.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace katric::obs {
 
@@ -35,7 +37,12 @@ public:
     Observability(const Observability&) = delete;
     Observability& operator=(const Observability&) = delete;
 
-    [[nodiscard]] bool metrics_enabled() const noexcept { return metrics_; }
+    [[nodiscard]] bool metrics_enabled() const noexcept {
+        // Relaxed: the flag only ever flips off→on, at acquire() time, and a
+        // query that misses the flip merely skips one recording — no state
+        // it would have touched exists yet.
+        return metrics_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] bool tracing_enabled() const noexcept { return !trace_path_.empty(); }
     [[nodiscard]] const std::string& trace_path() const noexcept { return trace_path_; }
 
@@ -45,10 +52,17 @@ public:
     /// (null unless metrics are enabled — recording stays zero-cost off).
     /// NOT safe as a sink for concurrent queries: Engine queries record into
     /// a query-local KernelStats and merge it via observe_query instead.
-    [[nodiscard]] KernelStats* kernel_stats_sink() noexcept {
-        return metrics_ ? &kernel_stats_ : nullptr;
+    /// Analysis escape: hands out an unguarded pointer to the one-shot
+    /// single-threaded recording path — the record mutex cannot travel with
+    /// the pointer.
+    [[nodiscard]] KernelStats* kernel_stats_sink() noexcept
+        KATRIC_NO_THREAD_SAFETY_ANALYSIS {
+        return metrics_enabled() ? &kernel_stats_ : nullptr;
     }
-    [[nodiscard]] const KernelStats& kernel_stats() const noexcept {
+    /// Quiescence-only accessor: read after drain() (or with no query in
+    /// flight) — the analysis escape mirrors Tracer::spans().
+    [[nodiscard]] const KernelStats& kernel_stats() const noexcept
+        KATRIC_NO_THREAD_SAFETY_ANALYSIS {
         return kernel_stats_;
     }
     Tracer& tracer() noexcept { return tracer_; }
@@ -79,13 +93,15 @@ public:
 private:
     Observability(bool metrics, std::string trace_path);
 
-    bool metrics_ = false;
+    /// Atomic because acquire() sticky-ors it on an already-shared instance
+    /// while other engines may be mid-query on the same --trace-out path.
+    std::atomic<bool> metrics_{false};
     std::string trace_path_;
     /// Serializes observe_query/observe_span so the trace label numbering
     /// ("count#3") and the kernel-stats merge stay atomic per query.
-    std::mutex record_mutex_;
+    mutable util::Mutex record_mutex_;
     MetricsRegistry registry_;
-    KernelStats kernel_stats_;
+    KernelStats kernel_stats_ KATRIC_GUARDED_BY(record_mutex_);
     Tracer tracer_;
 };
 

@@ -47,7 +47,7 @@ struct Event {
 }  // namespace
 
 void Tracer::record_query(const std::string& label, const net::Simulator& sim) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const double base = cursor_us_;
     const double query_us = sim.time() * kSecondsToUs;
     if (query_us > 0.0) {
@@ -102,7 +102,7 @@ void Tracer::record_query(const std::string& label, const net::Simulator& sim) {
 
 void Tracer::record_span(const std::string& label, const std::string& cat,
                          double seconds) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const double us = seconds * kSecondsToUs;
     if (us > 0.0) {
         spans_.push_back(TraceSpan{label, cat, 0, cursor_us_, cursor_us_ + us, {}});
@@ -112,7 +112,7 @@ void Tracer::record_span(const std::string& label, const std::string& cat,
 }
 
 std::string Tracer::to_json() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     std::vector<Event> events;
     events.reserve(spans_.size() * 2);
     for (const auto& span : spans_) {

@@ -2,11 +2,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/simulator.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace katric::obs {
 
@@ -59,7 +60,14 @@ public:
     /// `seconds` advances the cursor.
     void record_span(const std::string& label, const std::string& cat, double seconds);
 
-    [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept { return spans_; }
+    /// Quiescence-only accessor (see class comment): reads the span list
+    /// without the mutex, so the caller must guarantee no recorder is
+    /// running. The one deliberate analysis escape in the tracer — a scoped
+    /// hold cannot be returned alongside the reference.
+    [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept
+        KATRIC_NO_THREAD_SAFETY_ANALYSIS {
+        return spans_;
+    }
     [[nodiscard]] std::size_t num_queries() const noexcept {
         return queries_.load(std::memory_order_relaxed);
     }
@@ -72,10 +80,12 @@ public:
     bool write(const std::string& path) const;
 
 private:
-    mutable std::mutex mutex_;    ///< guards spans_/cursor_us_/max_tid_
-    std::vector<TraceSpan> spans_;
-    double cursor_us_ = 0.0;      ///< end of the last recorded query
-    std::uint32_t max_tid_ = 0;   ///< widest rank lane seen
+    mutable util::Mutex mutex_;
+    std::vector<TraceSpan> spans_ KATRIC_GUARDED_BY(mutex_);
+    /// End of the last recorded query.
+    double cursor_us_ KATRIC_GUARDED_BY(mutex_) = 0.0;
+    /// Widest rank lane seen.
+    std::uint32_t max_tid_ KATRIC_GUARDED_BY(mutex_) = 0;
     std::atomic<std::size_t> queries_{0};
 };
 

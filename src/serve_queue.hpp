@@ -1,13 +1,14 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace katric::detail {
 
@@ -20,6 +21,10 @@ namespace katric::detail {
 /// Ordering: higher priority drains first; FIFO (by admission sequence)
 /// within a priority class. close() stops admission but lets consumers
 /// drain everything already accepted.
+///
+/// Locking: every piece of mutable state is KATRIC_GUARDED_BY(mutex_) —
+/// under -Werror=thread-safety an access outside the lock is a build error,
+/// not a TSan roll of the dice.
 template <typename T>
 class AdmissionQueue {
 public:
@@ -35,11 +40,12 @@ public:
     /// Never blocks. Moves from `item` only on kAccepted, so a rejected
     /// caller can still complete the request it failed to enqueue.
     Push push(T&& item, int priority = 0) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        if (closed_) { return Push::kClosed; }
-        if (entries_.size() >= capacity_) { return Push::kRejected; }
-        entries_.push(Entry{priority, next_seq_++, std::move(item)});
-        lock.unlock();
+        {
+            const util::MutexLock lock(mutex_);
+            if (closed_) { return Push::kClosed; }
+            if (entries_.size() >= capacity_) { return Push::kRejected; }
+            entries_.push(Entry{priority, next_seq_++, std::move(item)});
+        }
         ready_.notify_one();
         return Push::kAccepted;
     }
@@ -47,14 +53,14 @@ public:
     /// Blocks until an item is available or the queue is closed *and*
     /// drained; nullopt means no item will ever come again.
     std::optional<T> pop() {
-        std::unique_lock<std::mutex> lock(mutex_);
-        ready_.wait(lock, [&] { return closed_ || !entries_.empty(); });
+        const util::MutexLock lock(mutex_);
+        while (!closed_ && entries_.empty()) { ready_.wait(mutex_); }
         return pop_locked();
     }
 
     /// Non-blocking pop: nullopt when nothing is currently queued.
     std::optional<T> try_pop() {
-        std::unique_lock<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         return pop_locked();
     }
 
@@ -62,19 +68,19 @@ public:
     /// Idempotent.
     void close() {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const util::MutexLock lock(mutex_);
             closed_ = true;
         }
         ready_.notify_all();
     }
 
     [[nodiscard]] std::size_t size() const {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         return entries_.size();
     }
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
     [[nodiscard]] bool closed() const {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         return closed_;
     }
 
@@ -93,7 +99,7 @@ private:
         }
     };
 
-    std::optional<T> pop_locked() {
+    std::optional<T> pop_locked() KATRIC_REQUIRES(mutex_) {
         if (entries_.empty()) { return std::nullopt; }
         // The heap top is const by interface, but moving out right before
         // pop() never observes the moved-from state.
@@ -104,11 +110,12 @@ private:
     }
 
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::condition_variable ready_;
-    std::priority_queue<Entry, std::vector<Entry>, Later> entries_;
-    std::uint64_t next_seq_ = 0;
-    bool closed_ = false;
+    mutable util::Mutex mutex_;
+    util::CondVar ready_;
+    std::priority_queue<Entry, std::vector<Entry>, Later> entries_
+        KATRIC_GUARDED_BY(mutex_);
+    std::uint64_t next_seq_ KATRIC_GUARDED_BY(mutex_) = 0;
+    bool closed_ KATRIC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace katric::detail

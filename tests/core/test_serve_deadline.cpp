@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <vector>
 
@@ -124,10 +125,29 @@ TEST(ServeDeadline, StatsBreakRejectionsDownByReason) {
     options.queue_depth = 1;
     auto session = engine.serve(options);
 
-    // Flood a depth-1 queue through a single worker: at least one submission
-    // must observe a full queue (kRejected → rejected_queue_full).
-    std::vector<std::future<Report>> flood;
-    for (int i = 0; i < 24; ++i) { flood.push_back(session.submit(QueryOptions{})); }
+    // Flood the depth-1 queue through its single worker until a submission
+    // observes a full queue (kRejected → rejected_queue_full). A fixed-size
+    // flood is racy — a promptly scheduled worker can drain arbitrarily many
+    // submissions — so pump until the overflow is observed. Rejections
+    // resolve synchronously inside submit(), so a ready future right after
+    // submitting distinguishes them; the cap bounds the worst case.
+    std::size_t queue_full = 0;
+    std::size_t completed = 0;
+    std::vector<std::future<Report>> pending;
+    for (int i = 0; i < 5000 && queue_full == 0; ++i) {
+        auto future = session.submit(QueryOptions{});
+        if (future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+            const auto report = future.get();
+            if (report.error == ServeError::kRejected) {
+                ++queue_full;
+            } else {
+                ASSERT_TRUE(report.ok()) << report.error.message;
+                ++completed;
+            }
+        } else {
+            pending.push_back(std::move(future));
+        }
+    }
 
     // A stream request is refused as unsupported regardless of load.
     ServeRequest stream_request;
@@ -141,9 +161,7 @@ TEST(ServeDeadline, StatsBreakRejectionsDownByReason) {
     EXPECT_EQ(stopped.get().error, ServeError::kStopped);
     EXPECT_EQ(unsupported.get().error, ServeError::kUnsupported);
 
-    std::size_t queue_full = 0;
-    std::size_t completed = 0;
-    for (auto& future : flood) {
+    for (auto& future : pending) {
         const auto report = future.get();
         if (report.error == ServeError::kRejected) {
             ++queue_full;

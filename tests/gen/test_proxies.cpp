@@ -26,8 +26,8 @@ TEST(Proxies, RegistryHasAllEightInstances) {
 TEST(Proxies, SpecLookup) {
     EXPECT_EQ(proxy_spec("orkut").family, "social");
     EXPECT_EQ(proxy_spec("europe").family, "road");
-    EXPECT_THROW(proxy_spec("nonexistent"), katric::assertion_error);
-    EXPECT_THROW(build_proxy("nonexistent"), katric::assertion_error);
+    EXPECT_THROW((void)proxy_spec("nonexistent"), katric::assertion_error);
+    EXPECT_THROW((void)build_proxy("nonexistent"), katric::assertion_error);
 }
 
 TEST(Proxies, AllBuildAndAreDeterministic) {

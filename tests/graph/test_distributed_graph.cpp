@@ -185,10 +185,10 @@ INSTANTIATE_TEST_SUITE_P(FamiliesTimesRanks, DistGraphTest,
                                            DistCase{1, 4}, DistCase{2, 4}, DistCase{2, 7},
                                            DistCase{3, 5}, DistCase{4, 4}, DistCase{5, 6},
                                            DistCase{6, 2}),
-                         [](const auto& info) {
+                         [](const auto& name_info) {
                              static const auto cases = katric::test::family_cases();
-                             return cases[info.param.family_index].name + "_p"
-                                    + std::to_string(info.param.p);
+                             return cases[name_info.param.family_index].name + "_p"
+                                    + std::to_string(name_info.param.p);
                          });
 
 TEST(DistGraph, GhostDegreeRequiredBeforeOrientation) {

@@ -31,9 +31,9 @@ TEST_P(ZooFamilyTest, NodeIteratorMatchesReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, ZooFamilyTest, ::testing::Range<std::size_t>(0, 7),
-                         [](const auto& info) {
+                         [](const auto& name_info) {
                              static const auto cases = katric::test::family_cases();
-                             return cases[info.param].name;
+                             return cases[name_info.param].name;
                          });
 
 TEST(Zoo, AllAgreeOnLargerInstance) {

@@ -163,9 +163,9 @@ TEST_P(KernelRandomTest, ExtremeSkewOneToMillion) {
 }
 
 INSTANTIATE_TEST_SUITE_P(SimdAndScalar, KernelRandomTest, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                             return info.param ? std::string("scalar")
-                                               : std::string("simd");
+                         [](const ::testing::TestParamInfo<bool>& name_info) {
+                             return name_info.param ? std::string("scalar")
+                                                    : std::string("simd");
                          });
 
 TEST(KernelHighBitIds, Bit63ValuesOrderExactlyLikeScalar) {

@@ -1,0 +1,45 @@
+// Negative-compilation case: the Engine warm-query pattern with the shared
+// hold forgotten. Mirrors Engine::count's fast path — a locked body
+// annotated KATRIC_REQUIRES_SHARED on a SharedMutex — called without the
+// ReaderLock. MUST fail under -Werror=thread-safety (registered WILL_FAIL).
+#include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class MiniEngine {
+public:
+    int query_locked() {
+        const katric::util::ReaderLock lock(state_mutex_);
+        return query_body();
+    }
+
+    // BUG under test: the body demands at least a shared hold on the view
+    // state; this caller dispatches straight into it.
+    int query_unlocked() { return query_body(); }
+
+    void rebuild() {
+        const katric::util::WriterLock lock(state_mutex_);
+        views_.push_back(static_cast<int>(views_.size()));
+    }
+
+private:
+    int query_body() KATRIC_REQUIRES_SHARED(state_mutex_) {
+        return views_.empty() ? 0 : views_.front();
+    }
+
+    mutable katric::util::SharedMutex state_mutex_;
+    std::vector<int> views_ KATRIC_GUARDED_BY(state_mutex_);
+};
+
+}  // namespace
+
+int main() {
+    MiniEngine engine;
+    engine.rebuild();
+    (void)engine.query_locked();
+    (void)engine.query_unlocked();
+    return 0;
+}

@@ -1,0 +1,33 @@
+// Negative-compilation case: calling a KATRIC_REQUIRES function without
+// holding the capability it names. MUST fail under -Werror=thread-safety
+// (registered WILL_FAIL); never built without the analysis.
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Ledger {
+public:
+    void add(int amount) KATRIC_REQUIRES(mutex_) { total_ += amount; }
+
+    void record_locked(int amount) {
+        const katric::util::MutexLock lock(mutex_);
+        add(amount);
+    }
+
+    // BUG under test: the callee demands the hold, the caller forgot it.
+    void record_unlocked(int amount) { add(amount); }
+
+private:
+    katric::util::Mutex mutex_;
+    int total_ KATRIC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Ledger ledger;
+    ledger.record_locked(1);
+    ledger.record_unlocked(2);
+    return 0;
+}

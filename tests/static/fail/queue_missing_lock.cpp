@@ -1,0 +1,54 @@
+// Negative-compilation case: the AdmissionQueue locking discipline with the
+// hold dropped. A structural clone of detail::AdmissionQueue whose pop path
+// reads the guarded queue state without taking the mutex — exactly the
+// regression the annotations on the real queue exist to catch. MUST fail
+// under -Werror=thread-safety (registered WILL_FAIL).
+#include <optional>
+#include <queue>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class BrokenQueue {
+public:
+    void push(int item) {
+        {
+            const katric::util::MutexLock lock(mutex_);
+            entries_.push(item);
+        }
+        ready_.notify_one();
+    }
+
+    // BUG under test: the real queue takes the MutexLock before touching
+    // entries_/closed_; this clone goes straight at the guarded state.
+    std::optional<int> pop() {
+        while (!closed_ && entries_.empty()) {}
+        if (entries_.empty()) { return std::nullopt; }
+        int item = entries_.front();
+        entries_.pop();
+        return item;
+    }
+
+    void close() {
+        const katric::util::MutexLock lock(mutex_);
+        closed_ = true;
+    }
+
+private:
+    mutable katric::util::Mutex mutex_;
+    katric::util::CondVar ready_;
+    std::queue<int> entries_ KATRIC_GUARDED_BY(mutex_);
+    bool closed_ KATRIC_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace
+
+int main() {
+    BrokenQueue queue;
+    queue.push(1);
+    (void)queue.pop();
+    queue.close();
+    return 0;
+}

@@ -1,0 +1,32 @@
+// Negative-compilation case: writing a KATRIC_GUARDED_BY member without
+// holding its mutex. Under clang with -Werror=thread-safety this file MUST
+// fail to compile (ctest registers it WILL_FAIL); it is not built at all
+// on compilers without the analysis.
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+public:
+    void bump_locked() {
+        const katric::util::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+    // BUG under test: guarded write with no hold.
+    void bump_unlocked() { ++value_; }
+
+private:
+    katric::util::Mutex mutex_;
+    int value_ KATRIC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Counter counter;
+    counter.bump_locked();
+    counter.bump_unlocked();
+    return 0;
+}

@@ -1,0 +1,22 @@
+// Positive control: the annotated concurrency layer's public headers,
+// pulled in standalone. Under clang with -Werror=thread-safety this proves
+// the inline annotated code (scoped locks, guarded accessors, the
+// AdmissionQueue template) analyzes clean; under gcc it proves the
+// annotations vanish without a trace.
+#include "engine.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/observability.hpp"
+#include "obs/trace.hpp"
+#include "serve_queue.hpp"
+#include "util/sync.hpp"
+
+// The AdmissionQueue is a template — force the instantiation the serve
+// worker pool uses so its locked bodies are actually analyzed.
+template class katric::detail::AdmissionQueue<int>;
+
+int main() {
+    katric::detail::AdmissionQueue<int> queue(4);
+    (void)queue.push(1, 0);
+    queue.close();
+    return 0;
+}
